@@ -1,0 +1,141 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Bechamel microbenchmarks of the hot data-structure and crypto paths
+      (SHA-256 hashing, HMAC signing, block construction, forest insertion,
+      mempool batching, QC aggregation, event-queue throughput, codec).
+   2. The paper-reproduction experiments: one per table/figure (Table II,
+      Figs. 8-15) plus the Section V-E ablations, printed as the same
+      rows/series the paper reports.
+
+   Usage:
+     dune exec bench/main.exe                 -- micro + all experiments, quick scale
+     dune exec bench/main.exe -- micro        -- microbenchmarks only
+     dune exec bench/main.exe -- fig13 fig14  -- selected experiments
+     dune exec bench/main.exe -- --full all   -- paper-scale everything *)
+
+open Bechamel
+open Bamboo_types
+
+let reg = Bamboo_crypto.Sig.setup ~n:4 ~master:"bench"
+
+let sample_txs = List.init 400 (fun seq -> Tx.make ~client:0 ~seq ~payload_len:128)
+
+let sample_block =
+  Block.create ~view:1 ~parent:Block.genesis
+    ~justify:(Qc.genesis ~block:Block.genesis_hash)
+    ~proposer:0 ~txs:sample_txs ()
+
+let sample_payload = String.make 1024 'x'
+
+let micro_tests =
+  [
+    Test.make ~name:"sha256_1KiB" (Staged.stage (fun () ->
+        ignore (Bamboo_crypto.Sha256.digest sample_payload)));
+    Test.make ~name:"hmac_sign_64B" (Staged.stage (fun () ->
+        ignore (Bamboo_crypto.Hmac.mac ~key:"benchkey" "payload-to-authenticate")));
+    Test.make ~name:"block_create_400tx_merkle" (Staged.stage (fun () ->
+        ignore
+          (Block.create ~view:1 ~parent:Block.genesis
+             ~justify:(Qc.genesis ~block:Block.genesis_hash)
+             ~proposer:0 ~txs:sample_txs ())));
+    Test.make ~name:"block_create_400tx_flat" (Staged.stage (fun () ->
+        ignore
+          (Block.create ~root:`Flat ~view:1 ~parent:Block.genesis
+             ~justify:(Qc.genesis ~block:Block.genesis_hash)
+             ~proposer:0 ~txs:sample_txs ())));
+    Test.make ~name:"codec_encode_block" (Staged.stage (fun () ->
+        ignore (Codec.encode (Message.Proposal { block = sample_block; tc = None }))));
+    Test.make ~name:"forest_insert_100" (Staged.stage (fun () ->
+        let f = Bamboo_forest.Forest.create () in
+        let parent = ref Block.genesis in
+        for view = 1 to 100 do
+          let b =
+            Block.create ~root:`Flat ~view ~parent:!parent
+              ~justify:(Qc.genesis ~block:!parent.Block.hash)
+              ~proposer:0 ~txs:[] ()
+          in
+          ignore (Bamboo_forest.Forest.add f b);
+          parent := b
+        done));
+    Test.make ~name:"mempool_add_batch_1000" (Staged.stage (fun () ->
+        let p = Bamboo_mempool.Mempool.create ~capacity:2000 () in
+        for seq = 0 to 999 do
+          ignore (Bamboo_mempool.Mempool.add p (Tx.make ~client:0 ~seq ~payload_len:0))
+        done;
+        ignore (Bamboo_mempool.Mempool.batch p ~max:1000)));
+    Test.make ~name:"quorum_aggregate_qc" (Staged.stage (fun () ->
+        let q = Bamboo_quorum.Quorum.create ~n:4 in
+        for voter = 0 to 2 do
+          ignore
+            (Bamboo_quorum.Quorum.voted q
+               (Vote.create reg ~voter ~block:sample_block.Block.hash ~view:1
+                  ~height:1))
+        done));
+    Test.make ~name:"eventq_push_pop_1000" (Staged.stage (fun () ->
+        let sim = Bamboo_sim.Sim.create () in
+        for i = 1 to 1000 do
+          Bamboo_sim.Sim.schedule sim ~delay:(float_of_int i) (fun () -> ())
+        done;
+        Bamboo_sim.Sim.run_to_completion sim));
+    Test.make ~name:"sim_hotstuff_100ms_virtual" (Staged.stage (fun () ->
+        let config =
+          { Bamboo.Config.default with runtime = 0.1; warmup = 0.01 }
+        in
+        ignore
+          (Bamboo.Runtime.run ~config
+             ~workload:(Bamboo.Workload.open_loop ~rate:10_000.0 ())
+             ())));
+  ]
+
+let run_micro () =
+  print_endline "=== Microbenchmarks (Bechamel) ===";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some (ns :: _) ->
+              if ns >= 1_000_000.0 then
+                Printf.printf "  %-32s %10.2f ms/op\n%!" name (ns /. 1e6)
+              else if ns >= 1_000.0 then
+                Printf.printf "  %-32s %10.2f us/op\n%!" name (ns /. 1e3)
+              else Printf.printf "  %-32s %10.1f ns/op\n%!" name ns
+          | Some [] | None ->
+              Printf.printf "  %-32s (no estimate)\n%!" name)
+        analyzed)
+    micro_tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let scale =
+    if full then Bamboo.Experiments.Full else Bamboo.Experiments.Quick
+  in
+  let names = List.filter (fun a -> a <> "--full") args in
+  match names with
+  | [] ->
+      run_micro ();
+      Bamboo.Experiments.run_all ~scale
+  | [ "micro" ] -> run_micro ()
+  | [ "all" ] -> Bamboo.Experiments.run_all ~scale
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "micro" then run_micro ()
+          else
+            match Bamboo.Experiments.run_one ~scale name with
+            | Ok () -> ()
+            | Error e ->
+                prerr_endline e;
+                exit 2)
+        names

@@ -1,0 +1,90 @@
+(* REST benchmark client: drives a running bamboo_server with concurrent
+   closed-loop workers, each keeping one committed-waiting request
+   outstanding — the paper's "concurrency" load model (Table I). Reports
+   throughput and client-observed commit latency.
+
+   Usage: bamboo_bench_client [--port 8080] [--concurrency 10]
+          [--duration 10] [--psize 16] *)
+
+module Http = Bamboo_network.Http
+
+let () =
+  let port = ref 8080 in
+  let concurrency = ref 10 in
+  let duration = ref 10.0 in
+  let psize = ref 16 in
+  Arg.parse
+    [
+      ("--port", Arg.Set_int port, "server port (default 8080)");
+      ("--concurrency", Arg.Set_int concurrency, "concurrent clients (default 10)");
+      ("--duration", Arg.Set_float duration, "seconds (default 10)");
+      ("--psize", Arg.Set_int psize, "value size in bytes (default 16)");
+    ]
+    (fun _ -> ())
+    "bamboo_bench_client";
+  let stop = ref false in
+  let mutex = Mutex.create () in
+  let completed = ref 0 in
+  let failed = ref 0 in
+  let latency_total = ref 0.0 in
+  let worker wid =
+    let i = ref 0 in
+    while not !stop do
+      incr i;
+      let key = Printf.sprintf "w%d-k%d" wid (!i mod 100) in
+      let value = String.make !psize 'v' in
+      let body =
+        Bamboo.Kvstore.encode_command (Bamboo.Kvstore.Put { key; value })
+      in
+      let t0 = Unix.gettimeofday () in
+      match
+        Http.request ~body ~host:"127.0.0.1" ~port:!port ~meth:"POST"
+          ~path:"/tx?wait=true" ()
+      with
+      | Ok { status = 200; body = resp } ->
+          let latency = Unix.gettimeofday () -. t0 in
+          let committed =
+            (* cheap check without a JSON dependency on the hot path *)
+            let marker = {|"committed": true|} in
+            let rec contains i =
+              i + String.length marker <= String.length resp
+              && (String.sub resp i (String.length marker) = marker
+                 || contains (i + 1))
+            in
+            contains 0
+          in
+          Mutex.lock mutex;
+          if committed then begin
+            incr completed;
+            latency_total := !latency_total +. latency
+          end
+          else incr failed;
+          Mutex.unlock mutex
+      | Ok _ | Error _ ->
+          Mutex.lock mutex;
+          incr failed;
+          Mutex.unlock mutex;
+          Thread.delay 0.05
+    done
+  in
+  (match
+     Http.request ~host:"127.0.0.1" ~port:!port ~meth:"GET" ~path:"/health" ()
+   with
+  | Ok { status = 200; _ } -> ()
+  | Ok _ | Error _ ->
+      Printf.eprintf "no bamboo_server on port %d\n" !port;
+      exit 1);
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init !concurrency (fun wid -> Thread.create worker wid) in
+  Thread.delay !duration;
+  stop := true;
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "concurrency %d: %d committed in %.1fs (%.1f tx/s), mean commit latency \
+     %.1f ms, %d failed\n"
+    !concurrency !completed elapsed
+    (float_of_int !completed /. elapsed)
+    (if !completed = 0 then 0.0
+     else 1000.0 *. !latency_total /. float_of_int !completed)
+    !failed

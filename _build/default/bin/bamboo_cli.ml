@@ -1,0 +1,225 @@
+(* Bamboo command-line interface.
+
+   Subcommands:
+     run         - simulate one configuration and print its metrics
+     model       - print the analytic model's building blocks and curve
+     experiment  - regenerate one paper table/figure (or "all")
+     config      - print the default configuration as JSON
+   A JSON configuration file (--config) seeds any subcommand's settings;
+   individual flags override it. *)
+
+open Cmdliner
+
+let protocol_conv =
+  let parse s =
+    match Bamboo.Config.protocol_of_name s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Bamboo.Config.protocol_name p))
+
+let strategy_conv =
+  let parse = function
+    | "honest" -> Ok Bamboo.Config.Honest
+    | "silence" -> Ok Bamboo.Config.Silence
+    | "fork" -> Ok Bamboo.Config.Fork
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+      | Bamboo.Config.Honest -> "honest"
+      | Bamboo.Config.Silence -> "silence"
+      | Bamboo.Config.Fork -> "fork")
+  in
+  Arg.conv (parse, print)
+
+let config_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "config" ] ~docv:"FILE" ~doc:"JSON configuration file (Table I parameters).")
+
+let load_config = function
+  | None -> Bamboo.Config.default
+  | Some path -> (
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let raw = really_input_string ic len in
+      close_in ic;
+      match Bamboo.Config.of_json (Bamboo_util.Json.of_string raw) with
+      | Ok c -> c
+      | Error e ->
+          Printf.eprintf "error in %s: %s\n" path e;
+          exit 2)
+
+(* Flags shared by run/model; each is optional and overrides the file. *)
+let protocol_t = Arg.(value & opt (some protocol_conv) None & info [ "protocol"; "p" ] ~docv:"NAME")
+let n_t = Arg.(value & opt (some int) None & info [ "n" ] ~docv:"REPLICAS")
+let byz_t = Arg.(value & opt (some int) None & info [ "byz" ] ~docv:"COUNT" ~doc:"Number of Byzantine replicas.")
+let strategy_t = Arg.(value & opt (some strategy_conv) None & info [ "strategy" ] ~docv:"NAME" ~doc:"honest, silence or fork.")
+let bsize_t = Arg.(value & opt (some int) None & info [ "bsize" ] ~docv:"TXS")
+let psize_t = Arg.(value & opt (some int) None & info [ "psize" ] ~docv:"BYTES")
+let delay_t = Arg.(value & opt (some float) None & info [ "delay" ] ~docv:"MS" ~doc:"Added network delay, milliseconds.")
+let timeout_t = Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"MS" ~doc:"View timeout, milliseconds.")
+let backoff_t = Arg.(value & opt (some float) None & info [ "backoff" ] ~docv:"FACTOR" ~doc:"Geometric view-timer backoff (>= 1).")
+let runtime_t = Arg.(value & opt (some float) None & info [ "runtime" ] ~docv:"SECONDS")
+let seed_t = Arg.(value & opt (some int) None & info [ "seed" ])
+
+let override config protocol n byz strategy bsize psize delay timeout backoff
+    runtime seed =
+  let set v f config = match v with None -> config | Some v -> f config v in
+  config
+  |> set protocol (fun c protocol -> { c with Bamboo.Config.protocol })
+  |> set n (fun c n -> { c with Bamboo.Config.n })
+  |> set byz (fun c byz_no -> { c with Bamboo.Config.byz_no })
+  |> set strategy (fun c strategy -> { c with Bamboo.Config.strategy })
+  |> set bsize (fun c bsize -> { c with Bamboo.Config.bsize })
+  |> set psize (fun c psize -> { c with Bamboo.Config.psize })
+  |> set delay (fun c d -> { c with Bamboo.Config.extra_delay_mu = d /. 1000.0 })
+  |> set timeout (fun c t -> { c with Bamboo.Config.timeout = t /. 1000.0 })
+  |> set backoff (fun c backoff -> { c with Bamboo.Config.backoff })
+  |> set runtime (fun c runtime -> { c with Bamboo.Config.runtime })
+  |> set seed (fun c seed -> { c with Bamboo.Config.seed })
+
+let common_t =
+  Term.(
+    const override $ Term.(const load_config $ config_file) $ protocol_t $ n_t
+    $ byz_t $ strategy_t $ bsize_t $ psize_t $ delay_t $ timeout_t $ backoff_t
+    $ runtime_t $ seed_t)
+
+(* --- run --- *)
+
+let rate_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rate" ] ~docv:"TX/S"
+        ~doc:"Open-loop arrival rate; defaults to 50% of the model's saturation point.")
+
+let clients_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop concurrency (overrides --rate).")
+
+let series_t =
+  Arg.(value & flag & info [ "series" ] ~doc:"Also print the committed-throughput time series.")
+
+let run_cmd =
+  let run config rate clients series =
+    match Bamboo.Config.validate config with
+    | Error e ->
+        Printf.eprintf "invalid configuration: %s\n" e;
+        exit 2
+    | Ok config ->
+        let workload =
+          match clients with
+          | Some clients -> Bamboo.Workload.closed_loop ~clients
+          | None ->
+              let rate =
+                match rate with
+                | Some r -> r
+                | None ->
+                    let m = Bamboo.Model.build ~config in
+                    0.5 *. m.Bamboo.Model.saturation_rate
+              in
+              Bamboo.Workload.open_loop ~rate ()
+        in
+        Format.printf "config: %a@.workload: %s@." Bamboo.Config.pp config
+          (Bamboo.Workload.describe workload);
+        let r = Bamboo.Runtime.run ~config ~workload () in
+        let s = r.Bamboo.Runtime.summary in
+        Format.printf "%a@." Bamboo.Metrics.pp_summary s;
+        Format.printf
+          "p50/p95/p99 latency: %.2f / %.2f / %.2f ms; views: %d; rejected: %d@."
+          (s.latency_p50 *. 1000.0) (s.latency_p95 *. 1000.0)
+          (s.latency_p99 *. 1000.0) s.views s.rejected_txs;
+        Format.printf "consistent prefixes: %b; safety violations: %b@."
+          r.consistent r.any_violation;
+        Format.printf "cpu utilization per replica: %s@."
+          (String.concat ", "
+             (Array.to_list
+                (Array.map
+                   (fun u -> Printf.sprintf "%.0f%%" (100.0 *. u))
+                   r.cpu_utilization)));
+        if series then
+          List.iter
+            (fun (t, thr) -> Format.printf "  t=%5.1fs  %8.0f tx/s@." t thr)
+            r.series
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one configuration and print metrics.")
+    Term.(const run $ common_t $ rate_t $ clients_t $ series_t)
+
+(* --- model --- *)
+
+let model_cmd =
+  let run config =
+    let m = Bamboo.Model.build ~config in
+    Format.printf "protocol: %s, n=%d, bsize=%d, psize=%d@."
+      (Bamboo.Config.protocol_name config.Bamboo.Config.protocol)
+      config.Bamboo.Config.n config.Bamboo.Config.bsize
+      config.Bamboo.Config.psize;
+    Format.printf
+      "t_L=%.3fms t_CPU=%.3fms t_NIC=%.3fms t_Q=%.3fms t_s=%.3fms t_commit=%.3fms@."
+      (m.t_l *. 1e3) (m.t_cpu *. 1e3) (m.t_nic *. 1e3) (m.t_q *. 1e3)
+      (m.t_s *. 1e3) (m.t_commit *. 1e3);
+    Format.printf "saturation: %.0f tx/s@." m.saturation_rate;
+    List.iter
+      (fun f ->
+        let rate = f *. m.saturation_rate in
+        match Bamboo.Model.latency m ~rate with
+        | Some l -> Format.printf "  rate %8.0f tx/s -> latency %7.2f ms@." rate (l *. 1e3)
+        | None -> ())
+      [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99 ]
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Print the Section V analytic model predictions.")
+    Term.(const run $ common_t)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Experiment name (table2, fig8..fig15, ablation_*, or 'all'). \
+             See DESIGN.md for the index.")
+  in
+  let full_t =
+    Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale run durations.")
+  in
+  let run name full =
+    let scale =
+      if full then Bamboo.Experiments.Full else Bamboo.Experiments.Quick
+    in
+    if name = "all" then Bamboo.Experiments.run_all ~scale
+    else
+      match Bamboo.Experiments.run_one ~scale name with
+      | Ok () -> ()
+      | Error e ->
+          prerr_endline e;
+          exit 2
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure.")
+    Term.(const run $ name_t $ full_t)
+
+(* --- config --- *)
+
+let config_cmd =
+  let run config =
+    print_endline
+      (Bamboo_util.Json.to_string ~indent:true (Bamboo.Config.to_json config))
+  in
+  Cmd.v
+    (Cmd.info "config" ~doc:"Print the effective configuration as JSON.")
+    Term.(const run $ common_t)
+
+let () =
+  let doc = "Bamboo: prototyping and evaluation of chained-BFT protocols" in
+  let info = Cmd.info "bamboo" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; model_cmd; experiment_cmd; config_cmd ]))

@@ -1,0 +1,143 @@
+(* REST front end to a Bamboo cluster (paper §III-D: "The Bamboo client
+   library uses a RESTful API to interact with server nodes").
+
+   Hosts an n-replica cluster (in-process channel transport, real crypto
+   and wall-clock pacemakers) behind one HTTP endpoint:
+
+     POST /tx?replica=I[&wait=true]   body = key-value command or raw bytes
+     GET  /kv/KEY?replica=I           read the executed store
+     GET  /metrics                    committed transaction count etc.
+     GET  /health
+
+   Key-value commands use the Kvstore encoding ("P<klen>:<key><value>",
+   "G...", "D..."); any other body rides along as opaque payload.
+
+   Usage: bamboo_server [--n 4] [--protocol hotstuff] [--port 8080]
+          [--duration 60] *)
+
+module Config = Bamboo.Config
+module Chan = Bamboo_network.Chan_transport
+module Http = Bamboo_network.Http
+module Runtime = Bamboo.Threaded_runtime.Make (Bamboo_network.Chan_transport)
+open Bamboo_types
+
+let query_params path =
+  match String.index_opt path '?' with
+  | None -> (path, [])
+  | Some i ->
+      let base = String.sub path 0 i in
+      let query = String.sub path (i + 1) (String.length path - i - 1) in
+      let params =
+        String.split_on_char '&' query
+        |> List.filter_map (fun kv ->
+               match String.index_opt kv '=' with
+               | Some j ->
+                   Some
+                     ( String.sub kv 0 j,
+                       String.sub kv (j + 1) (String.length kv - j - 1) )
+               | None -> Some (kv, ""))
+      in
+      (base, params)
+
+let () =
+  let n = ref 4 in
+  let protocol = ref "hotstuff" in
+  let port = ref 8080 in
+  let duration = ref 60.0 in
+  let args =
+    [
+      ("--n", Arg.Set_int n, "cluster size (default 4)");
+      ("--protocol", Arg.Set_string protocol, "hotstuff|twochain|streamlet|fasthotstuff");
+      ("--port", Arg.Set_int port, "HTTP port (default 8080)");
+      ("--duration", Arg.Set_float duration, "seconds to serve (default 60)");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "bamboo_server";
+  let protocol =
+    match Config.protocol_of_name !protocol with
+    | Ok p -> p
+    | Error e ->
+        prerr_endline e;
+        exit 2
+  in
+  let config =
+    { Config.default with protocol; n = !n; bsize = 100; memsize = 100_000 }
+  in
+  let cluster_transport = Chan.create_cluster ~n:!n in
+  let endpoints = Array.init !n (Chan.endpoint cluster_transport) in
+  let cluster = Runtime.start ~config ~endpoints in
+  let seq = ref 0 in
+  let seq_mutex = Mutex.create () in
+  let rng = Bamboo_util.Rng.create ~seed:99 in
+  let started = Unix.gettimeofday () in
+  let handler (req : Http.request) =
+    let path, params = query_params req.path in
+    let replica =
+      match List.assoc_opt "replica" params with
+      | Some v -> ( match int_of_string_opt v with Some i -> i mod !n | None -> 0)
+      | None -> Bamboo_util.Rng.int rng !n
+    in
+    match (req.meth, path) with
+    | "POST", "/tx" ->
+        let id =
+          Mutex.lock seq_mutex;
+          incr seq;
+          let s = !seq in
+          Mutex.unlock seq_mutex;
+          s
+        in
+        let tx = Tx.make_with_data ~client:9 ~seq:id ~data:req.body in
+        Runtime.submit cluster ~replica [ tx ];
+        let committed =
+          if List.assoc_opt "wait" params = Some "true" then begin
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            let rec wait () =
+              if Runtime.tx_committed cluster tx.Tx.id then true
+              else if Unix.gettimeofday () > deadline then false
+              else begin
+                Thread.delay 0.002;
+                wait ()
+              end
+            in
+            wait ()
+          end
+          else false
+        in
+        {
+          Http.status = 200;
+          body =
+            Printf.sprintf
+              {|{"client": 9, "seq": %d, "replica": %d, "committed": %b}|} id
+              replica committed;
+        }
+    | "GET", path when String.length path > 4 && String.sub path 0 4 = "/kv/" ->
+        let key = String.sub path 4 (String.length path - 4) in
+        (match Runtime.kv_get cluster ~replica key with
+        | Some value -> { Http.status = 200; body = value }
+        | None -> { Http.status = 404; body = "key not found" })
+    | "GET", "/metrics" ->
+        let committed = Runtime.committed_txs cluster in
+        let elapsed = Unix.gettimeofday () -. started in
+        {
+          Http.status = 200;
+          body =
+            Printf.sprintf
+              {|{"committed_txs": %d, "elapsed_s": %.1f, "throughput": %.1f}|}
+              committed elapsed
+              (float_of_int committed /. elapsed);
+        }
+    | "GET", "/health" -> { Http.status = 200; body = {|{"status": "up"}|} }
+    | _ -> { Http.status = 404; body = "unknown route" }
+  in
+  let server = Http.start ~port:!port ~handler in
+  Printf.printf
+    "bamboo_server: %d-replica %s cluster behind http://127.0.0.1:%d (%.0fs)\n%!"
+    !n
+    (Config.protocol_name protocol)
+    (Http.port server) !duration;
+  Thread.delay !duration;
+  Http.stop server;
+  let report = Runtime.stop cluster in
+  Printf.printf
+    "served %.1fs: %d txs committed, consistent=%b kv_consistent=%b\n" report.duration
+    report.committed_txs report.consistent report.kv_consistent

@@ -1,0 +1,1 @@
+examples/attack_comparison.ml: Bamboo Bamboo_util List Printf

@@ -1,0 +1,1 @@
+examples/custom_protocol.ml: Bamboo Bamboo_crypto Bamboo_forest Bamboo_types Hashtbl List Printf String

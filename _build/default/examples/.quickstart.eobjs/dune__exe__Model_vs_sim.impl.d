@@ -1,0 +1,1 @@
+examples/model_vs_sim.ml: Bamboo Bamboo_util List Printf

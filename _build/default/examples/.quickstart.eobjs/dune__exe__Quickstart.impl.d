@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bamboo Format String

@@ -1,0 +1,1 @@
+examples/threaded_deployment.ml: Array Bamboo Bamboo_network List Printf String

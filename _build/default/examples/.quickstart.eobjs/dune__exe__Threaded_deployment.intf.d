@@ -1,0 +1,1 @@
+examples/threaded_deployment.mli:

@@ -1,0 +1,115 @@
+(* Prototype new chained-BFT protocols against the Safety API — the core
+   use-case of the Bamboo framework (paper Fig. 4: developers fill in the
+   proposing / voting / state-updating / commit rules).
+
+   Two prototypes:
+   - "one-chain commit": commits a block the moment it is certified. It is
+     live and fast but NOT safe under forks; the cross-replica consistency
+     check catches exactly that once Byzantine forking is enabled.
+   - "four-chain HotStuff": an extra-conservative rule (commit needs a
+     4-chain), trivially safe, with one more view of commit latency. *)
+
+module Config = Bamboo.Config
+module Safety = Bamboo.Safety
+
+let one_chain ctx chain =
+  Bamboo.Chained_common.make ~name:"one-chain-demo" ~lock_chain:1
+    ~commit_chain:1 ~tc_responsive:false ctx chain
+
+let four_chain ctx chain =
+  Bamboo.Chained_common.make ~name:"four-chain" ~lock_chain:3 ~commit_chain:4
+    ~tc_responsive:false ctx chain
+
+let () =
+  (* The Node engine resolves protocols from Config; custom Safety values
+     plug in at the library level. Here we exercise the rules directly on a
+     shared forest, mirroring how the test suite drives them, and then show
+     the built-in engine running the nearest configured equivalents. *)
+  let forest = Bamboo_forest.Forest.create () in
+  let certified = Hashtbl.create 16 in
+  Hashtbl.add certified Bamboo_types.Block.genesis_hash Safety.genesis_qc;
+  let chain =
+    Safety.{ forest; qc_of = (fun h -> Hashtbl.find_opt certified h) }
+  in
+  let registry = Bamboo_crypto.Sig.setup ~n:4 ~master:"custom" in
+  let ctx = Safety.{ n = 4; self = 0; registry; quorum = 3 } in
+  let protos = [ one_chain ctx chain; four_chain ctx chain ] in
+  (* Grow a five-block certified chain and watch each prototype's commit
+     rule fire at a different depth. *)
+  let parent = ref Bamboo_types.Block.genesis in
+  Printf.printf "%-16s %s\n" "protocol" "commit trigger per certified block";
+  let commits = Hashtbl.create 8 in
+  for view = 1 to 5 do
+    let justify =
+      match chain.Safety.qc_of !parent.Bamboo_types.Block.hash with
+      | Some qc -> qc
+      | None -> assert false
+    in
+    let b =
+      Bamboo_types.Block.create ~view ~parent:!parent ~justify ~proposer:0
+        ~txs:[] ()
+    in
+    (match Bamboo_forest.Forest.add forest b with
+    | Bamboo_forest.Forest.Added -> ()
+    | _ -> failwith "add failed");
+    (* Certify it: a full quorum of votes. *)
+    let sigs =
+      List.init 3 (fun signer ->
+          Bamboo_crypto.Sig.sign registry ~signer
+            (Bamboo_types.Qc.signed_payload ~block:b.hash ~view))
+    in
+    let qc =
+      Bamboo_types.Qc.{ block = b.hash; view; height = b.height; sigs }
+    in
+    Hashtbl.add certified b.hash qc;
+    List.iter
+      (fun (p : Safety.t) ->
+        match p.Safety.on_qc qc with
+        | Some target ->
+            let prev =
+              match Hashtbl.find_opt commits p.Safety.name with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace commits p.Safety.name
+              ((view, Bamboo_types.Ids.short target) :: prev)
+        | None -> ())
+      protos;
+    parent := b
+  done;
+  List.iter
+    (fun (p : Safety.t) ->
+      let fired =
+        match Hashtbl.find_opt commits p.Safety.name with
+        | Some l -> List.rev l
+        | None -> []
+      in
+      Printf.printf "%-16s %s\n" p.Safety.name
+        (String.concat ", "
+           (List.map
+              (fun (v, target) -> Printf.sprintf "QC(v%d)->commit %s" v target)
+              fired)))
+    protos;
+  print_newline ();
+  print_endline
+    "one-chain commits immediately on certification (fast, fork-unsafe); \
+     four-chain waits three extra certifications (slow, conservative). The \
+     shipped protocols sit in between: 2CHS at two, HotStuff at three.";
+  (* Finally, demonstrate the same trade-off end-to-end with the shipped
+     protocols under the simulator. *)
+  print_newline ();
+  List.iter
+    (fun protocol ->
+      let config =
+        { Config.default with protocol; runtime = 2.0; warmup = 0.5 }
+      in
+      let r =
+        Bamboo.Runtime.run ~config
+          ~workload:(Bamboo.Workload.open_loop ~rate:5000.0 ())
+          ()
+      in
+      Printf.printf "%-14s latency %.2f ms, BI %.2f\n"
+        (Config.protocol_name protocol)
+        (r.summary.latency_mean *. 1000.0)
+        r.summary.block_interval)
+    Config.[ Twochain; Hotstuff ]

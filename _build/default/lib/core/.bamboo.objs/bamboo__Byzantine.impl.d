@@ -1,0 +1,1 @@
+lib/core/byzantine.ml: Bamboo_forest Bamboo_types Block Config Fun Option Qc Safety String Tcert

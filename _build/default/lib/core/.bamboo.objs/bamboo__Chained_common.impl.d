@@ -1,0 +1,1 @@
+lib/core/chained_common.ml: Bamboo_forest Bamboo_types Block Ids Qc Safety Tcert

@@ -1,0 +1,1 @@
+lib/core/chained_common.mli: Bamboo_types Block Safety

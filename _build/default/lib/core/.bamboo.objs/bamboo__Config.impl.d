@@ -1,0 +1,1 @@
+lib/core/config.ml: Bamboo_util Format List Printf

@@ -1,0 +1,1 @@
+lib/core/election.ml: Bamboo_crypto Char Config Printf String

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Bamboo_util Config Float List Metrics Model Printf Runtime String Workload

@@ -1,0 +1,1 @@
+lib/core/fasthotstuff.ml: Chained_common

@@ -1,0 +1,1 @@
+lib/core/hotstuff.ml: Chained_common

@@ -1,0 +1,1 @@
+lib/core/kvstore.ml: Bamboo_crypto Bamboo_types Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Bamboo_util Format Hashtbl List

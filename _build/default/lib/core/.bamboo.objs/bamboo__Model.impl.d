@@ -1,0 +1,1 @@
+lib/core/model.ml: Bamboo_util Config List

@@ -1,0 +1,1 @@
+lib/core/node.mli: Bamboo_crypto Bamboo_forest Bamboo_types Block Config Ids Message Qc Tx

@@ -1,0 +1,1 @@
+lib/core/pacemaker.ml: Bamboo_types Ids Qc Tcert

@@ -1,0 +1,1 @@
+lib/core/pacemaker.mli: Bamboo_types Ids Qc Tcert

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Bamboo_crypto Bamboo_forest Bamboo_sim Bamboo_types Bamboo_util Block Config Hashtbl List Message Metrics Node String Timeout_msg Tx Vote Workload

@@ -1,0 +1,1 @@
+lib/core/safety.ml: Bamboo_crypto Bamboo_forest Bamboo_types Block Ids Qc Tcert

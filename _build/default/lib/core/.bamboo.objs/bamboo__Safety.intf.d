@@ -1,0 +1,1 @@
+lib/core/safety.mli: Bamboo_crypto Bamboo_forest Bamboo_types Block Ids Qc Tcert

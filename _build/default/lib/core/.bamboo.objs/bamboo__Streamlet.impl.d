@@ -1,0 +1,1 @@
+lib/core/streamlet.ml: Bamboo_forest Bamboo_types Block Ids List Qc Safety

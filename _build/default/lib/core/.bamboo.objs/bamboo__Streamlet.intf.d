@@ -1,0 +1,1 @@
+lib/core/streamlet.mli: Safety

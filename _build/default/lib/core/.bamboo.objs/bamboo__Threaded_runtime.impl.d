@@ -1,0 +1,1 @@
+lib/core/threaded_runtime.ml: Array Bamboo_crypto Bamboo_forest Bamboo_network Bamboo_types Bamboo_util Block Config Float Hashtbl Kvstore List Mutex Node String Thread Tx Unix

@@ -1,0 +1,1 @@
+lib/core/threaded_runtime.mli: Bamboo_network Bamboo_types Config

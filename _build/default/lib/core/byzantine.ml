@@ -1,0 +1,94 @@
+open Bamboo_types
+module Forest = Bamboo_forest.Forest
+
+(* The highest QC that has been made public: the maximum over the justify
+   pointers embedded in broadcast blocks (plus, at propose time, a TC's
+   aggregated QC). QCs an attacker assembled from votes but never embedded
+   are invisible to honest replicas; forking and silence both exploit
+   exactly that gap. *)
+let public_high (chain : Safety.chain) ?tc () =
+  let head = Forest.last_committed chain.Safety.forest in
+  let base =
+    match chain.Safety.qc_of head.Block.hash with
+    | Some qc -> Qc.max_by_view head.Block.justify qc
+    | None -> head.Block.justify
+  in
+  let embedded =
+    Forest.fold_uncommitted chain.Safety.forest
+      (fun acc (b : Block.t) -> Qc.max_by_view acc b.justify)
+      base
+  in
+  match tc with
+  | Some (tc : Tcert.t) -> Qc.max_by_view embedded tc.high_qc
+  | None -> embedded
+
+let silence ~(chain : Safety.chain) (base : Safety.t) =
+  {
+    base with
+    Safety.name = base.Safety.name ^ "+silence";
+    propose = (fun ~view:_ ~tc:_ -> None);
+    (* Withholding the proposal must also withhold the QC assembled from
+       the previous view's votes — including through pacemaker timeouts —
+       or the attack loses nothing (Fig. 6's "loss of QC3"). *)
+    timeout_high_qc = (fun () -> public_high chain ());
+  }
+
+let fork ~(chain : Safety.chain) ~fork_depth (base : Safety.t) =
+  if fork_depth < 1 then invalid_arg "Byzantine.fork: depth must be >= 1";
+  let propose ~view ~tc =
+    match base.Safety.propose ~view ~tc with
+    | None -> None
+    | Some honest ->
+        (* Target the deepest ancestor that honest replicas will still vote
+           for: their lock trails the highest *public* QC by
+           [fork_depth - 1] certified links, so build on the ancestor that
+           many links below the publicly certified tip. *)
+        let high = public_high chain ?tc:(Option.map Fun.id tc) () in
+        let rec descend (b : Block.t) depth =
+          if depth = 0 then Some b
+          else
+            match Forest.find chain.Safety.forest b.parent with
+            | Some p -> descend p (depth - 1)
+            | None -> None
+        in
+        let committed = Forest.last_committed chain.Safety.forest in
+        let viable (b : Block.t) =
+          b.height > committed.height || String.equal b.hash committed.hash
+        in
+        let forked =
+          match Forest.find chain.Safety.forest high.block with
+          | None -> None
+          | Some public_tip -> (
+              match descend public_tip (fork_depth - 1) with
+              | Some ancestor when viable ancestor -> (
+                  match chain.Safety.qc_of ancestor.hash with
+                  | Some justify -> Some Safety.{ parent = ancestor; justify }
+                  | None -> None)
+              | Some _ | None -> None)
+        in
+        (match forked with Some t -> Some t | None -> Some honest)
+  in
+  {
+    base with
+    Safety.name = base.Safety.name ^ "+fork";
+    propose;
+    timeout_high_qc = (fun () -> public_high chain ());
+  }
+
+let fork_depth_for = function
+  | Config.Hotstuff -> 2
+  | Config.Twochain | Config.Fasthotstuff -> 1
+  | Config.Streamlet -> 1
+
+let apply strategy protocol ~chain base =
+  match (strategy, protocol) with
+  | Config.Honest, _ -> base
+  | Config.Silence, _ -> silence ~chain base
+  | Config.Fork, Config.Streamlet ->
+      (* Forking is futile against the longest-notarized-chain voting rule:
+         honest replicas refuse any proposal that does not extend the
+         longest chain, so the best the attacker can do is behave (Fig. 13's
+         flat Streamlet line). *)
+      base
+  | Config.Fork, (Config.Hotstuff | Config.Twochain | Config.Fasthotstuff) ->
+      fork ~chain ~fork_depth:(fork_depth_for protocol) base

@@ -1,0 +1,40 @@
+(** The two Byzantine attack strategies of paper §IV-A, implemented — as in
+    Bamboo — purely by modifying the Proposing rule of an underlying
+    protocol. Neither strategy violates the protocol from an outside view;
+    both degrade performance by causing forks or breaking the commit rule.
+
+    Both wrappers leave voting, state updating and committing honest. *)
+
+val silence : chain:Safety.chain -> Safety.t -> Safety.t
+(** Silence attack: the attacker "simply remains silent when it is selected
+    as the leader". Withholding the proposal also withholds the QC the
+    attacker aggregated from the previous view's votes — including through
+    pacemaker timeout messages, which advertise only the highest publicly
+    embedded QC — so that QC is lost and the next honest leader must build
+    on an older block, overwriting the last one (Fig. 6). *)
+
+val public_high : Safety.chain -> ?tc:Bamboo_types.Tcert.t -> unit -> Bamboo_types.Qc.t
+(** The highest QC visible to honest replicas: the maximum justify pointer
+    embedded in any broadcast block (and a TC's aggregated QC when given).
+    Exposed for the attack implementations and tests. *)
+
+val fork : chain:Safety.chain -> fork_depth:int -> Safety.t -> Safety.t
+(** Forking attack: the attacker proposes a block extending the ancestor
+    [fork_depth - 1] links below the publicly certified tip, justified by
+    that ancestor's own QC — overwriting up to [fork_depth] uncommitted
+    blocks while still passing the honest voting rule (Fig. 5), whose lock
+    trails the public tip by exactly that much. When no viable fork target
+    exists the attacker proposes honestly.
+
+    The deepest fork the honest voting rule allows is 2 for HotStuff and 1
+    for two-chain HotStuff; use {!fork_depth_for}. Streamlet's
+    longest-chain voting makes any fork futile — honest replicas simply
+    refuse to vote for it — so {!apply} leaves Streamlet attackers
+    honest. *)
+
+val fork_depth_for : Config.protocol -> int
+
+val apply :
+  Config.strategy -> Config.protocol -> chain:Safety.chain -> Safety.t -> Safety.t
+(** Wraps according to the configured strategy ([Honest] is the
+    identity). *)

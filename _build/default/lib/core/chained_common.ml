@@ -1,0 +1,92 @@
+open Bamboo_types
+module Forest = Bamboo_forest.Forest
+
+type state = {
+  mutable lv_view : Ids.view; (* last voted (or abandoned) view *)
+  mutable high_qc : Qc.t;
+  mutable lock : (Ids.hash * Ids.view) option; (* lBlock *)
+}
+
+let certified_chain_head (chain : Safety.chain) ~(tip : Block.t) ~length =
+  let rec walk (b : Block.t) remaining =
+    if chain.qc_of b.hash = None then None
+    else if remaining = 1 then Some b
+    else
+      match Forest.find chain.forest b.parent with
+      | Some p -> walk p (remaining - 1)
+      | None -> None
+  in
+  if length <= 0 then invalid_arg "certified_chain_head: length must be positive";
+  walk tip length
+
+let lock_view st = match st.lock with None -> 0 | Some (_, v) -> v
+
+let extends_lock (chain : Safety.chain) st (block : Block.t) =
+  match st.lock with
+  | None -> true (* still locked on genesis *)
+  | Some (lock_hash, _) ->
+      Forest.extends chain.forest ~descendant:block.hash ~ancestor:lock_hash
+
+let make ~name ~lock_chain ~commit_chain ~tc_responsive (_ctx : Safety.ctx)
+    (chain : Safety.chain) : Safety.t =
+  let st = { lv_view = 0; high_qc = Safety.genesis_qc; lock = None } in
+  let propose ~view:_ ~tc:_ =
+    (* Proposing rule: build on the highest QC. The block it certifies is
+       always present locally — hQC only advances for known blocks. *)
+    match Forest.find chain.forest st.high_qc.block with
+    | Some parent -> Some Safety.{ parent; justify = st.high_qc }
+    | None -> None
+  in
+  let should_vote ~(block : Block.t) ~tc =
+    (* Voting rule (paper §II-B): the view must be beyond the last voted
+       one, and the block must extend the locked block or carry a justify
+       QC from a higher view than the lock ("its parent block has a higher
+       view than that of lBlock"). *)
+    block.view > st.lv_view
+    && (extends_lock chain st block
+       || block.justify.view > lock_view st
+       ||
+       match tc with
+       | Some (tc : Tcert.t) when tc_responsive ->
+           (* Fast-HotStuff: a TC for the previous view proves that the
+              aggregated high QC is the highest the quorum saw, so building
+              on it is safe even across the lock. *)
+           tc.view = block.view - 1 && block.justify.view >= tc.high_qc.view
+       | Some _ | None -> false)
+  in
+  let on_vote_sent (block : Block.t) =
+    st.lv_view <- max st.lv_view block.view
+  in
+  let on_qc (qc : Qc.t) =
+    st.high_qc <- Qc.max_by_view st.high_qc qc;
+    match Forest.find chain.forest qc.block with
+    | None -> None
+    | Some tip ->
+        (* State updating: lock on the head of the highest lock_chain-chain
+           ending at the newly certified block. *)
+        (match certified_chain_head chain ~tip ~length:lock_chain with
+        | Some head when head.view > lock_view st ->
+            st.lock <- Some (head.hash, head.view)
+        | Some _ | None -> ());
+        (* Commit rule: a commit_chain-chain ending here finalizes its
+           head and, by prefix finalization, all its ancestors. *)
+        (match certified_chain_head chain ~tip ~length:commit_chain with
+        | Some head when head.height > 0 -> Some head.hash
+        | Some _ | None -> None)
+  in
+  let note_view_abandoned view = st.lv_view <- max st.lv_view view in
+  Safety.
+    {
+      name;
+      propose;
+      should_vote;
+      on_vote_sent;
+      on_qc;
+      note_view_abandoned;
+      high_qc = (fun () -> st.high_qc);
+      timeout_high_qc = (fun () -> st.high_qc);
+      locked = (fun () -> st.lock);
+      last_voted_view = (fun () -> st.lv_view);
+      vote_broadcast = false;
+      echo = false;
+    }

@@ -1,0 +1,32 @@
+(** Shared rule machinery for the HotStuff protocol family.
+
+    HotStuff, two-chain HotStuff and Fast-HotStuff differ only in the chain
+    length their locks and commits require (paper §II-B/C, Figure 3) and in
+    how view changes regain responsiveness; everything else — the state
+    variables [lvView], [lBlock], [hQC], the proposing rule "build on hQC",
+    and the voting rule — is common and implemented once here. *)
+
+open Bamboo_types
+
+val make :
+  name:string ->
+  lock_chain:int ->
+  commit_chain:int ->
+  tc_responsive:bool ->
+  Safety.ctx ->
+  Safety.chain ->
+  Safety.t
+(** [make ~name ~lock_chain ~commit_chain ~tc_responsive ctx chain]:
+    lock on the head of the highest [lock_chain]-chain (2 for HotStuff, 1
+    for the two-chain variants); commit the head of any
+    [commit_chain]-chain (3 for HotStuff, 2 for the two-chain variants).
+    With [tc_responsive], accept a proposal that conflicts with the lock
+    when it carries a TC for the previous view whose aggregated high-QC
+    justifies it (Fast-HotStuff's responsive view change). *)
+
+val certified_chain_head :
+  Safety.chain -> tip:Block.t -> length:int -> Block.t option
+(** [certified_chain_head chain ~tip ~length] walks parent links down from
+    [tip]: if [tip] and its [length - 1] immediate ancestors are all
+    certified, the deepest of them (the chain head) is returned. Exposed
+    for tests. *)

@@ -1,0 +1,29 @@
+type scheme = Config.election
+
+type t = { scheme : scheme; n : int }
+
+let create scheme ~n =
+  if n <= 0 then invalid_arg "Election.create: n must be positive";
+  (match scheme with
+  | Config.Static i when i < 0 || i >= n ->
+      invalid_arg "Election.create: static leader out of range"
+  | Config.Static _ | Config.Rotation | Config.Hashed -> ());
+  { scheme; n }
+
+let leader t ~view =
+  match t.scheme with
+  | Config.Rotation -> view mod t.n
+  | Config.Static i -> i
+  | Config.Hashed ->
+      (* Derive the leader from a hash of the view so that the sequence is
+         unpredictable but agreed upon by every replica. *)
+      let digest = Bamboo_crypto.Sha256.digest (Printf.sprintf "leader|%d" view) in
+      let v =
+        (Char.code digest.[0] lsl 24)
+        lor (Char.code digest.[1] lsl 16)
+        lor (Char.code digest.[2] lsl 8)
+        lor Char.code digest.[3]
+      in
+      v mod t.n
+
+let is_leader t ~view ~self = leader t ~view = self

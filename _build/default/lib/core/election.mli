@@ -1,0 +1,16 @@
+(** Leader election. cBFT protocols are "driven by leader nodes and operate
+    in a view-by-view manner"; each view has one designated leader, known
+    to every replica.
+
+    Three schemes are provided, matching the design choices the paper's
+    Section V-E calls out: round-robin rotation (Bamboo's default when
+    [master = 0]), a static leader, and a hash-based choice. *)
+
+type t
+
+val create : Config.election -> n:int -> t
+
+val leader : t -> view:Bamboo_types.Ids.view -> Bamboo_types.Ids.replica
+(** Deterministic: all replicas agree on the leader of any view. *)
+
+val is_leader : t -> view:Bamboo_types.Ids.view -> self:Bamboo_types.Ids.replica -> bool

@@ -1,0 +1,31 @@
+(** The paper's evaluation, one experiment per table/figure (Section VI),
+    plus the ablations of design choices called out in Section V-E. Each
+    experiment runs the simulator at the appropriate parameters and prints
+    the same rows/series the paper reports; DESIGN.md maps experiments to
+    modules, EXPERIMENTS.md records paper-vs-measured shape agreement.
+
+    [Quick] (the default) uses short virtual runs so the full suite
+    finishes in minutes; [Full] uses paper-scale view counts. *)
+
+type scale = Quick | Full
+
+val names : string list
+(** All experiment identifiers: ["table2"], ["fig8"] ... ["fig15"],
+    ["ablation_broadcast"], ["ablation_election"], ["ablation_echo"],
+    ["ablation_fhs"], ["ablation_backoff"]. *)
+
+val run_one : scale:scale -> string -> (unit, string) result
+(** Runs one experiment by name, printing its tables to stdout. *)
+
+val run_all : scale:scale -> unit
+
+(** {2 Exposed pieces, for the CLI and tests} *)
+
+val sweep :
+  config:Config.t ->
+  rates:float list ->
+  (float * Metrics.summary) list
+(** One simulator run per arrival rate. *)
+
+val saturation_sweep_rates : config:Config.t -> scale:scale -> float list
+(** Rate grid up to (and slightly beyond) the model's saturation point. *)

@@ -1,0 +1,11 @@
+(** Fast-HotStuff (Jalalzai, Niu, Feng 2020): a two-chain commit rule made
+    responsive. After a timeout, the new leader's proposal carries the
+    timeout certificate, whose aggregated high-QC proves that no higher QC
+    can exist at any correct replica; replicas therefore accept a proposal
+    built on it even when it conflicts with their lock, without waiting the
+    maximal network delay.
+
+    Built with the framework to demonstrate prototyping beyond the paper's
+    evaluated trio; see DESIGN.md §5. *)
+
+val make : Safety.ctx -> Safety.chain -> Safety.t

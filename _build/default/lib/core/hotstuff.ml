@@ -1,0 +1,3 @@
+let make ctx chain =
+  Chained_common.make ~name:"hotstuff" ~lock_chain:2 ~commit_chain:3
+    ~tc_responsive:false ctx chain

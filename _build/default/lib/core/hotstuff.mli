@@ -1,0 +1,13 @@
+(** Chained HotStuff (paper §II-B).
+
+    - State: [lBlock] = head of the highest two-chain, [lvView], [hQC].
+    - Proposing: build on [hQC].
+    - Voting: view beyond [lvView], and the block extends [lBlock] or its
+      justify comes from a view above the lock's.
+    - Commit: three-chain — when a block heads a chain of three directly
+      linked certified blocks, it and its prefix are final.
+
+    HotStuff is optimistically responsive: a correct leader makes progress
+    at network speed without waiting for the maximum network delay. *)
+
+val make : Safety.ctx -> Safety.chain -> Safety.t

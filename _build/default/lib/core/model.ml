@@ -1,0 +1,129 @@
+module Dist = Bamboo_util.Dist
+module Rng = Bamboo_util.Rng
+
+type t = {
+  n : int;
+  t_l : float;
+  t_cpu : float;
+  t_nic : float;
+  t_q : float;
+  t_s : float;
+  t_commit : float;
+  saturation_rate : float;
+}
+
+(* Wire size of a full block, mirroring Bamboo_types.Block.wire_size:
+   120-byte header, a QC carrying a quorum of 64-byte signatures, and the
+   transaction batch. *)
+let block_bytes (cfg : Config.t) =
+  let quorum = Config.quorum_size cfg in
+  120 + (44 + (quorum * 64)) + (cfg.bsize * (16 + cfg.psize))
+
+let vote_bytes = 120
+
+(* The order-statistic parameters of Section V-B2: a quorum needs 2f votes
+   beyond the leader's own, drawn from N-1 replicas; each vote arrives
+   after one proposal-plus-vote round trip ~ Normal(2 mu, sqrt 2 sigma),
+   plus any configured extra delay in both directions. *)
+let order_stat_params (cfg : Config.t) =
+  let n = cfg.n - 1 in
+  let k = Config.quorum_size cfg - 1 in
+  let mu = 2.0 *. (cfg.mu +. cfg.extra_delay_mu) in
+  let sigma =
+    sqrt 2.0 *. sqrt ((cfg.sigma ** 2.0) +. (cfg.extra_delay_sigma ** 2.0))
+  in
+  (n, k, mu, sigma)
+
+let t_q_monte_carlo ~config ~trials =
+  let n, k, mu, sigma = order_stat_params config in
+  if k <= 0 then mu
+  else
+    let rng = Rng.create ~seed:(config.Config.seed + 7919) in
+    Dist.order_statistic_mean rng ~n ~k ~mu ~sigma ~trials
+
+let service_time (cfg : Config.t) ~t_q =
+  let batch_cpu = float_of_int cfg.bsize *. cfg.cpu_per_tx in
+  let propose_cpu = cfg.cpu_op +. batch_cpu in
+  let replica_cpu = (2.0 *. cfg.cpu_op) +. batch_cpu in
+  let quorum_cpu = float_of_int (Config.quorum_size cfg) *. cfg.cpu_op in
+  let t_nic_block = 2.0 *. float_of_int (block_bytes cfg) /. cfg.bandwidth in
+  let t_nic_vote = 2.0 *. float_of_int vote_bytes /. cfg.bandwidth in
+  (* Eq. 4, with the three t_CPU terms made explicit about batching costs
+     and the vote-path NIC term sized for votes rather than blocks. *)
+  propose_cpu +. t_nic_block +. replica_cpu +. t_q +. t_nic_vote +. quorum_cpu
+
+let commit_multiplier = function
+  | Config.Hotstuff -> 2.0 (* three-chain: wait for two more certifications *)
+  | Config.Twochain | Config.Fasthotstuff | Config.Streamlet -> 1.0
+
+let build ~config =
+  let n, k, mu, sigma = order_stat_params config in
+  let t_q =
+    if k <= 0 then mu
+    else Dist.order_statistic_mean_numeric ~n ~k ~mu ~sigma
+  in
+  let t_s = service_time config ~t_q in
+  let t_commit = commit_multiplier config.Config.protocol *. t_s in
+  {
+    n = config.Config.n;
+    t_l = 2.0 *. config.Config.mu;
+    t_cpu = config.Config.cpu_op;
+    t_nic = 2.0 *. float_of_int (block_bytes config) /. config.Config.bandwidth;
+    t_q;
+    t_s;
+    t_commit;
+    saturation_rate = float_of_int config.Config.bsize /. t_s;
+  }
+
+let sim_saturation_rate ~config =
+  let cfg : Config.t = config in
+  let n = float_of_int cfg.n in
+  let quorum = float_of_int (Config.quorum_size cfg) in
+  let m = float_of_int (block_bytes cfg) in
+  let batch_cpu = float_of_int cfg.bsize *. cfg.cpu_per_tx in
+  let echo =
+    match cfg.echo with
+    | Some e -> e
+    | None -> cfg.protocol = Config.Streamlet
+  in
+  let fanout_nic = (n -. 1.0) *. m /. cfg.bandwidth in
+  (* Echoing floods every NIC with n-1 block copies in both directions and
+     queues votes behind those bursts; the compounding grows with n
+     (empirically ~ (2 + n/6) serializations on the critical path). *)
+  let echo_nic =
+    if echo then (2.0 +. (n /. 6.0)) *. (n -. 1.0) *. m /. cfg.bandwidth
+    else 0.0
+  in
+  let t_view =
+    (cfg.cpu_op +. batch_cpu) (* propose *)
+    +. fanout_nic (* leader serializes n-1 copies *)
+    +. (m /. cfg.bandwidth) (* receiver NIC *)
+    +. echo_nic (* echo relays through every NIC *)
+    +. cfg.mu +. cfg.extra_delay_mu (* proposal link *)
+    +. (2.0 *. cfg.cpu_op) +. batch_cpu (* verify + vote *)
+    +. cfg.mu +. cfg.extra_delay_mu (* vote link *)
+    +. (quorum *. cfg.cpu_op) (* per-vote verification at the leader *)
+  in
+  float_of_int cfg.bsize /. t_view
+
+let latency m ~rate =
+  if rate <= 0.0 then invalid_arg "Model.latency: rate must be positive";
+  (* M/D/1 (Eq. 5): blocks arrive at each replica at gamma = lambda/(B N);
+     a replica leads every N views on average, so its effective service
+     rate is u = 1/(N t_s). Then rho = gamma/u = lambda t_s / B and
+     w_Q = rho / (2 u (1 - rho)) = rho N t_s / (2 (1 - rho)). *)
+  let rho = rate /. m.saturation_rate in
+  if rho >= 1.0 then None
+  else
+    let w_q =
+      rho *. float_of_int m.n *. m.t_s /. (2.0 *. (1.0 -. rho))
+    in
+    Some (m.t_l +. m.t_s +. m.t_commit +. w_q)
+
+let curve m ~rates =
+  List.filter_map
+    (fun rate ->
+      match latency m ~rate with
+      | Some l -> Some (rate, l)
+      | None -> None)
+    rates

@@ -1,0 +1,57 @@
+(** The queuing-theoretic performance model of paper Section V.
+
+    Estimates happy-path latency and saturation throughput of a cBFT
+    protocol from machine and network parameters:
+
+    - [t_L]: client-replica round trip (= mu).
+    - [t_NIC = 2m/b]: block serialization through sender and receiver NICs.
+    - [t_Q]: quorum-collection delay — the expected [(2N/3 - 1)]-th order
+      statistic of [N-1] i.i.d. normal one-way delays (Section V-B2).
+    - [t_s = 3 t_CPU + 2 t_NIC + t_Q] (Eq. 4): block service time.
+    - [t_commit]: [2 t_s] for HotStuff's three-chain rule, [t_s] for
+      two-chain HotStuff and Streamlet (Section V-D).
+    - [w_Q]: M/D/1 waiting time (Eq. 5) with effective service rate
+      [1/(N t_s)] per replica and block arrival rate [lambda/(n N)].
+    - [latency = t_L + t_s + t_commit + w_Q] (Eq. 3).
+
+    Parameters are drawn from a {!Config.t} so that model and simulator are
+    driven by the same numbers, as in the paper's Fig. 8 comparison. *)
+
+type t = {
+  n : int;  (** Cluster size. *)
+  t_l : float;
+  t_cpu : float;
+  t_nic : float;
+  t_q : float;
+  t_s : float;
+  t_commit : float;
+  saturation_rate : float;
+      (** Transaction arrival rate at which utilization reaches 1. *)
+}
+
+val build : config:Config.t -> t
+(** Derives all building blocks for [config]'s protocol. [t_Q] is computed
+    by deterministic numerical integration
+    ({!Bamboo_util.Dist.order_statistic_mean_numeric}). *)
+
+val t_q_monte_carlo : config:Config.t -> trials:int -> float
+(** The same [t_Q] by Monte Carlo simulation (the paper's alternative);
+    used by tests to cross-validate the numerical integral. *)
+
+val sim_saturation_rate : config:Config.t -> float
+(** Saturation estimate for the {e implementation} rather than the paper's
+    Eq. 4: additionally accounts for the leader serializing [n-1] block
+    copies through its single NIC, per-vote signature verification at the
+    aggregating leader, and (for echoing protocols) the O(n) per-replica
+    echo traffic. The paper's model deliberately omits these (§V-E notes
+    such differences are "captured by the measurements of system
+    parameters"); experiments use this estimate to place workloads below
+    true capacity. *)
+
+val latency : t -> rate:float -> float option
+(** [latency m ~rate] is Eq. 3 at transaction arrival rate [rate] (tx/s);
+    [None] when the system is beyond saturation (utilization >= 1). *)
+
+val curve : t -> rates:float list -> (float * float) list
+(** [(rate, latency)] points for all pre-saturation rates — the model
+    lines of Fig. 8. *)

@@ -1,0 +1,96 @@
+(** The replica engine: wires the block forest, mempool, quorum system,
+    pacemaker and a Safety module into a pure event-driven state machine.
+
+    A node consumes {!input}s (messages, timer expiries, client
+    transactions) and produces {!output}s (messages to transmit, timers to
+    arm, commit/fork notifications). It performs no I/O and never reads a
+    clock, so the same engine runs unchanged under the discrete-event
+    simulator, the threaded channel transport and the TCP transport. *)
+
+open Bamboo_types
+
+type timer =
+  | View_timeout of Ids.view  (** Pacemaker timer for the view. *)
+  | Propose_at of Ids.view
+      (** Deferred proposal under the [Wait_timeout] policy. *)
+
+type input =
+  | Receive of Message.t
+  | Timer of timer
+  | Submit of Tx.t list  (** Client transactions for this replica's pool. *)
+
+type output =
+  | Send of { dst : Ids.replica; msg : Message.t }
+  | Broadcast of Message.t  (** To every replica except this one. *)
+  | Set_timer of { timer : timer; after : float }
+  | Committed of { blocks : Block.t list; trigger_view : Ids.view }
+      (** Newly finalized blocks, by increasing height. [trigger_view] is
+          the view of the QC that satisfied the commit rule; the paper's
+          block-interval metric for block [b] is
+          [trigger_view - b.view + 1]. *)
+  | Forked of Block.t list
+      (** Blocks overwritten (pruned) by the latest commit; their
+          transactions have already been returned to this node's mempool
+          where applicable. *)
+  | Proposed of Block.t  (** This node proposed a block (for metrics). *)
+  | Voted of Block.t
+      (** This node accepted the block as a valid chain extension and voted
+          for it. The paper's chain-growth-rate metric divides committed
+          blocks by blocks appended to the chain, i.e. accepted ones. *)
+
+type t
+
+val create :
+  config:Config.t ->
+  self:Ids.replica ->
+  registry:Bamboo_crypto.Sig.registry ->
+  ?verify_sigs:bool ->
+  ?root:[ `Merkle | `Flat ] ->
+  unit ->
+  t
+(** [verify_sigs] (default true) controls cryptographic verification of
+    incoming votes/QCs/timeouts: the simulator disables it and charges the
+    cost virtually; the transport runtimes keep it on. [root] is passed to
+    {!Bamboo_types.Block.create}. The node's protocol and Byzantine
+    wrapping are taken from [config] ([self < config.byz_no] makes this
+    node Byzantine). *)
+
+val start : t -> output list
+(** Enter view 1: arms the first view timer and, if this node leads view 1,
+    proposes. Must be called exactly once, before any [handle]. *)
+
+val handle : t -> input -> output list
+
+val seen_before : t -> Bamboo_types.Message.t -> bool
+(** Whether an arriving message duplicates one already processed (echoed
+    copies). Read-only; used by runtimes to charge a hash-lookup cost
+    instead of full verification for duplicates. *)
+
+(** {2 Introspection} *)
+
+val self : t -> Ids.replica
+
+val protocol_name : t -> string
+
+val is_byzantine : t -> bool
+
+val current_view : t -> Ids.view
+
+val forest : t -> Bamboo_forest.Forest.t
+
+val mempool_size : t -> int
+
+val high_qc : t -> Qc.t
+
+val locked : t -> (Ids.hash * Ids.view) option
+
+val committed_count : t -> int
+(** Committed blocks excluding genesis. *)
+
+val rejected_txs : t -> int
+(** Transactions refused because the mempool was full. *)
+
+val safety_violation : t -> bool
+(** True if a commit ever conflicted with the finalized prefix — this must
+    never happen while at most [f] replicas are Byzantine; checked by the
+    property tests. *)

@@ -1,0 +1,384 @@
+open Bamboo_types
+module Sim = Bamboo_sim.Sim
+module Machine = Bamboo_sim.Machine
+module Netmodel = Bamboo_sim.Netmodel
+module Rng = Bamboo_util.Rng
+module Dist = Bamboo_util.Dist
+module Forest = Bamboo_forest.Forest
+
+type faults = {
+  fluctuation : (float * float * float * float) option;
+  crash : (int * float) option;
+}
+
+let no_faults = { fluctuation = None; crash = None }
+
+type result = {
+  summary : Metrics.summary;
+  series : (float * float) list;
+  final_views : int array;
+  committed_heights : int array;
+  cpu_utilization : float array;
+  consistent : bool;
+  any_violation : bool;
+}
+
+type tx_record = {
+  target : int; (* replica the client sent the tx to; -1 = broadcast *)
+  issued_at : float;
+  client : int; (* logical client; 0 = open-loop *)
+  mutable completed : bool;
+  mutable counted : bool;
+      (* already counted in the observer's committed-tx metrics; under
+         broadcast submission a tx can legitimately appear in two
+         committed blocks, but must be counted once *)
+}
+
+type st = {
+  config : Config.t;
+  sim : Sim.t;
+  net : Netmodel.t;
+  machines : Machine.t array;
+  nodes : Node.t array;
+  metrics : Metrics.t;
+  observer : int;
+  records : (Tx.id, tx_record) Hashtbl.t;
+  workload_rng : Rng.t;
+  crash : (int * float) option;
+  mutable next_seq : int;
+  mutable reissue : client:int -> after:float -> unit;
+      (* closed-loop continuation, installed by [run] *)
+}
+
+let crashed st id =
+  match st.crash with
+  | Some (r, at) -> r = id && Sim.now st.sim >= at
+  | None -> false
+
+(* CPU cost of validating an incoming message (charged at the receiver):
+   a signature/QC check per the paper's t_CPU, plus per-transaction work
+   for proposals. *)
+let duplicate_cost = 1e-6 (* hash lookup to discard an echoed copy *)
+
+let input_cost (cfg : Config.t) = function
+  | Message.Proposal { block; _ } ->
+      (2.0 *. cfg.cpu_op)
+      +. (float_of_int (List.length block.Block.txs) *. cfg.cpu_per_tx)
+  | Message.Vote _ -> cfg.cpu_op
+  | Message.Timeout _ -> cfg.cpu_op
+  | Message.Request_block _ -> duplicate_cost (* a hash lookup *)
+
+(* CPU cost of producing an outgoing message (charged at the sender).
+   Echo relays (Streamlet) re-send received bytes without signing: no
+   CPU beyond the NIC time. *)
+let output_cost (cfg : Config.t) ~self = function
+  | Message.Proposal { block; _ } when block.Block.proposer = self ->
+      cfg.cpu_op
+      +. (float_of_int (List.length block.Block.txs) *. cfg.cpu_per_tx)
+  | Message.Proposal _ -> 0.0
+  | Message.Vote v -> if v.Vote.voter = self then cfg.cpu_op else 0.0
+  | Message.Timeout tm ->
+      if tm.Timeout_msg.sender = self then cfg.cpu_op else 0.0
+  | Message.Request_block _ -> 0.0
+
+let rec transmit st ~src ~dst msg =
+  if not (crashed st src) then begin
+    let bytes = Message.wire_size msg in
+    Machine.nic_out st.machines.(src) ~bytes (fun () ->
+        if not (Netmodel.drops st.net ~now:(Sim.now st.sim)) then
+        let delay = Netmodel.one_way st.net ~now:(Sim.now st.sim) ~src ~dst in
+        Sim.schedule st.sim ~delay (fun () ->
+            Machine.nic_in st.machines.(dst) ~bytes (fun () ->
+                if not (crashed st dst) then
+                  let cost =
+                    if Node.seen_before st.nodes.(dst) msg then duplicate_cost
+                    else input_cost st.config msg
+                  in
+                  Machine.cpu st.machines.(dst) ~duration:cost (fun () ->
+                      if not (crashed st dst) then
+                        let outs = Node.handle st.nodes.(dst) (Receive msg) in
+                        process_outputs st dst outs))))
+  end
+
+and complete_tx st replica (tx : Tx.t) =
+  match Hashtbl.find_opt st.records tx.Tx.id with
+  | Some rec_
+    when (rec_.target = replica || rec_.target = -1) && not rec_.completed ->
+      rec_.completed <- true;
+      let response = Netmodel.client_rtt st.net ~now:(Sim.now st.sim) /. 2.0 in
+      let done_at = Sim.now st.sim +. response in
+      Metrics.record_latency st.metrics ~now:done_at ~issued_at:rec_.issued_at
+        ~latency:(done_at -. rec_.issued_at);
+      if rec_.client > 0 then st.reissue ~client:rec_.client ~after:response
+  | Some _ | None -> ()
+
+and process_outputs st id outs =
+  let sends = ref [] in
+  let creation = ref 0.0 in
+  List.iter
+    (fun out ->
+      match out with
+      | Node.Send { dst; msg } ->
+          creation := !creation +. output_cost st.config ~self:id msg;
+          sends := (dst, msg) :: !sends
+      | Node.Broadcast msg ->
+          creation := !creation +. output_cost st.config ~self:id msg;
+          for dst = 0 to st.config.n - 1 do
+            if dst <> id then sends := (dst, msg) :: !sends
+          done
+      | Node.Set_timer { timer; after } ->
+          Sim.schedule st.sim ~delay:after (fun () ->
+              if not (crashed st id) then
+                let outs = Node.handle st.nodes.(id) (Timer timer) in
+                process_outputs st id outs)
+      | Node.Committed { blocks; trigger_view } ->
+          List.iter
+            (fun (b : Block.t) -> List.iter (complete_tx st id) b.txs)
+            blocks;
+          if id = st.observer then begin
+            let count_fresh acc (tx : Tx.t) =
+              match Hashtbl.find_opt st.records tx.Tx.id with
+              | Some r when not r.counted ->
+                  r.counted <- true;
+                  acc + 1
+              | Some _ -> acc
+              | None -> acc + 1
+            in
+            let ntxs =
+              List.fold_left
+                (fun acc (b : Block.t) -> List.fold_left count_fresh acc b.txs)
+                0 blocks
+            in
+            Metrics.record_commit st.metrics ~now:(Sim.now st.sim) ~ntxs
+              ~nblocks:(List.length blocks)
+              ~hashes:(List.map (fun (b : Block.t) -> b.hash) blocks);
+            List.iter
+              (fun (b : Block.t) ->
+                Metrics.record_block_interval st.metrics ~now:(Sim.now st.sim)
+                  ~views:(trigger_view - b.view + 1))
+              blocks
+          end
+      | Node.Forked blocks ->
+          if id = st.observer then
+            Metrics.record_fork st.metrics ~now:(Sim.now st.sim)
+              ~nblocks:(List.length blocks)
+              ~hashes:(List.map (fun (b : Block.t) -> b.hash) blocks)
+      | Node.Voted b ->
+          if id = st.observer then
+            Metrics.record_append st.metrics ~now:(Sim.now st.sim)
+              ~hash:b.Block.hash
+      | Node.Proposed _ -> ())
+    outs;
+  let sends = List.rev !sends in
+  if sends <> [] || !creation > 0.0 then
+    Machine.cpu st.machines.(id) ~duration:!creation (fun () ->
+        List.iter (fun (dst, msg) -> transmit st ~src:id ~dst msg) sends)
+
+(* --- client-side transaction issue --- *)
+
+(* [record_target = -1] means any replica's commit completes the tx
+   (broadcast submission). *)
+let record_tx st ~client ~record_target (tx : Tx.t) =
+  Hashtbl.replace st.records tx.Tx.id
+    {
+      target = record_target;
+      issued_at = Sim.now st.sim;
+      client;
+      completed = false;
+      counted = false;
+    }
+
+let send_batch st ~target txs =
+  let now = Sim.now st.sim in
+  let one_way = Netmodel.client_rtt st.net ~now /. 2.0 in
+  Sim.schedule st.sim ~delay:one_way (fun () ->
+      if not (crashed st target) then begin
+        let cost = float_of_int (List.length txs) *. st.config.cpu_per_tx in
+        Machine.cpu st.machines.(target) ~duration:cost (fun () ->
+            if not (crashed st target) then begin
+              let outs = Node.handle st.nodes.(target) (Submit txs) in
+              process_outputs st target outs
+            end)
+      end)
+
+let issue_txs st ~client txs_by_target =
+  List.iter
+    (fun (target, txs) ->
+      List.iter (record_tx st ~client ~record_target:target) txs;
+      send_batch st ~target txs)
+    txs_by_target
+
+let fresh_tx st ~client =
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  Tx.make ~client ~seq ~payload_len:st.config.psize
+
+(* Open-loop Poisson arrivals, generated in 0.5 ms ticks to bound event
+   count at high rates; all transactions of a tick share its timestamp. *)
+let start_open_loop st ~rate ~broadcast =
+  let tick = 0.0005 in
+  let rec tick_fn () =
+    if Sim.now st.sim < st.config.runtime then begin
+      let k = Dist.poisson st.workload_rng ~mean:(rate *. tick) in
+      if k > 0 then begin
+        if broadcast then begin
+          (* Every transaction goes to every replica; any replica's commit
+             completes it. *)
+          let txs = List.init k (fun _ -> fresh_tx st ~client:0) in
+          List.iter (record_tx st ~client:0 ~record_target:(-1)) txs;
+          for target = 0 to st.config.n - 1 do
+            send_batch st ~target txs
+          done
+        end
+        else begin
+          let by_target = Hashtbl.create 8 in
+          for _ = 1 to k do
+            let target = Rng.int st.workload_rng st.config.n in
+            let tx = fresh_tx st ~client:0 in
+            let prev =
+              match Hashtbl.find_opt by_target target with
+              | None -> []
+              | Some l -> l
+            in
+            Hashtbl.replace by_target target (tx :: prev)
+          done;
+          issue_txs st ~client:0
+            (Hashtbl.fold (fun tgt txs acc -> (tgt, txs) :: acc) by_target [])
+        end
+      end;
+      Sim.schedule st.sim ~delay:tick tick_fn
+    end
+  in
+  Sim.schedule st.sim ~delay:0.0 tick_fn
+
+let issue_one st ~client =
+  if Sim.now st.sim < st.config.runtime then begin
+    let target = Rng.int st.workload_rng st.config.n in
+    let tx = fresh_tx st ~client in
+    issue_txs st ~client [ (target, [ tx ]) ]
+  end
+
+let start_closed_loop st ~clients =
+  st.reissue <-
+    (fun ~client ~after ->
+      Sim.schedule st.sim ~delay:after (fun () -> issue_one st ~client));
+  for client = 1 to clients do
+    (* Stagger initial issues across one millisecond. *)
+    let jitter = Rng.float st.workload_rng 0.001 in
+    Sim.schedule st.sim ~delay:jitter (fun () -> issue_one st ~client)
+  done
+
+let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer () =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Runtime.run: " ^ e));
+  let observer =
+    match observer with
+    | Some o -> o
+    | None -> min config.Config.byz_no (config.Config.n - 1)
+  in
+  let master = Rng.create ~seed:config.Config.seed in
+  let net_rng = Rng.split master in
+  let workload_rng = Rng.split master in
+  let sim = Sim.create () in
+  let net =
+    Netmodel.create ~rng:net_rng ~mu:config.Config.mu ~sigma:config.Config.sigma
+      ~extra_mu:config.Config.extra_delay_mu
+      ~extra_sigma:config.Config.extra_delay_sigma ()
+  in
+  (match faults.fluctuation with
+  | Some (from_t, until_t, lo, hi) ->
+      Netmodel.set_fluctuation net ~from_t ~until_t ~lo ~hi
+  | None -> ());
+  if config.Config.loss > 0.0 then
+    Netmodel.set_loss net ~rate:config.Config.loss;
+  let registry =
+    Bamboo_crypto.Sig.setup ~n:config.Config.n ~master:"bamboo-sim"
+  in
+  let machines =
+    Array.init config.Config.n (fun _ ->
+        Machine.create ~sim ~bandwidth:config.Config.bandwidth)
+  in
+  let nodes =
+    Array.init config.Config.n (fun self ->
+        Node.create ~config ~self ~registry ~verify_sigs:false ~root:`Flat ())
+  in
+  let metrics =
+    Metrics.create ~warmup:config.Config.warmup ~horizon:config.Config.runtime
+      ~bucket
+  in
+  let st =
+    {
+      config;
+      sim;
+      net;
+      machines;
+      nodes;
+      metrics;
+      observer;
+      records = Hashtbl.create 4096;
+      workload_rng;
+      crash = faults.crash;
+      next_seq = 0;
+      reissue = (fun ~client:_ ~after:_ -> ());
+    }
+  in
+  (* Boot all replicas. *)
+  Array.iteri (fun id node -> process_outputs st id (Node.start node)) nodes;
+  (* Start the workload. *)
+  (match workload with
+  | Workload.Open_loop { rate; broadcast } ->
+      start_open_loop st ~rate ~broadcast
+  | Workload.Closed_loop { clients } -> start_closed_loop st ~clients);
+  (* Record the observer's view at the warmup boundary. *)
+  let first_view = ref 0 in
+  Sim.schedule st.sim ~delay:config.Config.warmup (fun () ->
+      first_view := Node.current_view nodes.(observer));
+  Sim.run_until sim config.Config.runtime;
+  Metrics.set_view_span metrics ~first:!first_view
+    ~last:(Node.current_view nodes.(observer));
+  let summary =
+    Metrics.summarize metrics
+      ~protocol:(Node.protocol_name nodes.(observer))
+      ~rejected_txs:
+        (Array.fold_left (fun acc n -> acc + Node.rejected_txs n) 0 nodes)
+      ~safety_violation:(Node.safety_violation nodes.(observer))
+  in
+  let final_views = Array.map Node.current_view nodes in
+  let committed_heights =
+    Array.map (fun n -> Forest.committed_height (Node.forest n)) nodes
+  in
+  let cpu_utilization =
+    Array.map
+      (fun m -> Machine.cpu_busy_seconds m /. config.Config.runtime)
+      machines
+  in
+  (* Cross-replica consistency: all committed chains must agree on the
+     common prefix, checked hash-by-hash at each height (paper §III-A). *)
+  let min_height = Array.fold_left min max_int committed_heights in
+  let consistent = ref true in
+  for h = 0 to min_height do
+    let hash_at i =
+      match Forest.committed_at (Node.forest nodes.(i)) h with
+      | Some b -> Some b.Block.hash
+      | None -> None
+    in
+    match hash_at 0 with
+    | None -> consistent := false
+    | Some reference ->
+        for i = 1 to config.Config.n - 1 do
+          match hash_at i with
+          | Some h when String.equal h reference -> ()
+          | Some _ | None -> consistent := false
+        done
+  done;
+  let any_violation = Array.exists Node.safety_violation nodes in
+  {
+    summary;
+    series = Metrics.throughput_series metrics;
+    final_views;
+    committed_heights;
+    cpu_utilization;
+    consistent = !consistent;
+    any_violation;
+  }

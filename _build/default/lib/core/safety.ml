@@ -1,0 +1,32 @@
+open Bamboo_types
+
+type ctx = {
+  n : int;
+  self : Ids.replica;
+  registry : Bamboo_crypto.Sig.registry;
+  quorum : int;
+}
+
+type chain = {
+  forest : Bamboo_forest.Forest.t;
+  qc_of : Ids.hash -> Qc.t option;
+}
+
+type target = { parent : Block.t; justify : Qc.t }
+
+type t = {
+  name : string;
+  propose : view:Ids.view -> tc:Tcert.t option -> target option;
+  should_vote : block:Block.t -> tc:Tcert.t option -> bool;
+  on_vote_sent : Block.t -> unit;
+  on_qc : Qc.t -> Ids.hash option;
+  note_view_abandoned : Ids.view -> unit;
+  high_qc : unit -> Qc.t;
+  timeout_high_qc : unit -> Qc.t;
+  locked : unit -> (Ids.hash * Ids.view) option;
+  last_voted_view : unit -> Ids.view;
+  vote_broadcast : bool;
+  echo : bool;
+}
+
+let genesis_qc = Qc.genesis ~block:Block.genesis_hash

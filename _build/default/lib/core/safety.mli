@@ -1,0 +1,75 @@
+(** The Safety-module API (paper §III-C): "the safety module defines all
+    the interfaces needed to implement the consensus core. It consists of
+    the voting rule, commit rule, state updating rule, and the proposing
+    rule."
+
+    A protocol is a value of type {!t} built against a {!ctx} (static
+    cluster facts) and a {!chain} (read access to the node's block forest
+    and certification map). The node engine owns message plumbing, the
+    forest, the mempool, quorums and the pacemaker; prototyping a protocol
+    means providing the four rules — exactly the shaded boxes of the
+    paper's Figure 4. Byzantine strategies are implemented by wrapping the
+    Proposing rule ({!Byzantine}). *)
+
+open Bamboo_types
+
+type ctx = {
+  n : int;  (** Cluster size. *)
+  self : Ids.replica;
+  registry : Bamboo_crypto.Sig.registry;
+  quorum : int;  (** Quorum threshold (2f+1). *)
+}
+
+type chain = {
+  forest : Bamboo_forest.Forest.t;
+  qc_of : Ids.hash -> Qc.t option;
+      (** Certification map maintained by the node: the QC for a block if
+          any QC for it has been seen ("a block with a valid QC is
+          considered certified"). *)
+}
+
+type target = { parent : Block.t; justify : Qc.t }
+(** What the Proposing rule decides: which block to extend and which QC to
+    embed. The node engine supplies the transaction batch and assembles the
+    actual block. *)
+
+type t = {
+  name : string;
+  propose : view:Ids.view -> tc:Tcert.t option -> target option;
+      (** Proposing rule. [tc] is present when the view was entered through
+          a timeout certificate. [None] means abstain from proposing (the
+          silence strategy). *)
+  should_vote : block:Block.t -> tc:Tcert.t option -> bool;
+      (** Voting rule for a structurally valid block of the current view
+          whose parent is present in the forest. *)
+  on_vote_sent : Block.t -> unit;
+      (** State-updating hook: called right after the node casts a vote
+          (advances the last-voted view). *)
+  on_qc : Qc.t -> Ids.hash option;
+      (** State-updating + commit rule: called exactly once per newly
+          certified block (QCs arrive via vote aggregation, embedded
+          [justify] pointers, or timeout certificates). Returns the hash of
+          a block that the commit rule now finalizes, if any. *)
+  note_view_abandoned : Ids.view -> unit;
+      (** Called when the pacemaker abandons a view after a local timeout;
+          the protocol must never vote in that view afterwards. *)
+  high_qc : unit -> Qc.t;
+      (** Highest QC known (the [hQC] state variable). *)
+  timeout_high_qc : unit -> Qc.t;
+      (** The QC advertised in pacemaker TIMEOUT messages. Honest protocols
+          return {!high_qc}; Byzantine wrappers return only the highest
+          {e publicly embedded} QC so that a withheld certificate is not
+          leaked through the pacemaker. *)
+  locked : unit -> (Ids.hash * Ids.view) option;
+      (** The locked block, for tests and tracing; [None] when the protocol
+          has no lock concept (Streamlet). *)
+  last_voted_view : unit -> Ids.view;
+  vote_broadcast : bool;
+      (** Votes go to everyone (Streamlet) instead of the next leader. *)
+  echo : bool;
+      (** Re-broadcast first receipt of proposals and votes (Streamlet's
+          O(n^3) echoing). *)
+}
+
+val genesis_qc : Qc.t
+(** The QC certifying the genesis block. *)

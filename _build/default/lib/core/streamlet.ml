@@ -1,0 +1,93 @@
+open Bamboo_types
+module Forest = Bamboo_forest.Forest
+
+type state = {
+  mutable lv_view : Ids.view;
+  mutable high_qc : Qc.t;
+  mutable best_tip : Ids.hash; (* tip of the longest notarized chain *)
+  mutable best_height : Ids.height;
+}
+
+let make (_ctx : Safety.ctx) (chain : Safety.chain) : Safety.t =
+  let st =
+    {
+      lv_view = 0;
+      high_qc = Safety.genesis_qc;
+      best_tip = Block.genesis_hash;
+      best_height = 0;
+    }
+  in
+  let propose ~view:_ ~tc:_ =
+    match Forest.find chain.forest st.best_tip with
+    | None -> None
+    | Some parent -> (
+        match chain.qc_of parent.hash with
+        | Some justify -> Some Safety.{ parent; justify }
+        | None -> None)
+  in
+  let should_vote ~(block : Block.t) ~tc:_ =
+    (* First proposal of the view, extending a longest notarized chain:
+       the parent must be notarized and of maximal notarized height. *)
+    block.view > st.lv_view
+    && chain.qc_of block.parent <> None
+    && block.height > st.best_height
+  in
+  let on_vote_sent (block : Block.t) = st.lv_view <- max st.lv_view block.view in
+  let on_qc (qc : Qc.t) =
+    st.high_qc <- Qc.max_by_view st.high_qc qc;
+    if qc.height > st.best_height then begin
+      st.best_height <- qc.height;
+      st.best_tip <- qc.block
+    end;
+    (* Commit rule: three notarized blocks in consecutive views, directly
+       linked, finalize the middle one (and thus the first two of the
+       three plus their prefix). QCs can be assembled out of order, so the
+       newly notarized block is tried both as the tip and as the middle of
+       a triple. *)
+    let notarized (b : Block.t) = chain.qc_of b.hash <> None in
+    let as_tip (b : Block.t) =
+      match Forest.parent chain.forest b with
+      | None -> None
+      | Some p -> (
+          match Forest.parent chain.forest p with
+          | None -> None
+          | Some g ->
+              if
+                notarized p && notarized g
+                && p.view = b.view - 1
+                && g.view = p.view - 1
+                && p.height > 0
+              then Some p.hash
+              else None)
+    in
+    let as_middle (b : Block.t) =
+      match Forest.parent chain.forest b with
+      | None -> None
+      | Some g ->
+          if notarized g && g.view = b.view - 1 && b.height > 0 then
+            List.find_map
+              (fun (c : Block.t) ->
+                if notarized c && c.view = b.view + 1 then Some b.hash else None)
+              (Forest.children chain.forest b.hash)
+          else None
+    in
+    match Forest.find chain.forest qc.block with
+    | None -> None
+    | Some b -> ( match as_tip b with Some h -> Some h | None -> as_middle b)
+  in
+  let note_view_abandoned view = st.lv_view <- max st.lv_view view in
+  Safety.
+    {
+      name = "streamlet";
+      propose;
+      should_vote;
+      on_vote_sent;
+      on_qc;
+      note_view_abandoned;
+      high_qc = (fun () -> st.high_qc);
+      timeout_high_qc = (fun () -> st.high_qc);
+      locked = (fun () -> None);
+      last_voted_view = (fun () -> st.lv_view);
+      vote_broadcast = true;
+      echo = true;
+    }

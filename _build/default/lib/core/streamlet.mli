@@ -1,0 +1,17 @@
+(** Streamlet (paper §II-D), adapted — as the paper does — to Bamboo's
+    pacemaker in place of the original synchronized 2-Delta clocks.
+
+    - State: the notarized chains (blocks with QCs) and the tip of the
+      longest one.
+    - Proposing: build on the tip of the longest notarized chain.
+    - Voting: vote for the first proposal of the view, only if it extends a
+      longest notarized chain; votes are {e broadcast}.
+    - Commit: three notarized blocks in {e consecutive} views finalize the
+      first two and their prefix.
+
+    All proposals and votes are echoed by every replica (O(n^3) messages),
+    which buys immunity to forking: honest replicas only ever vote on the
+    longest notarized chain, so an attacker cannot displace it in a
+    synchronous network. *)
+
+val make : Safety.ctx -> Safety.chain -> Safety.t

@@ -1,0 +1,285 @@
+open Bamboo_types
+module Forest = Bamboo_forest.Forest
+
+type report = {
+  duration : float;
+  committed_txs : int;
+  committed_blocks : int array;
+  throughput : float;
+  latency_mean : float;
+  latency_count : int;
+  consistent : bool;
+  kv_consistent : bool;
+  any_violation : bool;
+}
+
+type shared = {
+  mutex : Mutex.t;
+  issue_times : (Tx.id, float) Hashtbl.t;
+  mutable latency_total : float;
+  mutable latency_count : int;
+  mutable committed : Tx.Id_set.t;
+  mutable stop : bool;
+}
+
+module Make (T : Bamboo_network.Transport.S) = struct
+  type replica_ctx = {
+    node : Node.t;
+    endpoint : T.t;
+    node_mutex : Mutex.t;
+    kv : Kvstore.t;
+    mutable timers : (float * Node.timer) list; (* sorted by deadline *)
+  }
+
+  type cluster = {
+    config : Config.t;
+    shared : shared;
+    replicas : replica_ctx array;
+    threads : Thread.t list;
+    started_at : float;
+  }
+
+  let insert_timer ctx at timer =
+    let rec ins = function
+      | [] -> [ (at, timer) ]
+      | (t, _) :: _ as rest when at < t -> (at, timer) :: rest
+      | entry :: rest -> entry :: ins rest
+    in
+    ctx.timers <- ins ctx.timers
+
+  (* Apply node outputs: transmit messages, arm timers, record commits and
+     execute committed transactions. Called with [ctx.node_mutex] held. *)
+  let rec apply shared ctx outs =
+    List.iter
+      (fun out ->
+        match out with
+        | Node.Send { dst; msg } -> T.send ctx.endpoint ~dst msg
+        | Node.Broadcast msg -> T.broadcast ctx.endpoint msg
+        | Node.Set_timer { timer; after } ->
+            insert_timer ctx (Unix.gettimeofday () +. after) timer
+        | Node.Committed { blocks; _ } ->
+            let now = Unix.gettimeofday () in
+            List.iter
+              (fun (b : Block.t) ->
+                List.iter
+                  (fun (tx : Tx.t) -> ignore (Kvstore.apply_tx ctx.kv tx))
+                  b.txs)
+              blocks;
+            Mutex.lock shared.mutex;
+            List.iter
+              (fun (b : Block.t) ->
+                List.iter
+                  (fun (tx : Tx.t) ->
+                    if not (Tx.Id_set.mem tx.id shared.committed) then begin
+                      shared.committed <- Tx.Id_set.add tx.id shared.committed;
+                      match Hashtbl.find_opt shared.issue_times tx.id with
+                      | Some t0 ->
+                          shared.latency_total <-
+                            shared.latency_total +. (now -. t0);
+                          shared.latency_count <- shared.latency_count + 1
+                      | None -> ()
+                    end)
+                  b.txs)
+              blocks;
+            Mutex.unlock shared.mutex
+        | Node.Forked _ | Node.Proposed _ | Node.Voted _ -> ())
+      outs;
+    fire_due shared ctx
+
+  and fire_due shared ctx =
+    let now = Unix.gettimeofday () in
+    match ctx.timers with
+    | (at, timer) :: rest when at <= now ->
+        ctx.timers <- rest;
+        let outs = Node.handle ctx.node (Timer timer) in
+        apply shared ctx outs
+    | _ :: _ | [] -> ()
+
+  let replica_loop shared ctx =
+    Mutex.lock ctx.node_mutex;
+    apply shared ctx (Node.start ctx.node);
+    Mutex.unlock ctx.node_mutex;
+    while not shared.stop do
+      let now = Unix.gettimeofday () in
+      let timeout_s =
+        match ctx.timers with
+        | (at, _) :: _ -> Float.max 0.0 (Float.min 0.02 (at -. now))
+        | [] -> 0.02
+      in
+      let msg = T.recv ctx.endpoint ~timeout_s in
+      Mutex.lock ctx.node_mutex;
+      (match msg with
+      | Some m -> apply shared ctx (Node.handle ctx.node (Receive m))
+      | None -> fire_due shared ctx);
+      Mutex.unlock ctx.node_mutex
+    done
+
+  let start ~config ~endpoints =
+    if Array.length endpoints <> config.Config.n then
+      invalid_arg "Threaded_runtime.start: endpoint count mismatch";
+    let registry =
+      Bamboo_crypto.Sig.setup ~n:config.Config.n ~master:"bamboo-threaded"
+    in
+    let shared =
+      {
+        mutex = Mutex.create ();
+        issue_times = Hashtbl.create 1024;
+        latency_total = 0.0;
+        latency_count = 0;
+        committed = Tx.Id_set.empty;
+        stop = false;
+      }
+    in
+    let replicas =
+      Array.init config.Config.n (fun self ->
+          {
+            node = Node.create ~config ~self ~registry ();
+            endpoint = endpoints.(self);
+            node_mutex = Mutex.create ();
+            kv = Kvstore.create ();
+            timers = [];
+          })
+    in
+    let threads =
+      Array.to_list
+        (Array.map
+           (fun ctx -> Thread.create (replica_loop shared) ctx)
+           replicas)
+    in
+    {
+      config;
+      shared;
+      replicas;
+      threads;
+      started_at = Unix.gettimeofday ();
+    }
+
+  let submit cluster ~replica txs =
+    if replica < 0 || replica >= Array.length cluster.replicas then
+      invalid_arg "Threaded_runtime.submit: replica out of range";
+    let now = Unix.gettimeofday () in
+    Mutex.lock cluster.shared.mutex;
+    List.iter
+      (fun (tx : Tx.t) ->
+        Hashtbl.replace cluster.shared.issue_times tx.id now)
+      txs;
+    Mutex.unlock cluster.shared.mutex;
+    let ctx = cluster.replicas.(replica) in
+    Mutex.lock ctx.node_mutex;
+    apply cluster.shared ctx (Node.handle ctx.node (Submit txs));
+    Mutex.unlock ctx.node_mutex
+
+  let tx_committed cluster id =
+    Mutex.lock cluster.shared.mutex;
+    let c = Tx.Id_set.mem id cluster.shared.committed in
+    Mutex.unlock cluster.shared.mutex;
+    c
+
+  let committed_txs cluster =
+    Mutex.lock cluster.shared.mutex;
+    let n = Tx.Id_set.cardinal cluster.shared.committed in
+    Mutex.unlock cluster.shared.mutex;
+    n
+
+  let kv_get cluster ~replica key =
+    let ctx = cluster.replicas.(replica) in
+    Mutex.lock ctx.node_mutex;
+    let v = Kvstore.get ctx.kv key in
+    Mutex.unlock ctx.node_mutex;
+    v
+
+  let kv_state_hash cluster ~replica =
+    let ctx = cluster.replicas.(replica) in
+    Mutex.lock ctx.node_mutex;
+    let h = Kvstore.state_hash ctx.kv in
+    Mutex.unlock ctx.node_mutex;
+    h
+
+  let wait_committed cluster ~count ~timeout_s =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec loop () =
+      if committed_txs cluster >= count then true
+      else if Unix.gettimeofday () > deadline then false
+      else begin
+        Thread.delay 0.005;
+        loop ()
+      end
+    in
+    loop ()
+
+  let stop cluster =
+    cluster.shared.stop <- true;
+    Array.iter (fun ctx -> T.close ctx.endpoint) cluster.replicas;
+    List.iter Thread.join cluster.threads;
+    let elapsed = Unix.gettimeofday () -. cluster.started_at in
+    let shared = cluster.shared in
+    let replicas = cluster.replicas in
+    let committed_blocks =
+      Array.map (fun ctx -> Node.committed_count ctx.node) replicas
+    in
+    (* Consistency: committed chains agree on the common prefix. *)
+    let heights =
+      Array.map
+        (fun ctx -> Forest.committed_height (Node.forest ctx.node))
+        replicas
+    in
+    let min_height = Array.fold_left min max_int heights in
+    let consistent = ref true in
+    for h = 0 to min_height do
+      match Forest.committed_at (Node.forest replicas.(0).node) h with
+      | None -> consistent := false
+      | Some reference ->
+          Array.iter
+            (fun ctx ->
+              match Forest.committed_at (Node.forest ctx.node) h with
+              | Some b when Block.equal b reference -> ()
+              | Some _ | None -> consistent := false)
+            replicas
+    done;
+    (* Execution-layer agreement: replicas at the same committed height
+       must hold byte-identical stores. *)
+    let kv_consistent = ref true in
+    let reference_height = heights.(0) in
+    let reference_hash = Kvstore.state_hash replicas.(0).kv in
+    Array.iteri
+      (fun i ctx ->
+        if i > 0 && heights.(i) = reference_height then
+          if not (String.equal (Kvstore.state_hash ctx.kv) reference_hash) then
+            kv_consistent := false)
+      replicas;
+    {
+      duration = elapsed;
+      committed_txs = Tx.Id_set.cardinal shared.committed;
+      committed_blocks;
+      throughput = float_of_int (Tx.Id_set.cardinal shared.committed) /. elapsed;
+      latency_mean =
+        (if shared.latency_count = 0 then 0.0
+         else shared.latency_total /. float_of_int shared.latency_count);
+      latency_count = shared.latency_count;
+      consistent = !consistent;
+      kv_consistent = !kv_consistent;
+      any_violation =
+        Array.exists (fun ctx -> Node.safety_violation ctx.node) replicas;
+    }
+
+  let run ~config ~endpoints ~duration ~rate () =
+    let cluster = start ~config ~endpoints in
+    let rng = Bamboo_util.Rng.create ~seed:(config.Config.seed + 1000) in
+    let seq = ref 0 in
+    let batch_interval = 0.002 in
+    let deadline = Unix.gettimeofday () +. duration in
+    while Unix.gettimeofday () < deadline do
+      let k = Bamboo_util.Dist.poisson rng ~mean:(rate *. batch_interval) in
+      if k > 0 then begin
+        let target = Bamboo_util.Rng.int rng config.Config.n in
+        let txs =
+          List.init k (fun _ ->
+              incr seq;
+              Tx.make ~client:1 ~seq:!seq ~payload_len:config.Config.psize)
+        in
+        submit cluster ~replica:target txs
+      end;
+      Thread.delay batch_interval
+    done;
+    stop cluster
+end

@@ -1,0 +1,63 @@
+(** Wall-clock runtime: drives a cluster of {!Node}s over a real
+    {!Bamboo_network.Transport} backend (in-process channels or TCP
+    sockets) with OS threads and real timers.
+
+    This is the deployment counterpart of the simulator — same engine, no
+    modelling: real SHA-256 hashing, real HMAC signature verification, real
+    sockets when the TCP transport is used, and the {!Kvstore} execution
+    layer applied to every committed transaction. Used by the integration
+    tests, the deployment example and the REST server; the paper's
+    experiments use {!Runtime}. *)
+
+type report = {
+  duration : float;  (** Wall-clock seconds measured. *)
+  committed_txs : int;  (** Distinct transactions committed. *)
+  committed_blocks : int array;  (** Per replica. *)
+  throughput : float;
+  latency_mean : float;  (** Seconds, across completed transactions. *)
+  latency_count : int;
+  consistent : bool;  (** Cross-replica committed-prefix agreement. *)
+  kv_consistent : bool;
+      (** All replicas' key-value stores hash identically (for equal
+          committed heights this must hold; replicas still catching up are
+          compared on the common prefix count only when equal). *)
+  any_violation : bool;
+}
+
+module Make (T : Bamboo_network.Transport.S) : sig
+  type cluster
+
+  val start : config:Config.t -> endpoints:T.t array -> cluster
+  (** Spawns one thread per replica; nodes begin proposing immediately.
+      [endpoints] must have length [config.n] and be interconnected. *)
+
+  val submit : cluster -> replica:int -> Bamboo_types.Tx.t list -> unit
+  (** Injects client transactions at a replica (thread-safe). Transactions
+      are tracked for latency from this call until their commit. *)
+
+  val committed_txs : cluster -> int
+
+  val tx_committed : cluster -> Bamboo_types.Tx.id -> bool
+
+  val kv_get : cluster -> replica:int -> string -> string option
+  (** Reads the replica's executed key-value state. *)
+
+  val kv_state_hash : cluster -> replica:int -> string
+
+  val wait_committed : cluster -> count:int -> timeout_s:float -> bool
+  (** Blocks until at least [count] distinct transactions have committed,
+      or the timeout elapses; returns whether the count was reached. *)
+
+  val stop : cluster -> report
+  (** Stops all threads, closes the endpoints, and reports. *)
+
+  val run :
+    config:Config.t ->
+    endpoints:T.t array ->
+    duration:float ->
+    rate:float ->
+    unit ->
+    report
+  (** Convenience: [start], drive a Poisson open-loop client at [rate]
+      tx/s for [duration] wall-clock seconds, [stop]. *)
+end

@@ -1,0 +1,3 @@
+let make ctx chain =
+  Chained_common.make ~name:"twochain" ~lock_chain:1 ~commit_chain:2
+    ~tc_responsive:false ctx chain

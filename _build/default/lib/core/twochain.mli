@@ -1,0 +1,8 @@
+(** Two-chain HotStuff (2CHS, paper §II-C): HotStuff with the lock on the
+    head of the highest one-chain and a two-chain commit rule, like
+    Tendermint and Casper. One round of voting cheaper than HotStuff but
+    not responsive: after a view change a leader should wait out the
+    maximal network delay (the [Wait_timeout] propose policy) to guarantee
+    progress. *)
+
+val make : Safety.ctx -> Safety.chain -> Safety.t

@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key]. *)
+
+val mac_hex : key:string -> string -> string
+
+val verify : key:string -> tag:string -> string -> bool
+(** Constant-time comparison of [tag] against the recomputed MAC. *)

@@ -1,0 +1,28 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch on int32 words.
+
+    Blocks are content-addressed by this hash (the paper's chains are
+    "cryptographically linked together by hashes"). Both one-shot and
+    incremental interfaces are provided; the incremental form is used by the
+    wire codec to hash streamed fields without concatenation. *)
+
+type ctx
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs all of [s]. May be called repeatedly. *)
+
+val feed_sub : ctx -> string -> pos:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** [finalize ctx] is the 32-byte raw digest. The context must not be used
+    afterwards. *)
+
+val digest : string -> string
+(** One-shot 32-byte raw digest. *)
+
+val hex : string -> string
+(** Lowercase hex rendering of a raw digest (or any string). *)
+
+val digest_hex : string -> string
+(** [digest_hex s = hex (digest s)]. *)

@@ -1,0 +1,1 @@
+lib/forest/forest.ml: Bamboo_types Block Hashtbl Ids List String

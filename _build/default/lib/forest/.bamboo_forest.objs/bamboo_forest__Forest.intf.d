@@ -1,0 +1,1 @@
+lib/forest/forest.mli: Bamboo_types Block Ids

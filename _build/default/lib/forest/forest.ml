@@ -1,0 +1,170 @@
+open Bamboo_types
+
+type t = {
+  blocks : (Ids.hash, Block.t) Hashtbl.t; (* uncommitted vertices *)
+  children : (Ids.hash, Ids.hash list) Hashtbl.t;
+  mutable committed : Block.t list; (* newest first, genesis last *)
+  mutable committed_by_hash : (Ids.hash, Block.t) Hashtbl.t;
+  mutable committed_by_height : (Ids.height, Block.t) Hashtbl.t;
+}
+
+type add_result = Added | Duplicate | Missing_parent | Below_prune_horizon
+
+type commit_error =
+  | Unknown_block
+  | Conflicts_with_committed
+  | Already_committed
+
+let create () =
+  let t =
+    {
+      blocks = Hashtbl.create 64;
+      children = Hashtbl.create 64;
+      committed = [ Block.genesis ];
+      committed_by_hash = Hashtbl.create 64;
+      committed_by_height = Hashtbl.create 64;
+    }
+  in
+  Hashtbl.add t.committed_by_hash Block.genesis.hash Block.genesis;
+  Hashtbl.add t.committed_by_height 0 Block.genesis;
+  t
+
+let last_committed t =
+  match t.committed with
+  | head :: _ -> head
+  | [] -> assert false
+
+let committed_height t = (last_committed t).Block.height
+
+let committed_count t = List.length t.committed
+
+let committed_at t h = Hashtbl.find_opt t.committed_by_height h
+
+let find t h =
+  match Hashtbl.find_opt t.blocks h with
+  | Some b -> Some b
+  | None -> Hashtbl.find_opt t.committed_by_hash h
+
+let mem t h = Hashtbl.mem t.blocks h || Hashtbl.mem t.committed_by_hash h
+
+let parent t (b : Block.t) = find t b.parent
+
+let children t h =
+  match Hashtbl.find_opt t.children h with
+  | None -> []
+  | Some hs -> List.filter_map (Hashtbl.find_opt t.blocks) hs
+
+let size t = Hashtbl.length t.blocks
+
+let add_child t ~parent ~child =
+  let existing =
+    match Hashtbl.find_opt t.children parent with None -> [] | Some l -> l
+  in
+  Hashtbl.replace t.children parent (child :: existing)
+
+let add t (b : Block.t) =
+  if mem t b.hash then Duplicate
+  else begin
+    let head = last_committed t in
+    (* A valid extension must be strictly above the committed height and,
+       if its parent is committed, that parent must be the committed
+       head; anything else can never be committed and is dropped. *)
+    if b.height <= head.height then Below_prune_horizon
+    else
+      match Hashtbl.find_opt t.committed_by_hash b.parent with
+      | Some p ->
+          if String.equal p.hash head.hash then begin
+            Hashtbl.add t.blocks b.hash b;
+            add_child t ~parent:b.parent ~child:b.hash;
+            Added
+          end
+          else Below_prune_horizon
+      | None ->
+          if Hashtbl.mem t.blocks b.parent then begin
+            Hashtbl.add t.blocks b.hash b;
+            add_child t ~parent:b.parent ~child:b.hash;
+            Added
+          end
+          else Missing_parent
+  end
+
+let extends t ~descendant ~ancestor =
+  let rec walk h =
+    if String.equal h ancestor then true
+    else
+      match find t h with
+      | None -> false
+      | Some b ->
+          if b.height = 0 then false (* genesis reached without a match *)
+          else walk b.parent
+  in
+  walk descendant
+
+let commit t target =
+  match Hashtbl.find_opt t.blocks target with
+  | None ->
+      if Hashtbl.mem t.committed_by_hash target then Error Already_committed
+      else Error Unknown_block
+  | Some block ->
+      let head = last_committed t in
+      (* Collect the uncommitted path from [target] down to the committed
+         head. *)
+      let rec path acc (b : Block.t) =
+        if String.equal b.parent head.Block.hash then Some (b :: acc)
+        else
+          match Hashtbl.find_opt t.blocks b.parent with
+          | Some p -> path (b :: acc) p
+          | None -> None
+      in
+      (match path [] block with
+      | None -> Error Conflicts_with_committed
+      | Some newly ->
+          (* Move the path into the committed chain. *)
+          List.iter
+            (fun (b : Block.t) ->
+              Hashtbl.remove t.blocks b.hash;
+              Hashtbl.add t.committed_by_hash b.hash b;
+              Hashtbl.add t.committed_by_height b.height b;
+              t.committed <- b :: t.committed)
+            newly;
+          let new_head = last_committed t in
+          (* Prune: every surviving vertex must descend from the new head.
+             Walk parents; reaching any other committed block (or a removed
+             one) means the branch is dead. *)
+          let descends_from_head (b : Block.t) =
+            let rec walk h =
+              if String.equal h new_head.Block.hash then true
+              else
+                match Hashtbl.find_opt t.blocks h with
+                | Some b -> walk b.Block.parent
+                | None -> false
+            in
+            walk b.Block.hash
+          in
+          let dead =
+            Hashtbl.fold
+              (fun _ b acc -> if descends_from_head b then acc else b :: acc)
+              t.blocks []
+          in
+          List.iter
+            (fun (b : Block.t) ->
+              Hashtbl.remove t.blocks b.hash;
+              Hashtbl.remove t.children b.hash)
+            dead;
+          let by_height (a : Block.t) (b : Block.t) = compare a.height b.height in
+          Ok (newly, List.sort by_height dead))
+
+let fold_uncommitted t f init =
+  Hashtbl.fold (fun _ b acc -> f acc b) t.blocks init
+
+let tip_candidates t =
+  let leaves =
+    Hashtbl.fold
+      (fun h b acc -> if children t h = [] then b :: acc else acc)
+      t.blocks []
+  in
+  let head = last_committed t in
+  let leaves = if leaves = [] then [ head ] else leaves in
+  List.sort
+    (fun (a : Block.t) (b : Block.t) -> compare b.height a.height)
+    leaves

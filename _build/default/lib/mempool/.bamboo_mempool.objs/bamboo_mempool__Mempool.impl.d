@@ -1,0 +1,1 @@
+lib/mempool/mempool.ml: Bamboo_types Bamboo_util Hashtbl List Tx

@@ -1,0 +1,1 @@
+lib/mempool/mempool.mli: Bamboo_types Tx

@@ -1,0 +1,75 @@
+open Bamboo_types
+module Deque = Bamboo_util.Deque
+
+type status = Queued | In_flight | Committed
+
+type t = {
+  queue : Tx.t Deque.t;
+  status : (Tx.id, status) Hashtbl.t;
+  cap : int;
+}
+
+let create ?(capacity = 1000) () =
+  if capacity <= 0 then invalid_arg "Mempool.create: capacity must be positive";
+  { queue = Deque.create (); status = Hashtbl.create 256; cap = capacity }
+
+let length t = Deque.length t.queue
+let is_empty t = Deque.is_empty t.queue
+let capacity t = t.cap
+
+let add t (tx : Tx.t) =
+  if Deque.length t.queue >= t.cap then false
+  else if Hashtbl.mem t.status tx.id then false
+  else begin
+    Hashtbl.add t.status tx.id Queued;
+    Deque.push_back t.queue tx;
+    true
+  end
+
+let requeue_front t txs =
+  (* Preserve relative order: pushing front in reverse keeps the original
+     order at the head of the queue. *)
+  let count = ref 0 in
+  List.iter
+    (fun (tx : Tx.t) ->
+      match Hashtbl.find_opt t.status tx.id with
+      | Some Committed | Some Queued -> ()
+      | None ->
+          (* Not from this replica's pool: the forked block was proposed by
+             another node; its proposer re-queues it there. *)
+          ()
+      | Some In_flight ->
+          if Deque.length t.queue < t.cap then begin
+            Hashtbl.replace t.status tx.id Queued;
+            Deque.push_front t.queue tx;
+            incr count
+          end
+          else Hashtbl.remove t.status tx.id)
+    (List.rev txs);
+  !count
+
+let batch t ~max =
+  if max < 0 then invalid_arg "Mempool.batch: negative max";
+  let rec take acc k =
+    if k = 0 then List.rev acc
+    else
+      match Deque.pop_front t.queue with
+      | None -> List.rev acc
+      | Some tx -> (
+          (* A queued tx may have been committed meanwhile through a block
+             proposed elsewhere (client-broadcast mode); skip it. *)
+          match Hashtbl.find_opt t.status tx.Tx.id with
+          | Some Committed -> take acc k
+          | Some Queued | Some In_flight | None ->
+              Hashtbl.replace t.status tx.Tx.id In_flight;
+              take (tx :: acc) (k - 1))
+  in
+  take [] max
+
+let forget t txs =
+  List.iter (fun (tx : Tx.t) -> Hashtbl.replace t.status tx.Tx.id Committed) txs
+
+let contains t id =
+  match Hashtbl.find_opt t.status id with
+  | Some Queued | Some In_flight -> true
+  | Some Committed | None -> false

@@ -1,0 +1,48 @@
+(** The memory pool (paper §III-E): "a bidirectional queue in which new
+    transactions are inserted from the back while old transactions (from
+    forked blocks) are inserted from the front. Each node maintains a local
+    memory pool to avoid duplication check."
+
+    Capacity is the [memsize] parameter of Table I; adds beyond capacity
+    are rejected so that client back-pressure can be modelled. Transactions
+    batched into a proposal stay out of the pool unless explicitly returned
+    ([requeue_front]) when their block is overwritten by a fork, or dropped
+    for good ([forget]) once a block commits. *)
+
+open Bamboo_types
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1000 (the paper's [memsize] default). *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val capacity : t -> int
+
+val add : t -> Tx.t -> bool
+(** [add t tx] enqueues a fresh transaction at the back. Returns [false]
+    (and leaves the pool unchanged) when the pool is full or [tx] is
+    already present or in flight. *)
+
+val requeue_front : t -> Tx.t list -> int
+(** [requeue_front t txs] returns transactions recovered from forked
+    blocks to the front of the queue, preserving their relative order.
+    Only transactions this pool batched ([In_flight]) are re-inserted;
+    committed, still-queued, foreign, or over-capacity transactions are
+    skipped. Returns how many were re-inserted. *)
+
+val batch : t -> max:int -> Tx.t list
+(** [batch t ~max] removes up to [max] transactions from the front for
+    inclusion in a block ("the proposer batches all the transactions in the
+    memory pool if the amount is less than the target block size"). The
+    taken transactions are remembered as in-flight for deduplication. *)
+
+val forget : t -> Tx.t list -> unit
+(** [forget t txs] marks transactions as durably committed: they will never
+    be accepted or re-queued again. *)
+
+val contains : t -> Tx.id -> bool
+(** Whether the id is queued or in flight (not yet forgotten). *)

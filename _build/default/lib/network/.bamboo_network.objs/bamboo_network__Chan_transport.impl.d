@@ -1,0 +1,1 @@
+lib/network/chan_transport.ml: Array Bamboo_types Condition Float Mutex Queue Thread Unix

@@ -1,0 +1,1 @@
+lib/network/chan_transport.mli: Transport

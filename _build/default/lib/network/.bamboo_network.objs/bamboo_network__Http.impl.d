@@ -1,0 +1,1 @@
+lib/network/http.ml: Bytes List Printexc Printf String Thread Unix

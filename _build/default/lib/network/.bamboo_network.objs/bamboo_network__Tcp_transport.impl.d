@@ -1,0 +1,1 @@
+lib/network/tcp_transport.ml: Bamboo_types Bytes Codec Float Int32 List Message Mutex Queue String Thread Unix

@@ -1,0 +1,1 @@
+lib/network/tcp_transport.mli: Transport Unix

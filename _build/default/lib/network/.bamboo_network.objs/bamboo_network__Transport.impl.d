@@ -1,0 +1,1 @@
+lib/network/transport.ml: Bamboo_types

@@ -1,0 +1,1 @@
+lib/network/transport.mli: Bamboo_types

@@ -1,0 +1,79 @@
+type endpoint_state = {
+  id : int;
+  queue : Bamboo_types.Message.t Queue.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable closed : bool;
+}
+
+type cluster = { endpoints : endpoint_state array }
+
+type t = { state : endpoint_state; cluster : cluster }
+
+let create_cluster ~n =
+  if n <= 0 then invalid_arg "Chan_transport.create_cluster: n must be positive";
+  {
+    endpoints =
+      Array.init n (fun id ->
+          {
+            id;
+            queue = Queue.create ();
+            mutex = Mutex.create ();
+            cond = Condition.create ();
+            closed = false;
+          });
+  }
+
+let endpoint cluster id =
+  if id < 0 || id >= Array.length cluster.endpoints then
+    invalid_arg "Chan_transport.endpoint: id out of range";
+  { state = cluster.endpoints.(id); cluster }
+
+let self t = t.state.id
+let n t = Array.length t.cluster.endpoints
+
+let send t ~dst msg =
+  if dst < 0 || dst >= n t then invalid_arg "Chan_transport.send: bad destination";
+  let ep = t.cluster.endpoints.(dst) in
+  Mutex.lock ep.mutex;
+  if not ep.closed then begin
+    Queue.push msg ep.queue;
+    Condition.signal ep.cond
+  end;
+  Mutex.unlock ep.mutex
+
+let broadcast t msg =
+  Array.iter
+    (fun ep -> if ep.id <> t.state.id then send t ~dst:ep.id msg)
+    t.cluster.endpoints
+
+let recv t ~timeout_s =
+  let ep = t.state in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  Mutex.lock ep.mutex;
+  let rec wait () =
+    if ep.closed then None
+    else if not (Queue.is_empty ep.queue) then Some (Queue.pop ep.queue)
+    else begin
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then None
+      else begin
+        (* Condition variables lack timed wait in the stdlib; poll at a
+           granularity fine enough for protocol timers. *)
+        Mutex.unlock ep.mutex;
+        Thread.delay (Float.min remaining 0.001);
+        Mutex.lock ep.mutex;
+        wait ()
+      end
+    end
+  in
+  let result = wait () in
+  Mutex.unlock ep.mutex;
+  result
+
+let close t =
+  let ep = t.state in
+  Mutex.lock ep.mutex;
+  ep.closed <- true;
+  Condition.broadcast ep.cond;
+  Mutex.unlock ep.mutex

@@ -1,0 +1,15 @@
+(** In-process channel transport: every replica endpoint is a thread-safe
+    queue, so a whole cluster runs inside one process with real OS threads.
+    This is the analogue of Bamboo's Go-channel transport for
+    "single-machine simulation" (paper §III-E). *)
+
+type cluster
+
+type t
+
+val create_cluster : n:int -> cluster
+(** Endpoints for replicas [0 .. n-1]. *)
+
+val endpoint : cluster -> int -> t
+
+include Transport.S with type t := t

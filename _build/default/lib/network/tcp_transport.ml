@@ -1,0 +1,154 @@
+open Bamboo_types
+
+type t = {
+  self : int;
+  addresses : (int * Unix.sockaddr) list;
+  listener : Unix.file_descr;
+  queue : Message.t Queue.t;
+  mutex : Mutex.t;
+  mutable peers : (int * out_channel) list; (* lazily opened send channels *)
+  mutable closed : bool;
+  mutable threads : Thread.t list;
+}
+
+let read_exact ic buf off len =
+  let rec loop off len =
+    if len > 0 then begin
+      let k = input ic buf off len in
+      if k = 0 then raise End_of_file;
+      loop (off + k) (len - k)
+    end
+  in
+  loop off len
+
+let reader_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  try
+    while not t.closed do
+      let hdr = Bytes.create 4 in
+      read_exact ic hdr 0 4;
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > 64 * 1024 * 1024 then raise End_of_file;
+      let body = Bytes.create len in
+      read_exact ic body 0 len;
+      let msg = Codec.decode (Bytes.unsafe_to_string body) in
+      Mutex.lock t.mutex;
+      Queue.push msg t.queue;
+      Mutex.unlock t.mutex
+    done
+  with End_of_file | Sys_error _ | Unix.Unix_error _ | Codec.Decode_error _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  try
+    while not t.closed do
+      let fd, _ = Unix.accept t.listener in
+      let th = Thread.create (reader_loop t) fd in
+      Mutex.lock t.mutex;
+      t.threads <- th :: t.threads;
+      Mutex.unlock t.mutex
+    done
+  with Unix.Unix_error _ -> ()
+
+let create ~self ~addresses =
+  let addr = List.assoc self addresses in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener addr;
+  Unix.listen listener 64;
+  let t =
+    {
+      self;
+      addresses;
+      listener;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      peers = [];
+      closed = false;
+      threads = [];
+    }
+  in
+  let th = Thread.create accept_loop t in
+  t.threads <- [ th ];
+  t
+
+let loopback_addresses ~n ~base_port =
+  List.init n (fun i ->
+      (i, Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + i)))
+
+let self t = t.self
+let n t = List.length t.addresses
+
+let peer_channel t dst =
+  match List.assoc_opt dst t.peers with
+  | Some oc -> Some oc
+  | None -> (
+      match List.assoc_opt dst t.addresses with
+      | None -> None
+      | Some addr -> (
+          try
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd addr;
+            let oc = Unix.out_channel_of_descr fd in
+            t.peers <- (dst, oc) :: t.peers;
+            Some oc
+          with Unix.Unix_error _ -> None))
+
+let send t ~dst msg =
+  if dst = t.self then begin
+    Mutex.lock t.mutex;
+    Queue.push msg t.queue;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    Mutex.lock t.mutex;
+    (match peer_channel t dst with
+    | None -> () (* unreachable peer: crash faults look like silence *)
+    | Some oc -> (
+        try
+          let body = Codec.encode msg in
+          let hdr = Bytes.create 4 in
+          Bytes.set_int32_be hdr 0 (Int32.of_int (String.length body));
+          output_bytes oc hdr;
+          output_string oc body;
+          flush oc
+        with Sys_error _ | Unix.Unix_error _ ->
+          t.peers <- List.remove_assoc dst t.peers));
+    Mutex.unlock t.mutex
+  end
+
+let broadcast t msg =
+  List.iter
+    (fun (id, _) -> if id <> t.self then send t ~dst:id msg)
+    t.addresses
+
+let recv t ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    Mutex.lock t.mutex;
+    let item =
+      if t.closed then `Closed
+      else if Queue.is_empty t.queue then `Empty
+      else `Msg (Queue.pop t.queue)
+    in
+    Mutex.unlock t.mutex;
+    match item with
+    | `Closed -> None
+    | `Msg m -> Some m
+    | `Empty ->
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then None
+        else begin
+          Thread.delay (Float.min remaining 0.001);
+          wait ()
+        end
+  in
+  wait ()
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  List.iter (fun (_, oc) -> try close_out oc with Sys_error _ -> ()) t.peers;
+  t.peers <- [];
+  Mutex.unlock t.mutex;
+  (try Unix.close t.listener with Unix.Unix_error _ -> ())

@@ -1,0 +1,18 @@
+(** TCP socket transport: length-prefixed {!Bamboo_types.Codec} frames over
+    persistent connections, one listener per replica. This is the
+    "large-scale deployment" transport of the paper's network module; in
+    this repo it is exercised on loopback by the integration tests and the
+    deployment example. *)
+
+type t
+
+val create : self:int -> addresses:(int * Unix.sockaddr) list -> t
+(** [create ~self ~addresses] binds the listener for [self] and lazily
+    connects to peers on first send. [addresses] maps every replica id
+    (including [self]) to its address. Raises [Unix.Unix_error] if the
+    listen address is unavailable. *)
+
+val loopback_addresses : n:int -> base_port:int -> (int * Unix.sockaddr) list
+(** Convenience: [127.0.0.1:base_port+i] for each replica. *)
+
+include Transport.S with type t := t

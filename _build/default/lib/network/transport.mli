@@ -1,0 +1,30 @@
+(** Transport abstraction for the non-simulated runtimes.
+
+    Mirrors Bamboo's network module (adopted from Paxi): a simple
+    message-passing model whose backends are an in-process channel transport
+    (single-machine deployment, {!Chan_transport}) and TCP sockets
+    ({!Tcp_transport}). The simulator does not go through this signature —
+    it models NIC/link queues explicitly. *)
+
+module type S = sig
+  type t
+
+  val self : t -> int
+  (** This endpoint's replica id. *)
+
+  val n : t -> int
+  (** Cluster size. *)
+
+  val send : t -> dst:int -> Bamboo_types.Message.t -> unit
+  (** Best-effort asynchronous send; messages to closed endpoints are
+      dropped silently (crash faults look like silence). *)
+
+  val broadcast : t -> Bamboo_types.Message.t -> unit
+  (** Sends to every replica except [self]. *)
+
+  val recv : t -> timeout_s:float -> Bamboo_types.Message.t option
+  (** Blocking receive with timeout; [None] on timeout or when the
+      endpoint is closed. *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/quorum/quorum.ml: Bamboo_types Hashtbl Ids List Qc Tcert Timeout_msg Vote

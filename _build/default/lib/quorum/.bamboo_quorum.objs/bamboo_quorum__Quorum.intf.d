@@ -1,0 +1,1 @@
+lib/quorum/quorum.mli: Bamboo_types Ids Qc Tcert Timeout_msg Vote

@@ -1,0 +1,122 @@
+open Bamboo_types
+
+type vote_slot = {
+  mutable votes : Vote.t list; (* newest first, distinct voters *)
+  mutable voters : int list;
+  mutable qc : Qc.t option;
+}
+
+type timeout_slot = {
+  mutable timeouts : Timeout_msg.t list;
+  mutable senders : int list;
+  mutable tc : Tcert.t option;
+}
+
+type t = {
+  n : int;
+  quorum : int;
+  vote_slots : (Ids.hash * Ids.view, vote_slot) Hashtbl.t;
+  timeout_slots : (Ids.view, timeout_slot) Hashtbl.t;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Quorum.create: n must be positive";
+  let f = (n - 1) / 3 in
+  { n; quorum = (2 * f) + 1; vote_slots = Hashtbl.create 64; timeout_slots = Hashtbl.create 16 }
+
+let n t = t.n
+let quorum_size t = t.quorum
+let fault_bound t = (t.n - 1) / 3
+
+let vote_slot t key =
+  match Hashtbl.find_opt t.vote_slots key with
+  | Some s -> s
+  | None ->
+      let s = { votes = []; voters = []; qc = None } in
+      Hashtbl.add t.vote_slots key s;
+      s
+
+let voted t (v : Vote.t) =
+  let key = (v.block, v.view) in
+  let slot = vote_slot t key in
+  if List.mem v.voter slot.voters then None
+  else begin
+    slot.votes <- v :: slot.votes;
+    slot.voters <- v.voter :: slot.voters;
+    match slot.qc with
+    | Some _ -> None (* already certified; QC was reported once *)
+    | None ->
+        if List.length slot.voters >= t.quorum then begin
+          let qc =
+            Qc.
+              {
+                block = v.block;
+                view = v.view;
+                height = v.height;
+                sigs = List.map (fun (vt : Vote.t) -> vt.signature) slot.votes;
+              }
+          in
+          slot.qc <- Some qc;
+          Some qc
+        end
+        else None
+  end
+
+let certified t ~block ~view =
+  match Hashtbl.find_opt t.vote_slots (block, view) with
+  | Some slot -> slot.qc
+  | None -> None
+
+let vote_count t ~block ~view =
+  match Hashtbl.find_opt t.vote_slots (block, view) with
+  | Some slot -> List.length slot.voters
+  | None -> 0
+
+let timeout_slot t view =
+  match Hashtbl.find_opt t.timeout_slots view with
+  | Some s -> s
+  | None ->
+      let s = { timeouts = []; senders = []; tc = None } in
+      Hashtbl.add t.timeout_slots view s;
+      s
+
+let timed_out t (tm : Timeout_msg.t) =
+  let slot = timeout_slot t tm.view in
+  if List.mem tm.sender slot.senders then None
+  else begin
+    slot.timeouts <- tm :: slot.timeouts;
+    slot.senders <- tm.sender :: slot.senders;
+    match slot.tc with
+    | Some _ -> None
+    | None ->
+        if List.length slot.senders >= t.quorum then begin
+          let tc = Tcert.of_timeouts slot.timeouts in
+          slot.tc <- Some tc;
+          Some tc
+        end
+        else None
+  end
+
+let timeout_count t ~view =
+  match Hashtbl.find_opt t.timeout_slots view with
+  | Some slot -> List.length slot.senders
+  | None -> 0
+
+let tc_for t ~view =
+  match Hashtbl.find_opt t.timeout_slots view with
+  | Some slot -> slot.tc
+  | None -> None
+
+let gc t ~below_view =
+  let dead_votes =
+    Hashtbl.fold
+      (fun ((_, view) as key) _ acc -> if view < below_view then key :: acc else acc)
+      t.vote_slots []
+  in
+  List.iter (Hashtbl.remove t.vote_slots) dead_votes;
+  let dead_timeouts =
+    Hashtbl.fold
+      (fun view _ acc -> if view < below_view then view :: acc else acc)
+      t.timeout_slots []
+  in
+  List.iter (Hashtbl.remove t.timeout_slots) dead_timeouts

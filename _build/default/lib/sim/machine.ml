@@ -1,0 +1,51 @@
+type t = {
+  sim : Sim.t;
+  bandwidth : float;
+  mutable cpu_free : float;
+  mutable nic_out_free : float;
+  mutable nic_in_free : float;
+  mutable cpu_used : float;
+}
+
+let create ~sim ~bandwidth =
+  if bandwidth <= 0.0 then invalid_arg "Machine.create: bandwidth must be positive";
+  {
+    sim;
+    bandwidth;
+    cpu_free = 0.0;
+    nic_out_free = 0.0;
+    nic_in_free = 0.0;
+    cpu_used = 0.0;
+  }
+
+let bandwidth t = t.bandwidth
+
+let serve ~sim ~free ~duration k =
+  let start = Float.max (Sim.now sim) !free in
+  let finish = start +. duration in
+  free := finish;
+  Sim.schedule_at sim ~at:finish k
+
+let cpu t ~duration k =
+  if duration < 0.0 then invalid_arg "Machine.cpu: negative duration";
+  t.cpu_used <- t.cpu_used +. duration;
+  let free = ref t.cpu_free in
+  serve ~sim:t.sim ~free ~duration k;
+  t.cpu_free <- !free
+
+let nic_out t ~bytes k =
+  if bytes < 0 then invalid_arg "Machine.nic_out: negative bytes";
+  let duration = float_of_int bytes /. t.bandwidth in
+  let free = ref t.nic_out_free in
+  serve ~sim:t.sim ~free ~duration k;
+  t.nic_out_free <- !free
+
+let nic_in t ~bytes k =
+  if bytes < 0 then invalid_arg "Machine.nic_in: negative bytes";
+  let duration = float_of_int bytes /. t.bandwidth in
+  let free = ref t.nic_in_free in
+  serve ~sim:t.sim ~free ~duration k;
+  t.nic_in_free <- !free
+
+let cpu_busy_until t = t.cpu_free
+let cpu_busy_seconds t = t.cpu_used

@@ -1,0 +1,32 @@
+(** Per-node machine model (paper §V-B1): each machine is a single CPU plus
+    a NIC, each modelled as a FIFO single-server queue.
+
+    CPU work (signing, verifying, batching) and NIC serialization
+    (bytes / bandwidth, charged once outbound at the sender and once
+    inbound at the receiver — the paper's [t_NIC = 2m/b]) are scheduled on
+    the owning queue; completion times account for queueing behind earlier
+    work. *)
+
+type t
+
+val create : sim:Sim.t -> bandwidth:float -> t
+(** [bandwidth] in bytes/second. *)
+
+val bandwidth : t -> float
+
+val cpu : t -> duration:float -> (unit -> unit) -> unit
+(** [cpu m ~duration k] enqueues [duration] seconds of CPU work and calls
+    [k] when it completes. Zero-duration work still respects FIFO order. *)
+
+val nic_out : t -> bytes:int -> (unit -> unit) -> unit
+(** Serializes [bytes] through the outbound NIC, then calls [k]. *)
+
+val nic_in : t -> bytes:int -> (unit -> unit) -> unit
+(** Same for the inbound NIC. *)
+
+val cpu_busy_until : t -> float
+(** Absolute virtual time at which the CPU queue drains; used by tests and
+    utilization metrics. *)
+
+val cpu_busy_seconds : t -> float
+(** Total CPU seconds consumed so far. *)

@@ -1,0 +1,54 @@
+module Rng = Bamboo_util.Rng
+module Dist = Bamboo_util.Dist
+
+type fluctuation = { from_t : float; until_t : float; lo : float; hi : float }
+
+type t = {
+  rng : Rng.t;
+  mu : float;
+  sigma : float;
+  mutable extra_mu : float;
+  mutable extra_sigma : float;
+  mutable fluctuation : fluctuation option;
+  mutable loss : float;
+}
+
+let create ~rng ~mu ~sigma ?(extra_mu = 0.0) ?(extra_sigma = 0.0) () =
+  if mu < 0.0 || sigma < 0.0 then invalid_arg "Netmodel.create: negative parameter";
+  { rng; mu; sigma; extra_mu; extra_sigma; fluctuation = None; loss = 0.0 }
+
+let set_loss t ~rate =
+  if rate < 0.0 || rate >= 1.0 then
+    invalid_arg "Netmodel.set_loss: rate must be in [0, 1)";
+  t.loss <- rate
+
+let drops t ~now:_ = t.loss > 0.0 && Rng.float t.rng 1.0 < t.loss
+
+let set_extra_delay t ~mu ~sigma =
+  t.extra_mu <- mu;
+  t.extra_sigma <- sigma
+
+let set_fluctuation t ~from_t ~until_t ~lo ~hi =
+  t.fluctuation <- Some { from_t; until_t; lo; hi }
+
+let clear_fluctuation t = t.fluctuation <- None
+
+let base_sample t =
+  let d = Dist.normal_pos t.rng ~mu:t.mu ~sigma:t.sigma in
+  if t.extra_mu > 0.0 || t.extra_sigma > 0.0 then
+    d +. Dist.normal_pos t.rng ~mu:t.extra_mu ~sigma:t.extra_sigma
+  else d
+
+let one_way t ~now ~src:_ ~dst:_ =
+  match t.fluctuation with
+  | Some f when now >= f.from_t && now < f.until_t ->
+      Dist.uniform t.rng ~lo:f.lo ~hi:f.hi
+  | Some _ | None -> base_sample t
+
+let client_rtt t ~now =
+  match t.fluctuation with
+  | Some f when now >= f.from_t && now < f.until_t ->
+      2.0 *. Dist.uniform t.rng ~lo:f.lo ~hi:f.hi
+  | Some _ | None -> 2.0 *. base_sample t
+
+let mean_one_way t = t.mu +. t.extra_mu

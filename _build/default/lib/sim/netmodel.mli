@@ -1,0 +1,55 @@
+(** Network latency model.
+
+    Per the paper's Section V assumptions, the one-way delay between any two
+    machines is normally distributed (mean [mu] = RTT/2 per direction as the
+    model treats RTT ~ Normal(mu, sigma); we expose one-way sampling with
+    the configured mean). On top of the base distribution the model
+    supports:
+
+    - a configurable *additional* delay (the [delay] parameter of Table I,
+      itself normally distributed, e.g. "5ms +- 1ms" in Fig. 11), and
+    - a run-time *fluctuation window* during which delays are drawn
+      uniformly from a given range (the responsiveness experiment of
+      Fig. 15 injects 10-100 ms fluctuation for 10 s).
+
+    Client-to-replica round trips use {!client_rtt}. *)
+
+type t
+
+val create :
+  rng:Bamboo_util.Rng.t ->
+  mu:float ->
+  sigma:float ->
+  ?extra_mu:float ->
+  ?extra_sigma:float ->
+  unit ->
+  t
+(** [mu]/[sigma] in seconds; [extra_mu]/[extra_sigma] default to 0. *)
+
+val set_extra_delay : t -> mu:float -> sigma:float -> unit
+(** Changes the additional-delay distribution at run time (the paper's
+    "slow" command). *)
+
+val set_fluctuation : t -> from_t:float -> until_t:float -> lo:float -> hi:float -> unit
+(** During virtual-time window [from_t, until_t), one-way delays are drawn
+    uniformly from [lo, hi), overriding the base distribution. *)
+
+val clear_fluctuation : t -> unit
+
+val set_loss : t -> rate:float -> unit
+(** Independent per-message drop probability in [0, 1). Default 0. *)
+
+val drops : t -> now:float -> bool
+(** Samples whether one transmission is lost. *)
+
+val one_way : t -> now:float -> src:int -> dst:int -> float
+(** Sampled one-way delay for a message sent at virtual time [now].
+    Always non-negative. [src]/[dst] are accepted for future topology
+    extensions; the base model is homogeneous. *)
+
+val client_rtt : t -> now:float -> float
+(** Sampled client-replica round-trip time. *)
+
+val mean_one_way : t -> float
+(** Expected one-way delay under the base + extra distribution (ignoring
+    fluctuation windows); used by the analytic model. *)

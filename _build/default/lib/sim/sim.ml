@@ -1,0 +1,50 @@
+module Heap = Bamboo_util.Heap
+
+type event = { at : float; fn : unit -> unit }
+
+type t = { mutable clock : float; events : event Heap.t }
+
+let create () =
+  {
+    clock = 0.0;
+    events = Heap.create ~cmp:(fun a b -> compare a.at b.at) ();
+  }
+
+let now t = t.clock
+
+let schedule_at t ~at fn =
+  let at = Float.max at t.clock in
+  Heap.push t.events { at; fn }
+
+let schedule t ~delay fn = schedule_at t ~at:(t.clock +. Float.max 0.0 delay) fn
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.events with
+    | Some ev when ev.at <= horizon ->
+        (match Heap.pop t.events with
+        | Some ev ->
+            t.clock <- Float.max t.clock ev.at;
+            ev.fn ()
+        | None -> assert false)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- Float.max t.clock horizon
+
+let run_to_completion ?(max_events = 100_000_000) t =
+  let count = ref 0 in
+  let rec loop () =
+    match Heap.pop t.events with
+    | None -> ()
+    | Some ev ->
+        incr count;
+        if !count > max_events then
+          failwith "Sim.run_to_completion: event budget exhausted";
+        t.clock <- Float.max t.clock ev.at;
+        ev.fn ();
+        loop ()
+  in
+  loop ()
+
+let pending t = Heap.length t.events

@@ -1,0 +1,31 @@
+(** Discrete-event simulation engine.
+
+    A virtual clock plus an event heap of timestamped callbacks. Events
+    scheduled for the same instant fire in scheduling order, which makes
+    runs bit-reproducible for a fixed seed. Time is in seconds. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays are
+    clamped to 0. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> unit
+(** [schedule_at t ~at f] runs [f] at absolute time [at] ([now] if already
+    past). *)
+
+val run_until : t -> float -> unit
+(** [run_until t horizon] processes events in timestamp order until the
+    queue is empty or the next event is after [horizon]; the clock ends at
+    [horizon] or at the last processed event, whichever is later. *)
+
+val run_to_completion : ?max_events:int -> t -> unit
+(** Drains the queue entirely; raises [Failure] after [max_events]
+    (default 100 million) as a runaway guard. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet fired. *)

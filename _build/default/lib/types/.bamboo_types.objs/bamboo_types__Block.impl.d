@@ -1,0 +1,1 @@
+lib/types/block.ml: Bamboo_crypto Buffer Format Ids List Printf Qc String Tx

@@ -1,0 +1,1 @@
+lib/types/block.mli: Format Ids Qc Tx

@@ -1,0 +1,1 @@
+lib/types/codec.ml: Bamboo_crypto Block Buffer Bytes Char Int64 List Message Printf Qc String Tcert Timeout_msg Tx Vote

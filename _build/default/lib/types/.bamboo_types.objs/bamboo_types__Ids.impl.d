@@ -1,0 +1,1 @@
+lib/types/ids.ml: Bamboo_crypto Format String

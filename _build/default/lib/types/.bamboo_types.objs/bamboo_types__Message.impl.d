@@ -1,0 +1,1 @@
+lib/types/message.ml: Block Format Ids Printf Tcert Timeout_msg Vote

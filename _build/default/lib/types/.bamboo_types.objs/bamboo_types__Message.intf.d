@@ -1,0 +1,1 @@
+lib/types/message.mli: Block Format Ids Tcert Timeout_msg Vote

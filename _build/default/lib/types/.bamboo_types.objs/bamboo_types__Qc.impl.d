@@ -1,0 +1,1 @@
+lib/types/qc.ml: Bamboo_crypto Format Ids List Printf

@@ -1,0 +1,1 @@
+lib/types/qc.mli: Bamboo_crypto Format Ids

@@ -1,0 +1,1 @@
+lib/types/tcert.ml: Bamboo_crypto Format Hashtbl Ids List Qc Timeout_msg

@@ -1,0 +1,1 @@
+lib/types/tcert.mli: Bamboo_crypto Format Ids Qc Timeout_msg

@@ -1,0 +1,1 @@
+lib/types/timeout_msg.ml: Bamboo_crypto Format Ids Printf Qc

@@ -1,0 +1,1 @@
+lib/types/timeout_msg.mli: Bamboo_crypto Format Ids Qc

@@ -1,0 +1,1 @@
+lib/types/tx.ml: Format Map Printf Set String

@@ -1,0 +1,1 @@
+lib/types/tx.mli: Format Map Set

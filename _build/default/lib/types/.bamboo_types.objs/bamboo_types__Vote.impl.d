@@ -1,0 +1,1 @@
+lib/types/vote.ml: Bamboo_crypto Format Ids Qc

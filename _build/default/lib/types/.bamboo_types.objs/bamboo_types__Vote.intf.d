@@ -1,0 +1,1 @@
+lib/types/vote.mli: Bamboo_crypto Format Ids

@@ -1,0 +1,10 @@
+type replica = int
+type view = int
+type height = int
+type hash = string
+
+let short h =
+  let hex = Bamboo_crypto.Sha256.hex h in
+  if String.length hex >= 8 then String.sub hex 0 8 else hex
+
+let pp_hash fmt h = Format.pp_print_string fmt (short h)

@@ -1,0 +1,19 @@
+(** Identifier types shared across the protocol stack. *)
+
+type replica = int
+(** Replica identifier in [\[0, n)]. *)
+
+type view = int
+(** Protocol view number; views start at 1, the genesis block has view 0. *)
+
+type height = int
+(** Block height; the genesis block has height 0. *)
+
+type hash = string
+(** 32-byte SHA-256 digest addressing a block. *)
+
+val pp_hash : Format.formatter -> hash -> unit
+(** Prints an 8-hex-character prefix, enough to identify blocks in logs. *)
+
+val short : hash -> string
+(** 8-character hex prefix of a hash. *)

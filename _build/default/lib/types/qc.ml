@@ -1,0 +1,38 @@
+type t = {
+  block : Ids.hash;
+  view : Ids.view;
+  height : Ids.height;
+  sigs : Bamboo_crypto.Sig.t list;
+}
+
+let genesis ~block = { block; view = 0; height = 0; sigs = [] }
+
+let is_genesis qc = qc.view = 0 && qc.sigs = []
+
+let compare_by_view a b = compare a.view b.view
+
+let max_by_view a b = if compare_by_view a b >= 0 then a else b
+
+let wire_size qc =
+  44 + (List.length qc.sigs * Bamboo_crypto.Sig.wire_size)
+
+let signed_payload ~block ~view = Printf.sprintf "vote|%d|%s" view block
+
+let verify reg ~quorum qc =
+  if is_genesis qc then true
+  else begin
+    let payload = signed_payload ~block:qc.block ~view:qc.view in
+    let distinct_valid =
+      List.fold_left
+        (fun acc (s : Bamboo_crypto.Sig.t) ->
+          if List.mem s.signer acc then acc
+          else if Bamboo_crypto.Sig.verify reg s payload then s.signer :: acc
+          else acc)
+        [] qc.sigs
+    in
+    List.length distinct_valid >= quorum
+  end
+
+let pp fmt qc =
+  Format.fprintf fmt "QC<v%d,h%d,%a,%d sigs>" qc.view qc.height Ids.pp_hash
+    qc.block (List.length qc.sigs)

@@ -1,0 +1,41 @@
+type t = { view : Ids.view; high_qc : Qc.t; sigs : Bamboo_crypto.Sig.t list }
+
+let of_timeouts ts =
+  match ts with
+  | [] -> invalid_arg "Tcert.of_timeouts: empty timeout list"
+  | first :: _ ->
+      let view = first.Timeout_msg.view in
+      let seen = Hashtbl.create 8 in
+      let high_qc = ref first.Timeout_msg.high_qc in
+      let sigs =
+        List.map
+          (fun (tm : Timeout_msg.t) ->
+            if tm.view <> view then
+              invalid_arg "Tcert.of_timeouts: mixed views";
+            if Hashtbl.mem seen tm.sender then
+              invalid_arg "Tcert.of_timeouts: duplicate sender";
+            Hashtbl.add seen tm.sender ();
+            high_qc := Qc.max_by_view !high_qc tm.high_qc;
+            tm.signature)
+          ts
+      in
+      { view; high_qc = !high_qc; sigs }
+
+let verify reg ~quorum tc =
+  let payload = Timeout_msg.signed_payload ~view:tc.view in
+  let distinct_valid =
+    List.fold_left
+      (fun acc (s : Bamboo_crypto.Sig.t) ->
+        if List.mem s.signer acc then acc
+        else if Bamboo_crypto.Sig.verify reg s payload then s.signer :: acc
+        else acc)
+      [] tc.sigs
+  in
+  List.length distinct_valid >= quorum
+
+let wire_size tc =
+  8 + Qc.wire_size tc.high_qc
+  + (List.length tc.sigs * Bamboo_crypto.Sig.wire_size)
+
+let pp fmt tc =
+  Format.fprintf fmt "TC<v%d,%d sigs>" tc.view (List.length tc.sigs)

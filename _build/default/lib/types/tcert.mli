@@ -1,0 +1,20 @@
+(** Timeout certificates: a quorum of TIMEOUT messages for the same view.
+    Receiving (or assembling) a TC for view [v] entitles a replica to enter
+    view [v+1]; the TC also carries the highest QC among the contributing
+    timeouts so the next leader can build on it. *)
+
+type t = {
+  view : Ids.view;  (** The abandoned view. *)
+  high_qc : Qc.t;  (** Highest QC among the quorum's timeout messages. *)
+  sigs : Bamboo_crypto.Sig.t list;
+}
+
+val of_timeouts : Timeout_msg.t list -> t
+(** [of_timeouts ts] assembles a TC. All timeouts must share one view and
+    come from distinct senders; raises [Invalid_argument] otherwise. *)
+
+val verify : Bamboo_crypto.Sig.registry -> quorum:int -> t -> bool
+
+val wire_size : t -> int
+
+val pp : Format.formatter -> t -> unit

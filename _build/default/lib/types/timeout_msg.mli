@@ -1,0 +1,22 @@
+(** Pacemaker TIMEOUT messages (paper §III-B): when a replica times out in
+    view [v] it broadcasts <TIMEOUT, v> carrying its highest QC, and
+    advances to [v+1] once a quorum of matching timeouts — a
+    TimeoutCertificate — is assembled. *)
+
+type t = {
+  view : Ids.view;  (** The view being abandoned. *)
+  high_qc : Qc.t;  (** Sender's highest QC, for the next leader to adopt. *)
+  sender : Ids.replica;
+  signature : Bamboo_crypto.Sig.t;
+}
+
+val signed_payload : view:Ids.view -> string
+
+val create :
+  Bamboo_crypto.Sig.registry -> sender:Ids.replica -> view:Ids.view -> high_qc:Qc.t -> t
+
+val verify : Bamboo_crypto.Sig.registry -> t -> bool
+
+val wire_size : t -> int
+
+val pp : Format.formatter -> t -> unit

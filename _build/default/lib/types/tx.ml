@@ -1,0 +1,34 @@
+type id = { client : int; seq : int }
+
+type t = { id : id; payload_len : int; data : string }
+
+let make ~client ~seq ~payload_len =
+  if payload_len < 0 then invalid_arg "Tx.make: negative payload length";
+  { id = { client; seq }; payload_len; data = "" }
+
+let make_with_data ~client ~seq ~data =
+  { id = { client; seq }; payload_len = String.length data; data }
+
+let id_to_string id = Printf.sprintf "%d:%d" id.client id.seq
+
+let compare_id a b =
+  let c = compare a.client b.client in
+  if c <> 0 then c else compare a.seq b.seq
+
+let wire_size t = 16 + t.payload_len
+
+let equal a b =
+  compare_id a.id b.id = 0
+  && a.payload_len = b.payload_len
+  && String.equal a.data b.data
+
+let pp fmt t = Format.fprintf fmt "tx<%s,%dB>" (id_to_string t.id) t.payload_len
+
+module Id_ord = struct
+  type t = id
+
+  let compare = compare_id
+end
+
+module Id_set = Set.Make (Id_ord)
+module Id_map = Map.Make (Id_ord)

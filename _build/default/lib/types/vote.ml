@@ -1,0 +1,23 @@
+type t = {
+  block : Ids.hash;
+  view : Ids.view;
+  height : Ids.height;
+  voter : Ids.replica;
+  signature : Bamboo_crypto.Sig.t;
+}
+
+let create reg ~voter ~block ~view ~height =
+  let signature =
+    Bamboo_crypto.Sig.sign reg ~signer:voter (Qc.signed_payload ~block ~view)
+  in
+  { block; view; height; voter; signature }
+
+let verify reg v =
+  v.signature.Bamboo_crypto.Sig.signer = v.voter
+  && Bamboo_crypto.Sig.verify reg v.signature
+       (Qc.signed_payload ~block:v.block ~view:v.view)
+
+let wire_size = 32 + 8 + 8 + 8 + Bamboo_crypto.Sig.wire_size
+
+let pp fmt v =
+  Format.fprintf fmt "vote<v%d,%a,by %d>" v.view Ids.pp_hash v.block v.voter

@@ -1,0 +1,27 @@
+(** Votes cast on proposed blocks. In HotStuff-style protocols a vote is
+    sent to the leader of the next view; in Streamlet votes are broadcast
+    to everyone. *)
+
+type t = {
+  block : Ids.hash;
+  view : Ids.view;
+  height : Ids.height;
+  voter : Ids.replica;
+  signature : Bamboo_crypto.Sig.t;
+}
+
+val create :
+  Bamboo_crypto.Sig.registry ->
+  voter:Ids.replica ->
+  block:Ids.hash ->
+  view:Ids.view ->
+  height:Ids.height ->
+  t
+(** Signs {!Qc.signed_payload} so the vote can be folded into a QC. *)
+
+val verify : Bamboo_crypto.Sig.registry -> t -> bool
+
+val wire_size : int
+(** Fixed size: hash + view + height + voter + signature. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of front element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  if capacity <= 0 then invalid_arg "Deque.create: capacity must be positive";
+  { buf = Array.make capacity None; head = 0; len = 0 }
+
+let length d = d.len
+let is_empty d = d.len = 0
+
+let grow d =
+  let cap = Array.length d.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to d.len - 1 do
+    buf.(i) <- d.buf.((d.head + i) mod cap)
+  done;
+  d.buf <- buf;
+  d.head <- 0
+
+let push_back d x =
+  if d.len = Array.length d.buf then grow d;
+  let cap = Array.length d.buf in
+  d.buf.((d.head + d.len) mod cap) <- Some x;
+  d.len <- d.len + 1
+
+let push_front d x =
+  if d.len = Array.length d.buf then grow d;
+  let cap = Array.length d.buf in
+  d.head <- (d.head + cap - 1) mod cap;
+  d.buf.(d.head) <- Some x;
+  d.len <- d.len + 1
+
+let pop_front d =
+  if d.len = 0 then None
+  else begin
+    let x = d.buf.(d.head) in
+    d.buf.(d.head) <- None;
+    d.head <- (d.head + 1) mod Array.length d.buf;
+    d.len <- d.len - 1;
+    x
+  end
+
+let pop_back d =
+  if d.len = 0 then None
+  else begin
+    let cap = Array.length d.buf in
+    let i = (d.head + d.len - 1) mod cap in
+    let x = d.buf.(i) in
+    d.buf.(i) <- None;
+    d.len <- d.len - 1;
+    x
+  end
+
+let peek_front d = if d.len = 0 then None else d.buf.(d.head)
+
+let peek_back d =
+  if d.len = 0 then None
+  else d.buf.((d.head + d.len - 1) mod Array.length d.buf)
+
+let clear d =
+  Array.fill d.buf 0 (Array.length d.buf) None;
+  d.head <- 0;
+  d.len <- 0
+
+let iter f d =
+  let cap = Array.length d.buf in
+  for i = 0 to d.len - 1 do
+    match d.buf.((d.head + i) mod cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let exists p d =
+  let cap = Array.length d.buf in
+  let rec loop i =
+    if i >= d.len then false
+    else
+      match d.buf.((d.head + i) mod cap) with
+      | Some x -> p x || loop (i + 1)
+      | None -> assert false
+  in
+  loop 0
+
+let to_list d =
+  let acc = ref [] in
+  let cap = Array.length d.buf in
+  for i = d.len - 1 downto 0 do
+    match d.buf.((d.head + i) mod cap) with
+    | Some x -> acc := x :: !acc
+    | None -> assert false
+  done;
+  !acc
+
+let of_list l =
+  let d = create ~capacity:(max 16 (List.length l)) () in
+  List.iter (push_back d) l;
+  d

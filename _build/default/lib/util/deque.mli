@@ -1,0 +1,40 @@
+(** Mutable double-ended queue backed by a growable ring buffer.
+
+    Used by the mempool (Section III-E of the paper): new transactions are
+    pushed at the back while transactions recovered from forked blocks are
+    pushed at the front. All operations are amortized O(1) except [to_list],
+    [iter] and [exists], which are O(n). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty deque. [capacity] is the initial ring size
+    (grown on demand); it must be positive. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+
+val push_front : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a option
+
+val pop_back : 'a t -> 'a option
+
+val peek_front : 'a t -> 'a option
+
+val peek_back : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f d] applies [f] front-to-back. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+(** [to_list d] is the elements front-to-back. *)
+
+val of_list : 'a list -> 'a t

@@ -1,0 +1,25 @@
+(** Mutable binary min-heap, ordered by a user-supplied comparison.
+
+    Backs the discrete-event simulator's event queue. Ties are broken by
+    insertion order (FIFO among equal keys), which the simulator relies on
+    for deterministic replay. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap whose minimum is with respect to
+    [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. Among elements that
+    compare equal, the one pushed first is returned first. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit

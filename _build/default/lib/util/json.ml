@@ -1,0 +1,297 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | Some _ | None -> ()
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | Some x -> fail st (Printf.sprintf "expected '%c', found '%c'" c x)
+  | None -> fail st (Printf.sprintf "expected '%c', found end of input" c)
+
+let expect_word st w value =
+  let n = String.length w in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = w then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected '%s'" w)
+
+let parse_hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c ->
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> fail st "invalid \\u escape"
+        in
+        v := (!v * 16) + d
+    | None -> fail st "unterminated \\u escape");
+    advance st
+  done;
+  !v
+
+let utf8_of_code buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; loop ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; loop ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; loop ()
+        | Some 'b' -> advance st; Buffer.add_char buf '\b'; loop ()
+        | Some 'f' -> advance st; Buffer.add_char buf '\012'; loop ()
+        | Some '"' -> advance st; Buffer.add_char buf '"'; loop ()
+        | Some '\\' -> advance st; Buffer.add_char buf '\\'; loop ()
+        | Some '/' -> advance st; Buffer.add_char buf '/'; loop ()
+        | Some 'u' ->
+            advance st;
+            utf8_of_code buf (parse_hex4 st);
+            loop ()
+        | Some c -> fail st (Printf.sprintf "invalid escape '\\%c'" c)
+        | None -> fail st "unterminated escape")
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') -> advance st
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance st
+    | Some _ | None -> continue := false
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "invalid number '%s'" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail st (Printf.sprintf "invalid number '%s'" text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' -> String (parse_string_body st)
+  | Some 't' -> expect_word st "true" (Bool true)
+  | Some 'f' -> expect_word st "false" (Bool false)
+  | Some 'n' -> expect_word st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+  | None -> fail st "unexpected end of input"
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let rec members acc =
+      skip_ws st;
+      let key = parse_string_body st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          members ((key, v) :: acc)
+      | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, v) :: acc))
+      | Some c -> fail st (Printf.sprintf "expected ',' or '}', found '%c'" c)
+      | None -> fail st "unterminated object"
+    in
+    members []
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let rec elements acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          elements (v :: acc)
+      | Some ']' ->
+          advance st;
+          List (List.rev (v :: acc))
+      | Some c -> fail st (Printf.sprintf "expected ',' or ']', found '%c'" c)
+      | None -> fail st "unterminated list"
+    in
+    elements []
+  end
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  (match peek st with
+  | None -> ()
+  | Some c -> fail st (Printf.sprintf "trailing input '%c'" c));
+  v
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string ?(indent = false) v =
+  let buf = Buffer.create 256 in
+  let pad level = if indent then Buffer.add_string buf (String.make (2 * level) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let rec emit level v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.1f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (level + 1);
+            emit (level + 1) item)
+          items;
+        nl ();
+        pad level;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (level + 1);
+            escape_string buf k;
+            Buffer.add_string buf (if indent then ": " else ":");
+            emit (level + 1) item)
+          fields;
+        nl ();
+        pad level;
+        Buffer.add_char buf '}'
+  in
+  emit 0 v;
+  Buffer.contents buf
+
+let member key v =
+  match v with
+  | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)
+  | _ -> invalid_arg (Printf.sprintf "Json.member %S: not an object" key)
+
+let to_int = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | _ -> invalid_arg "Json.to_int: not an integer"
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> invalid_arg "Json.to_float: not a number"
+
+let to_bool = function
+  | Bool b -> b
+  | _ -> invalid_arg "Json.to_bool: not a boolean"
+
+let get_string = function
+  | String s -> s
+  | _ -> invalid_arg "Json.get_string: not a string"
+
+let to_list = function
+  | List l -> l
+  | _ -> invalid_arg "Json.to_list: not a list"

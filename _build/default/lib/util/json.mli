@@ -1,0 +1,37 @@
+(** Minimal JSON implementation for configuration files (Table I of the
+    paper: "a configuration ... managed via a JSON file distributed to every
+    node"). Supports the full JSON grammar except surrogate-pair unicode
+    escapes, which are preserved verbatim. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a message that includes the offset. *)
+
+val of_string : string -> t
+
+val to_string : ?indent:bool -> t -> string
+
+(** Accessors raise [Invalid_argument] with the member name on shape
+    mismatch, so configuration errors carry context. *)
+
+val member : string -> t -> t
+(** [member key obj] is the value bound to [key], or [Null] if absent. *)
+
+val to_int : t -> int
+(** Accepts [Int] and integral [Float]. *)
+
+val to_float : t -> float
+
+val to_bool : t -> bool
+
+val get_string : t -> string
+
+val to_list : t -> t list

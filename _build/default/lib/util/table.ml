@@ -1,0 +1,42 @@
+let pad_row width_count row =
+  let len = List.length row in
+  if len >= width_count then row
+  else row @ List.init (width_count - len) (fun _ -> "")
+
+let render ~header ~rows =
+  let cols = List.length header in
+  let rows = List.map (pad_row cols) rows in
+  let widths = Array.make cols 0 in
+  let account row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  account header;
+  List.iter account rows;
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iter
+    (fun w -> Buffer.add_string buf (String.make w '-' ^ "  "))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~header ~rows = print_string (render ~header ~rows)
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let fmt_si f =
+  let abs = Float.abs f in
+  if abs >= 1e9 then Printf.sprintf "%.1fG" (f /. 1e9)
+  else if abs >= 1e6 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else if abs >= 1e3 then Printf.sprintf "%.1fk" (f /. 1e3)
+  else Printf.sprintf "%.1f" f

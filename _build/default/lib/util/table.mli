@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the benchmark harness: every reproduced
+    paper table/figure is printed as an aligned ASCII table or series. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] is an aligned table with a separator under the
+    header. Rows shorter than the header are padded with empty cells. *)
+
+val print : header:string list -> rows:string list list -> unit
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 2 decimals. *)
+
+val fmt_si : float -> string
+(** Human-readable magnitude: [fmt_si 131_000.0 = "131.0k"]. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bamboo Bamboo_crypto Bamboo_forest Bamboo_types Block List Qc Tx Vote

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bamboo_types Block Bytes Codec Gen Helpers List Message Printf QCheck QCheck_alcotest Qc String Tcert Test Timeout_msg Tx

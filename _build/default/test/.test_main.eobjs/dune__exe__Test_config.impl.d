@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Bamboo Bamboo_util List

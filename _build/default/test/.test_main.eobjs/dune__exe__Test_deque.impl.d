@@ -1,0 +1,1 @@
+test/test_deque.ml: Alcotest Bamboo_util Gen List QCheck QCheck_alcotest Test

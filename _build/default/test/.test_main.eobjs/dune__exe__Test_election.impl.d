@@ -1,0 +1,1 @@
+test/test_election.ml: Alcotest Array Bamboo

@@ -1,0 +1,1 @@
+test/test_forest.ml: Alcotest Bamboo_forest Bamboo_types Block Gen Helpers List QCheck QCheck_alcotest String Test

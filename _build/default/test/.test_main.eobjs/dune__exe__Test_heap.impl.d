@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Bamboo_util Gen List Option QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_hmac.ml: Alcotest Bamboo_crypto Gen Printf QCheck QCheck_alcotest String Test

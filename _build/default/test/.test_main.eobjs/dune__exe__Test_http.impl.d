@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest Array Bamboo_network Char Fun List Printf String Thread

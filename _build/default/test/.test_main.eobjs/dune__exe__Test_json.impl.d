@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Bamboo_util Format Gen List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Bamboo Bamboo_types Gen List Printf QCheck QCheck_alcotest String Test Tx

@@ -1,0 +1,1 @@
+test/test_mempool.ml: Alcotest Bamboo_mempool Bamboo_types Gen Helpers List QCheck QCheck_alcotest Test Tx

@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Array Bamboo Bamboo_crypto Bamboo_forest Bamboo_types Block Helpers List Message Qc Queue String Tx

@@ -1,0 +1,1 @@
+test/test_pacemaker.ml: Alcotest Bamboo Bamboo_types Qc Tcert

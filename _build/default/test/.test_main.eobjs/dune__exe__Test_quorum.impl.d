@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Bamboo_quorum Bamboo_types Block Gen Helpers List Printf QCheck QCheck_alcotest Qc Tcert Test Timeout_msg

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bamboo Float Gen List Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_safety_rules.ml: Alcotest Bamboo Bamboo_forest Bamboo_types Block Hashtbl Helpers Ids List Qc Tcert Timeout_msg

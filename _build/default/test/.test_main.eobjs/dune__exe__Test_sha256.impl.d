@@ -1,0 +1,1 @@
+test/test_sha256.ml: Alcotest Bamboo_crypto Char Gen List Printf QCheck QCheck_alcotest String Test

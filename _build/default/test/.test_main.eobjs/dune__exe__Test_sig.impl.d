@@ -1,0 +1,1 @@
+test/test_sig.ml: Alcotest Bamboo_crypto

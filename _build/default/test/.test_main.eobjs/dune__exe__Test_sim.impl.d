@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bamboo_sim Bamboo_util Float List

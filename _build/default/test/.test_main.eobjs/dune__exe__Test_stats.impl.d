@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Bamboo_util Float Gen List Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Bamboo Bamboo_util List String

@@ -1,0 +1,1 @@
+test/test_threaded.ml: Alcotest Array Bamboo Bamboo_network Bamboo_types List Thread

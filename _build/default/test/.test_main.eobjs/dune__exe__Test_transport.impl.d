@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array Bamboo_network Bamboo_types Block Codec Helpers List Message Thread

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Bamboo_crypto Bamboo_types Block Helpers List Message Qc String Tcert Timeout_msg Tx Vote

@@ -1,0 +1,192 @@
+open Bamboo_types
+module Forest = Bamboo_forest.Forest
+module Safety = Bamboo.Safety
+module Byzantine = Bamboo.Byzantine
+
+let reg = Helpers.registry ()
+
+type env = {
+  forest : Forest.t;
+  certified : (Ids.hash, Qc.t) Hashtbl.t;
+  chain : Safety.chain;
+  base : Safety.t;
+}
+
+let make_env maker =
+  let forest = Forest.create () in
+  let certified = Hashtbl.create 16 in
+  Hashtbl.add certified Block.genesis_hash Safety.genesis_qc;
+  let chain =
+    Safety.{ forest; qc_of = (fun h -> Hashtbl.find_opt certified h) }
+  in
+  let ctx = Safety.{ n = 4; self = 0; registry = reg; quorum = 3 } in
+  { forest; certified; chain; base = maker ctx chain }
+
+let grow env b =
+  match Forest.add env.forest b with
+  | Forest.Added -> ()
+  | _ -> Alcotest.fail "fixture add failed"
+
+let certify env (b : Block.t) =
+  let qc = Helpers.qc_for reg b in
+  Hashtbl.add env.certified b.hash qc;
+  ignore (env.base.Safety.on_qc qc)
+
+(* Build a 3-block certified chain where the newest QC (for b3) is known
+   only to the attacker (not embedded in any block), mirroring the
+   leader-holds-votes situation of Fig. 5. *)
+let attack_setup maker =
+  let env = make_env maker in
+  let blocks = Helpers.chain ~reg 3 in
+  List.iter (grow env) blocks;
+  List.iter (certify env) blocks;
+  (env, blocks)
+
+let test_silence_never_proposes () =
+  let env, _ = attack_setup Bamboo.Hotstuff.make in
+  let p = Byzantine.silence ~chain:env.chain env.base in
+  Alcotest.(check bool) "abstains" true (p.Safety.propose ~view:4 ~tc:None = None);
+  Alcotest.(check string) "name tagged" "hotstuff+silence" p.Safety.name
+
+let test_silence_votes_honestly () =
+  let env, blocks = attack_setup Bamboo.Hotstuff.make in
+  let p = Byzantine.silence ~chain:env.chain env.base in
+  let tip = List.nth blocks 2 in
+  let b4 = Helpers.child ~reg ~view:4 tip in
+  Alcotest.(check bool) "still votes" true (p.Safety.should_vote ~block:b4 ~tc:None)
+
+let test_silence_withholds_qc_in_timeouts () =
+  let env, _ = attack_setup Bamboo.Hotstuff.make in
+  let p = Byzantine.silence ~chain:env.chain env.base in
+  (* The attacker's own hQC is the (private) QC for b3 (view 3), but the
+     highest publicly embedded QC is b3's justify (view 2). *)
+  Alcotest.(check int) "private hQC" 3 (p.Safety.high_qc ()).Qc.view;
+  Alcotest.(check int) "timeout advertises public only" 2
+    (p.Safety.timeout_high_qc ()).Qc.view
+
+let test_public_high () =
+  let env, _ = attack_setup Bamboo.Hotstuff.make in
+  Alcotest.(check int) "max embedded justify" 2
+    (Byzantine.public_high env.chain ()).Qc.view
+
+let test_public_high_includes_tc () =
+  let env, blocks = attack_setup Bamboo.Hotstuff.make in
+  let b3 = List.nth blocks 2 in
+  let qc3 = Hashtbl.find env.certified b3.Block.hash in
+  let tms =
+    List.init 3 (fun sender ->
+        Timeout_msg.create reg ~sender ~view:5 ~high_qc:qc3)
+  in
+  let tc = Tcert.of_timeouts tms in
+  Alcotest.(check int) "TC QC counts as public" 3
+    (Byzantine.public_high env.chain ~tc ()).Qc.view
+
+let test_fork_depth_constants () =
+  Alcotest.(check int) "HS" 2 (Byzantine.fork_depth_for Bamboo.Config.Hotstuff);
+  Alcotest.(check int) "2CHS" 1 (Byzantine.fork_depth_for Bamboo.Config.Twochain);
+  Alcotest.(check int) "FHS" 1
+    (Byzantine.fork_depth_for Bamboo.Config.Fasthotstuff)
+
+let test_hotstuff_fork_targets_two_back () =
+  let env, blocks = attack_setup Bamboo.Hotstuff.make in
+  let p = Byzantine.fork ~chain:env.chain ~fork_depth:2 env.base in
+  match (blocks, p.Safety.propose ~view:4 ~tc:None) with
+  | [ b1; _b2; _b3 ], Some Safety.{ parent; justify } ->
+      (* Public tip is b2 (highest embedded QC certifies it); depth-2 fork
+         builds on b2's parent b1 with b1's own QC. *)
+      Alcotest.(check bool) "parent is b1" true (Block.equal parent b1);
+      Alcotest.(check int) "justify is b1's QC" 1 justify.Qc.view
+  | _, None -> Alcotest.fail "expected proposal"
+  | _ -> assert false
+
+let test_twochain_fork_targets_one_back () =
+  let env, blocks = attack_setup Bamboo.Twochain.make in
+  let p = Byzantine.fork ~chain:env.chain ~fork_depth:1 env.base in
+  match (blocks, p.Safety.propose ~view:4 ~tc:None) with
+  | [ _b1; b2; _b3 ], Some Safety.{ parent; justify } ->
+      Alcotest.(check bool) "parent is public tip b2" true (Block.equal parent b2);
+      Alcotest.(check int) "justify view" 2 justify.Qc.view
+  | _, None -> Alcotest.fail "expected proposal"
+  | _ -> assert false
+
+let test_fork_passes_honest_voting_rule () =
+  (* The forked proposal must be votable by an honest replica that has
+     seen everything public: this is the crux of the attack. *)
+  let env, _blocks = attack_setup Bamboo.Hotstuff.make in
+  let honest = make_env Bamboo.Hotstuff.make in
+  (* Honest replica knows only public information: blocks + embedded QCs
+     (b1's and b2's QCs), not the attacker-held QC for b3. *)
+  let blocks = Helpers.chain ~reg 3 in
+  List.iter (grow honest) blocks;
+  (match blocks with
+  | [ b1; b2; _b3 ] ->
+      certify honest b1;
+      certify honest b2
+  | _ -> assert false);
+  let attacker = Byzantine.fork ~chain:env.chain ~fork_depth:2 env.base in
+  match attacker.Safety.propose ~view:4 ~tc:None with
+  | Some Safety.{ parent; justify } ->
+      (* Rebuild the same chain objects in the honest env (hashes equal). *)
+      let fork_block =
+        Block.create ~view:4 ~parent ~justify ~proposer:0 ~txs:[] ()
+      in
+      grow honest fork_block;
+      Alcotest.(check bool) "honest votes for the fork" true
+        (honest.base.Safety.should_vote ~block:fork_block ~tc:None)
+  | None -> Alcotest.fail "expected proposal"
+
+let test_fork_falls_back_when_no_target () =
+  (* Right after genesis there is nothing to fork from: the attacker
+     proposes honestly. *)
+  let env = make_env Bamboo.Hotstuff.make in
+  let p = Byzantine.fork ~chain:env.chain ~fork_depth:2 env.base in
+  match p.Safety.propose ~view:1 ~tc:None with
+  | Some Safety.{ parent; _ } ->
+      Alcotest.(check bool) "builds on genesis" true
+        (Block.equal parent Block.genesis)
+  | None -> Alcotest.fail "expected honest fallback"
+
+let test_apply_honest_is_identity () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let p =
+    Byzantine.apply Bamboo.Config.Honest Bamboo.Config.Hotstuff ~chain:env.chain
+      env.base
+  in
+  Alcotest.(check string) "unwrapped" "hotstuff" p.Safety.name
+
+let test_apply_streamlet_fork_is_honest () =
+  let env = make_env Bamboo.Streamlet.make in
+  let p =
+    Byzantine.apply Bamboo.Config.Fork Bamboo.Config.Streamlet ~chain:env.chain
+      env.base
+  in
+  Alcotest.(check string) "forking futile: stays honest" "streamlet"
+    p.Safety.name
+
+let test_invalid_fork_depth () =
+  let env = make_env Bamboo.Hotstuff.make in
+  Alcotest.check_raises "depth 0"
+    (Invalid_argument "Byzantine.fork: depth must be >= 1") (fun () ->
+      ignore (Byzantine.fork ~chain:env.chain ~fork_depth:0 env.base))
+
+let suite =
+  [
+    Alcotest.test_case "silence never proposes" `Quick test_silence_never_proposes;
+    Alcotest.test_case "silence votes honestly" `Quick test_silence_votes_honestly;
+    Alcotest.test_case "silence withholds QC in timeouts" `Quick
+      test_silence_withholds_qc_in_timeouts;
+    Alcotest.test_case "public_high" `Quick test_public_high;
+    Alcotest.test_case "public_high includes TC" `Quick test_public_high_includes_tc;
+    Alcotest.test_case "fork depth constants" `Quick test_fork_depth_constants;
+    Alcotest.test_case "HS fork targets 2 back" `Quick
+      test_hotstuff_fork_targets_two_back;
+    Alcotest.test_case "2CHS fork targets 1 back" `Quick
+      test_twochain_fork_targets_one_back;
+    Alcotest.test_case "fork passes honest voting rule" `Quick
+      test_fork_passes_honest_voting_rule;
+    Alcotest.test_case "fork fallback" `Quick test_fork_falls_back_when_no_target;
+    Alcotest.test_case "apply honest" `Quick test_apply_honest_is_identity;
+    Alcotest.test_case "apply streamlet fork" `Quick
+      test_apply_streamlet_fork_is_honest;
+    Alcotest.test_case "invalid fork depth" `Quick test_invalid_fork_depth;
+  ]

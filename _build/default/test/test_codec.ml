@@ -1,0 +1,132 @@
+open Bamboo_types
+
+let reg = Helpers.registry ()
+
+let roundtrip msg =
+  let encoded = Codec.encode msg in
+  Codec.decode encoded
+
+let check_roundtrip name msg =
+  let back = roundtrip msg in
+  Alcotest.(check string) name (Message.key msg) (Message.key back);
+  (* Structural equality beyond the key: compare re-encoded bytes. *)
+  Alcotest.(check string) (name ^ " bytes") (Codec.encode msg) (Codec.encode back)
+
+let test_proposal_roundtrip () =
+  let b =
+    Helpers.child ~reg ~view:3 ~txs:(Helpers.txs ~client:9 17) Block.genesis
+  in
+  check_roundtrip "proposal" (Message.Proposal { block = b; tc = None })
+
+let test_proposal_with_tc () =
+  let high_qc = Qc.genesis ~block:Block.genesis_hash in
+  let tms =
+    List.init 3 (fun sender -> Timeout_msg.create reg ~sender ~view:2 ~high_qc)
+  in
+  let tc = Tcert.of_timeouts tms in
+  let b = Helpers.child ~reg ~view:3 Block.genesis in
+  check_roundtrip "proposal+tc" (Message.Proposal { block = b; tc = Some tc })
+
+let test_tx_data_roundtrip () =
+  let txs =
+    [
+      Tx.make_with_data ~client:1 ~seq:1 ~data:"P3:key-value";
+      Tx.make_with_data ~client:1 ~seq:2 ~data:(String.make 300 '\x00');
+    ]
+  in
+  let b = Helpers.child ~reg ~view:2 ~txs Block.genesis in
+  match roundtrip (Message.Proposal { block = b; tc = None }) with
+  | Message.Proposal { block = b'; _ } ->
+      Alcotest.(check bool) "data survives the wire" true
+        (List.for_all2 Tx.equal b.txs b'.txs)
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_vote_roundtrip () =
+  let b = Helpers.child ~reg ~view:5 Block.genesis in
+  check_roundtrip "vote" (Message.Vote (Helpers.vote_for reg ~voter:3 b))
+
+let test_timeout_roundtrip () =
+  let b = Helpers.child ~reg ~view:2 Block.genesis in
+  let tm = Timeout_msg.create reg ~sender:1 ~view:7 ~high_qc:(Helpers.qc_for reg b) in
+  check_roundtrip "timeout" (Message.Timeout tm)
+
+let test_decoded_block_fields () =
+  let txs = Helpers.txs ~client:4 3 in
+  let b = Helpers.child ~reg ~view:9 ~proposer:2 ~txs Block.genesis in
+  match roundtrip (Message.Proposal { block = b; tc = None }) with
+  | Message.Proposal { block = b'; tc = None } ->
+      Alcotest.(check int) "view" b.view b'.view;
+      Alcotest.(check int) "height" b.height b'.height;
+      Alcotest.(check int) "proposer" b.proposer b'.proposer;
+      Alcotest.(check string) "hash" b.hash b'.hash;
+      Alcotest.(check string) "parent" b.parent b'.parent;
+      Alcotest.(check string) "tx_root" b.tx_root b'.tx_root;
+      Alcotest.(check int) "tx count" 3 (List.length b'.txs);
+      Alcotest.(check bool) "txs preserved" true
+        (List.for_all2 Tx.equal b.txs b'.txs);
+      Alcotest.(check int) "justify view" b.justify.Qc.view b'.justify.Qc.view
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_decoded_qc_still_verifies () =
+  let b = Helpers.child ~reg ~view:2 Block.genesis in
+  let tm = Timeout_msg.create reg ~sender:0 ~view:3 ~high_qc:(Helpers.qc_for reg b) in
+  match roundtrip (Message.Timeout tm) with
+  | Message.Timeout tm' ->
+      Alcotest.(check bool) "sig survives" true (Timeout_msg.verify reg tm');
+      Alcotest.(check bool) "qc survives" true
+        (Qc.verify reg ~quorum:3 tm'.Timeout_msg.high_qc)
+  | _ -> Alcotest.fail "wrong shape"
+
+let expect_decode_error name s =
+  match Codec.decode s with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Decode_error" name
+
+let test_malformed () =
+  expect_decode_error "empty" "";
+  expect_decode_error "unknown tag" "\x09rest";
+  let b = Helpers.child ~reg ~view:1 Block.genesis in
+  let good = Codec.encode (Message.Proposal { block = b; tc = None }) in
+  expect_decode_error "truncated" (String.sub good 0 (String.length good / 2));
+  expect_decode_error "trailing bytes" (good ^ "x");
+  (* Corrupt a length field deep inside. *)
+  let corrupted = Bytes.of_string good in
+  Bytes.set corrupted 4 '\xff';
+  expect_decode_error "corrupt length" (Bytes.to_string corrupted)
+
+let fuzz_decode_total =
+  let open QCheck in
+  Test.make ~name:"decode never crashes on random bytes" ~count:500
+    (string_gen_of_size (Gen.int_range 0 200) Gen.char)
+    (fun s ->
+      match Codec.decode s with
+      | _ -> true
+      | exception Codec.Decode_error _ -> true)
+
+let roundtrip_random_blocks =
+  let open QCheck in
+  let gen =
+    Gen.map2
+      (fun view ntxs -> (1 + view, ntxs))
+      (Gen.int_range 0 50) (Gen.int_range 0 30)
+  in
+  Test.make ~name:"random proposals round trip" ~count:100
+    (make ~print:(fun (v, n) -> Printf.sprintf "view %d, %d txs" v n) gen)
+    (fun (view, ntxs) ->
+      let b = Helpers.child ~reg ~view ~txs:(Helpers.txs ntxs) Block.genesis in
+      let msg = Message.Proposal { block = b; tc = None } in
+      Codec.encode (Codec.decode (Codec.encode msg)) = Codec.encode msg)
+
+let suite =
+  [
+    Alcotest.test_case "proposal round trip" `Quick test_proposal_roundtrip;
+    Alcotest.test_case "proposal with TC" `Quick test_proposal_with_tc;
+    Alcotest.test_case "tx data round trip" `Quick test_tx_data_roundtrip;
+    Alcotest.test_case "vote round trip" `Quick test_vote_roundtrip;
+    Alcotest.test_case "timeout round trip" `Quick test_timeout_roundtrip;
+    Alcotest.test_case "decoded block fields" `Quick test_decoded_block_fields;
+    Alcotest.test_case "decoded QC verifies" `Quick test_decoded_qc_still_verifies;
+    Alcotest.test_case "malformed input" `Quick test_malformed;
+    QCheck_alcotest.to_alcotest fuzz_decode_total;
+    QCheck_alcotest.to_alcotest roundtrip_random_blocks;
+  ]

@@ -1,0 +1,136 @@
+module Config = Bamboo.Config
+module Json = Bamboo_util.Json
+
+let test_defaults () =
+  let d = Config.default in
+  Alcotest.(check int) "n" 4 d.n;
+  Alcotest.(check int) "bsize" 400 d.bsize;
+  Alcotest.(check int) "psize" 0 d.psize;
+  Alcotest.(check (float 0.0)) "timeout 100ms" 0.1 d.timeout;
+  Alcotest.(check int) "byzNo" 0 d.byz_no;
+  Alcotest.(check bool) "rotating" true (d.election = Config.Rotation);
+  Alcotest.(check bool) "validates" true (Config.validate d = Ok d)
+
+let test_quorum_size () =
+  Alcotest.(check int) "n=4" 3 (Config.quorum_size Config.default);
+  Alcotest.(check int) "n=32" 21
+    (Config.quorum_size { Config.default with n = 32 })
+
+let test_protocol_names () =
+  List.iter
+    (fun p ->
+      match Config.protocol_of_name (Config.protocol_name p) with
+      | Ok p' -> Alcotest.(check bool) "round trip" true (p = p')
+      | Error e -> Alcotest.fail e)
+    [ Config.Hotstuff; Config.Twochain; Config.Streamlet; Config.Fasthotstuff ];
+  Alcotest.(check bool) "aliases" true
+    (Config.protocol_of_name "hs" = Ok Config.Hotstuff
+    && Config.protocol_of_name "2chs" = Ok Config.Twochain
+    && Config.protocol_of_name "sl" = Ok Config.Streamlet);
+  Alcotest.(check bool) "unknown" true
+    (match Config.protocol_of_name "pbft" with Error _ -> true | Ok _ -> false)
+
+let test_validation_errors () =
+  let expect_error c =
+    match Config.validate c with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected validation error"
+  in
+  expect_error { Config.default with n = 0 };
+  expect_error { Config.default with byz_no = 2 } (* f(4) = 1 *);
+  expect_error { Config.default with bsize = 0 };
+  expect_error { Config.default with psize = -1 };
+  expect_error { Config.default with timeout = 0.0 };
+  expect_error { Config.default with backoff = 0.9 };
+  expect_error { Config.default with runtime = 0.0 };
+  expect_error { Config.default with bandwidth = 0.0 };
+  expect_error { Config.default with election = Config.Static 9 }
+
+let test_byz_bound_scales () =
+  let c = { Config.default with n = 32; byz_no = 10 } in
+  Alcotest.(check bool) "f(32)=10 ok" true (Config.validate c = Ok c);
+  match Config.validate { c with byz_no = 11 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "byz 11 of 32 accepted"
+
+let test_json_round_trip () =
+  let c =
+    {
+      Config.default with
+      protocol = Config.Streamlet;
+      n = 8;
+      byz_no = 2;
+      strategy = Config.Fork;
+      election = Config.Static 3;
+      bsize = 100;
+      psize = 128;
+      timeout = 0.05;
+      backoff = 1.5;
+      propose_policy = Config.Wait_timeout;
+      tc_adopt_qc = true;
+      echo = Some false;
+      extra_delay_mu = 0.005;
+      seed = 99;
+    }
+  in
+  match Config.of_json (Config.to_json c) with
+  | Ok c' -> Alcotest.(check bool) "round trip" true (c = c')
+  | Error e -> Alcotest.fail e
+
+let test_json_defaults_fill_in () =
+  match Config.of_json (Json.of_string {|{"n": 7, "bsize": 50}|}) with
+  | Ok c ->
+      Alcotest.(check int) "n" 7 c.n;
+      Alcotest.(check int) "bsize" 50 c.bsize;
+      Alcotest.(check int) "psize default" Config.default.psize c.psize;
+      Alcotest.(check bool) "protocol default" true
+        (c.protocol = Config.default.protocol)
+  | Error e -> Alcotest.fail e
+
+let test_json_master_semantics () =
+  (* Table I: master = 0 means rotating, otherwise a static leader id. *)
+  (match Config.of_json (Json.of_string {|{"master": 0}|}) with
+  | Ok c -> Alcotest.(check bool) "0 = rotation" true (c.election = Config.Rotation)
+  | Error e -> Alcotest.fail e);
+  match Config.of_json (Json.of_string {|{"master": 2}|}) with
+  | Ok c -> Alcotest.(check bool) "2 = static 1" true (c.election = Config.Static 1)
+  | Error e -> Alcotest.fail e
+
+let test_json_unknown_field_rejected () =
+  match Config.of_json (Json.of_string {|{"nn": 4}|}) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+
+let test_json_invalid_values () =
+  (match Config.of_json (Json.of_string {|{"protocol": "pbft"}|}) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad protocol accepted");
+  (match Config.of_json (Json.of_string {|{"n": 0}|}) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid n accepted");
+  match Config.of_json (Json.of_string {|[1]|}) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-object accepted"
+
+let test_json_ms_units () =
+  (* timeout/mu/delay are expressed in milliseconds in the JSON form. *)
+  match Config.of_json (Json.of_string {|{"timeout": 50, "delay": 5}|}) with
+  | Ok c ->
+      Alcotest.(check (float 1e-9)) "timeout s" 0.05 c.timeout;
+      Alcotest.(check (float 1e-9)) "delay s" 0.005 c.extra_delay_mu
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "quorum size" `Quick test_quorum_size;
+    Alcotest.test_case "protocol names" `Quick test_protocol_names;
+    Alcotest.test_case "validation errors" `Quick test_validation_errors;
+    Alcotest.test_case "byz bound scales" `Quick test_byz_bound_scales;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json defaults" `Quick test_json_defaults_fill_in;
+    Alcotest.test_case "json master semantics" `Quick test_json_master_semantics;
+    Alcotest.test_case "json unknown field" `Quick test_json_unknown_field_rejected;
+    Alcotest.test_case "json invalid values" `Quick test_json_invalid_values;
+    Alcotest.test_case "json ms units" `Quick test_json_ms_units;
+  ]

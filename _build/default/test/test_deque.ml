@@ -1,0 +1,126 @@
+(* Deque: unit behaviour plus a model-based comparison against a plain
+   list implementation under random operation sequences. *)
+
+module Deque = Bamboo_util.Deque
+
+let test_empty () =
+  let d = Deque.create () in
+  Alcotest.(check int) "length" 0 (Deque.length d);
+  Alcotest.(check bool) "is_empty" true (Deque.is_empty d);
+  Alcotest.(check (option int)) "pop_front" None (Deque.pop_front d);
+  Alcotest.(check (option int)) "pop_back" None (Deque.pop_back d);
+  Alcotest.(check (option int)) "peek_front" None (Deque.peek_front d);
+  Alcotest.(check (option int)) "peek_back" None (Deque.peek_back d)
+
+let test_fifo () =
+  let d = Deque.create () in
+  List.iter (Deque.push_back d) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4; 5 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "pop" (Some 1) (Deque.pop_front d);
+  Alcotest.(check (option int)) "pop" (Some 2) (Deque.pop_front d);
+  Alcotest.(check int) "length" 3 (Deque.length d)
+
+let test_push_front () =
+  let d = Deque.of_list [ 3; 4 ] in
+  Deque.push_front d 2;
+  Deque.push_front d 1;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3; 4 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "back" (Some 4) (Deque.pop_back d);
+  Alcotest.(check (option int)) "front" (Some 1) (Deque.pop_front d)
+
+let test_growth () =
+  let d = Deque.create ~capacity:2 () in
+  for i = 1 to 100 do
+    Deque.push_back d i
+  done;
+  Alcotest.(check int) "length" 100 (Deque.length d);
+  Alcotest.(check (option int)) "front" (Some 1) (Deque.peek_front d);
+  Alcotest.(check (option int)) "back" (Some 100) (Deque.peek_back d)
+
+let test_wraparound () =
+  (* Exercise head wrapping past the ring boundary in both directions. *)
+  let d = Deque.create ~capacity:4 () in
+  List.iter (Deque.push_back d) [ 1; 2; 3 ];
+  ignore (Deque.pop_front d);
+  ignore (Deque.pop_front d);
+  List.iter (Deque.push_back d) [ 4; 5; 6 ];
+  Deque.push_front d 0;
+  Alcotest.(check (list int)) "order" [ 0; 3; 4; 5; 6 ] (Deque.to_list d)
+
+let test_clear () =
+  let d = Deque.of_list [ 1; 2; 3 ] in
+  Deque.clear d;
+  Alcotest.(check int) "length" 0 (Deque.length d);
+  Deque.push_back d 9;
+  Alcotest.(check (list int)) "reusable" [ 9 ] (Deque.to_list d)
+
+let test_iter_exists () =
+  let d = Deque.of_list [ 1; 2; 3 ] in
+  let sum = ref 0 in
+  Deque.iter (fun x -> sum := !sum + x) d;
+  Alcotest.(check int) "iter sum" 6 !sum;
+  Alcotest.(check bool) "exists" true (Deque.exists (fun x -> x = 2) d);
+  Alcotest.(check bool) "not exists" false (Deque.exists (fun x -> x = 7) d)
+
+let test_invalid_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Deque.create: capacity must be positive") (fun () ->
+      ignore (Deque.create ~capacity:0 ()))
+
+(* Model-based property: a random sequence of operations behaves like the
+   same sequence applied to a list. *)
+let model_prop =
+  let open QCheck in
+  let op =
+    Gen.oneof
+      [
+        Gen.map (fun x -> `Push_back x) Gen.small_int;
+        Gen.map (fun x -> `Push_front x) Gen.small_int;
+        Gen.return `Pop_front;
+        Gen.return `Pop_back;
+      ]
+  in
+  Test.make ~name:"deque behaves like a list model" ~count:300
+    (make ~print:(fun ops -> string_of_int (List.length ops)) (Gen.list_size (Gen.int_range 0 60) op))
+    (fun ops ->
+      let d = Deque.create ~capacity:2 () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push_back x ->
+              Deque.push_back d x;
+              model := !model @ [ x ];
+              Deque.to_list d = !model
+          | `Push_front x ->
+              Deque.push_front d x;
+              model := x :: !model;
+              Deque.to_list d = !model
+          | `Pop_front -> (
+              let got = Deque.pop_front d in
+              match !model with
+              | [] -> got = None
+              | x :: rest ->
+                  model := rest;
+                  got = Some x)
+          | `Pop_back -> (
+              let got = Deque.pop_back d in
+              match List.rev !model with
+              | [] -> got = None
+              | x :: rest ->
+                  model := List.rev rest;
+                  got = Some x))
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "fifo" `Quick test_fifo;
+    Alcotest.test_case "push_front" `Quick test_push_front;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "wraparound" `Quick test_wraparound;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "iter and exists" `Quick test_iter_exists;
+    Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+    QCheck_alcotest.to_alcotest model_prop;
+  ]

@@ -1,0 +1,130 @@
+module Rng = Bamboo_util.Rng
+module Dist = Bamboo_util.Dist
+
+let sample_stats n f =
+  let rec loop i sum sumsq =
+    if i = n then (sum /. float_of_int n, sumsq)
+    else
+      let x = f () in
+      loop (i + 1) (sum +. x) (sumsq +. (x *. x))
+  in
+  let mean, sumsq = loop 0 0.0 0.0 in
+  let var = (sumsq /. float_of_int n) -. (mean *. mean) in
+  (mean, sqrt var)
+
+let test_normal_moments () =
+  let rng = Rng.create ~seed:5 in
+  let mean, std =
+    sample_stats 50_000 (fun () -> Dist.normal rng ~mu:10.0 ~sigma:2.0)
+  in
+  Alcotest.(check bool) "mean" true (Float.abs (mean -. 10.0) < 0.05);
+  Alcotest.(check bool) "stddev" true (Float.abs (std -. 2.0) < 0.05)
+
+let test_normal_pos () =
+  let rng = Rng.create ~seed:6 in
+  for _ = 1 to 10_000 do
+    if Dist.normal_pos rng ~mu:0.001 ~sigma:0.01 < 0.0 then
+      Alcotest.fail "negative sample"
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:7 in
+  let mean, _ = sample_stats 50_000 (fun () -> Dist.exponential rng ~rate:4.0) in
+  Alcotest.(check bool) "mean 1/rate" true (Float.abs (mean -. 0.25) < 0.01)
+
+let test_poisson_moments () =
+  let rng = Rng.create ~seed:8 in
+  let mean, std =
+    sample_stats 50_000 (fun () ->
+        float_of_int (Dist.poisson rng ~mean:7.0))
+  in
+  Alcotest.(check bool) "mean" true (Float.abs (mean -. 7.0) < 0.1);
+  Alcotest.(check bool) "var=mean" true (Float.abs (std -. sqrt 7.0) < 0.1)
+
+let test_poisson_large_mean () =
+  (* Above 60 the implementation switches to a normal approximation. *)
+  let rng = Rng.create ~seed:9 in
+  let mean, _ =
+    sample_stats 20_000 (fun () -> float_of_int (Dist.poisson rng ~mean:200.0))
+  in
+  Alcotest.(check bool) "mean" true (Float.abs (mean -. 200.0) < 2.0)
+
+let test_poisson_zero () =
+  let rng = Rng.create ~seed:10 in
+  Alcotest.(check int) "zero mean" 0 (Dist.poisson rng ~mean:0.0)
+
+let test_normal_cdf_values () =
+  let check x expected =
+    let got = Dist.normal_cdf x in
+    if Float.abs (got -. expected) > 1e-4 then
+      Alcotest.failf "Phi(%g) = %g, expected %g" x got expected
+  in
+  check 0.0 0.5;
+  check 1.0 0.841345;
+  check (-1.0) 0.158655;
+  check 1.959964 0.975;
+  check (-2.575829) 0.005
+
+let test_order_statistic_known () =
+  (* For two standard normals, E[max] = 1/sqrt(pi) ~ 0.5642. *)
+  let expected = 1.0 /. sqrt Float.pi in
+  let numeric = Dist.order_statistic_mean_numeric ~n:2 ~k:2 ~mu:0.0 ~sigma:1.0 in
+  Alcotest.(check bool) "numeric E[max of 2]" true
+    (Float.abs (numeric -. expected) < 1e-3);
+  let rng = Rng.create ~seed:11 in
+  let mc =
+    Dist.order_statistic_mean rng ~n:2 ~k:2 ~mu:0.0 ~sigma:1.0 ~trials:200_000
+  in
+  Alcotest.(check bool) "Monte Carlo E[max of 2]" true
+    (Float.abs (mc -. expected) < 0.01)
+
+let test_order_statistic_median () =
+  (* The middle order statistic of an odd sample of symmetric variables has
+     expectation mu. *)
+  let v = Dist.order_statistic_mean_numeric ~n:7 ~k:4 ~mu:3.0 ~sigma:0.5 in
+  Alcotest.(check bool) "median expectation" true (Float.abs (v -. 3.0) < 1e-3)
+
+let test_order_statistic_mc_vs_numeric () =
+  (* The paper's quorum case: 5th order statistic of 7 (n=8, quorum 6). *)
+  let rng = Rng.create ~seed:12 in
+  let mc =
+    Dist.order_statistic_mean rng ~n:7 ~k:5 ~mu:1.0 ~sigma:0.2 ~trials:100_000
+  in
+  let numeric = Dist.order_statistic_mean_numeric ~n:7 ~k:5 ~mu:1.0 ~sigma:0.2 in
+  Alcotest.(check bool) "agreement" true (Float.abs (mc -. numeric) < 0.005)
+
+let test_order_statistic_monotone_in_k () =
+  let v k = Dist.order_statistic_mean_numeric ~n:10 ~k ~mu:0.0 ~sigma:1.0 in
+  let prev = ref neg_infinity in
+  for k = 1 to 10 do
+    let x = v k in
+    if x <= !prev then Alcotest.fail "not increasing in k";
+    prev := x
+  done
+
+let test_invalid_args () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.check_raises "bad k"
+    (Invalid_argument "Dist.order_statistic_mean: k out of range") (fun () ->
+      ignore (Dist.order_statistic_mean rng ~n:3 ~k:4 ~mu:0.0 ~sigma:1.0 ~trials:10));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Dist.exponential: rate must be positive") (fun () ->
+      ignore (Dist.exponential rng ~rate:0.0))
+
+let suite =
+  [
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "normal_pos non-negative" `Quick test_normal_pos;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "poisson moments" `Quick test_poisson_moments;
+    Alcotest.test_case "poisson large mean" `Quick test_poisson_large_mean;
+    Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+    Alcotest.test_case "normal cdf values" `Quick test_normal_cdf_values;
+    Alcotest.test_case "order stat: known value" `Quick test_order_statistic_known;
+    Alcotest.test_case "order stat: median" `Quick test_order_statistic_median;
+    Alcotest.test_case "order stat: MC vs numeric" `Quick
+      test_order_statistic_mc_vs_numeric;
+    Alcotest.test_case "order stat: monotone in k" `Quick
+      test_order_statistic_monotone_in_k;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+  ]

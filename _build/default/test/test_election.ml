@@ -1,0 +1,63 @@
+module Election = Bamboo.Election
+module Config = Bamboo.Config
+
+let test_rotation () =
+  let e = Election.create Config.Rotation ~n:4 in
+  Alcotest.(check int) "view 1" 1 (Election.leader e ~view:1);
+  Alcotest.(check int) "view 4 wraps" 0 (Election.leader e ~view:4);
+  Alcotest.(check int) "view 7" 3 (Election.leader e ~view:7);
+  Alcotest.(check bool) "is_leader" true
+    (Election.is_leader e ~view:2 ~self:2);
+  Alcotest.(check bool) "not leader" false
+    (Election.is_leader e ~view:2 ~self:3)
+
+let test_rotation_fairness () =
+  let e = Election.create Config.Rotation ~n:5 in
+  let counts = Array.make 5 0 in
+  for v = 1 to 100 do
+    let l = Election.leader e ~view:v in
+    counts.(l) <- counts.(l) + 1
+  done;
+  Array.iter (fun c -> Alcotest.(check int) "even rotation" 20 c) counts
+
+let test_static () =
+  let e = Election.create (Config.Static 2) ~n:4 in
+  for v = 1 to 10 do
+    Alcotest.(check int) "always 2" 2 (Election.leader e ~view:v)
+  done
+
+let test_hashed_deterministic_and_in_range () =
+  let e1 = Election.create Config.Hashed ~n:7 in
+  let e2 = Election.create Config.Hashed ~n:7 in
+  for v = 1 to 200 do
+    let l = Election.leader e1 ~view:v in
+    Alcotest.(check int) "deterministic" l (Election.leader e2 ~view:v);
+    if l < 0 || l >= 7 then Alcotest.fail "out of range"
+  done
+
+let test_hashed_covers_all () =
+  let e = Election.create Config.Hashed ~n:4 in
+  let seen = Array.make 4 false in
+  for v = 1 to 100 do
+    seen.(Election.leader e ~view:v) <- true
+  done;
+  Array.iter (fun s -> Alcotest.(check bool) "every replica leads" true s) seen
+
+let test_invalid () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Election.create: n must be positive") (fun () ->
+      ignore (Election.create Config.Rotation ~n:0));
+  Alcotest.check_raises "static out of range"
+    (Invalid_argument "Election.create: static leader out of range") (fun () ->
+      ignore (Election.create (Config.Static 4) ~n:4))
+
+let suite =
+  [
+    Alcotest.test_case "rotation" `Quick test_rotation;
+    Alcotest.test_case "rotation fairness" `Quick test_rotation_fairness;
+    Alcotest.test_case "static" `Quick test_static;
+    Alcotest.test_case "hashed deterministic" `Quick
+      test_hashed_deterministic_and_in_range;
+    Alcotest.test_case "hashed coverage" `Quick test_hashed_covers_all;
+    Alcotest.test_case "invalid" `Quick test_invalid;
+  ]

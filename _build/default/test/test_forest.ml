@@ -1,0 +1,256 @@
+open Bamboo_types
+module Forest = Bamboo_forest.Forest
+
+let reg = Helpers.registry ()
+
+let test_initial_state () =
+  let f = Forest.create () in
+  Alcotest.(check int) "committed height" 0 (Forest.committed_height f);
+  Alcotest.(check int) "committed count" 1 (Forest.committed_count f);
+  Alcotest.(check int) "size" 0 (Forest.size f);
+  Alcotest.(check bool) "genesis present" true (Forest.mem f Block.genesis_hash)
+
+let test_add_chain () =
+  let f = Forest.create () in
+  let blocks = Helpers.chain ~reg 3 in
+  Helpers.add_all f blocks;
+  Alcotest.(check int) "size" 3 (Forest.size f);
+  List.iter
+    (fun (b : Block.t) ->
+      Alcotest.(check bool) "findable" true (Forest.find f b.hash <> None))
+    blocks
+
+let test_add_duplicate () =
+  let f = Forest.create () in
+  let b = Helpers.child ~reg ~view:1 Block.genesis in
+  Alcotest.(check bool) "added" true (Forest.add f b = Forest.Added);
+  Alcotest.(check bool) "duplicate" true (Forest.add f b = Forest.Duplicate)
+
+let test_add_missing_parent () =
+  let f = Forest.create () in
+  match Helpers.chain ~reg 2 with
+  | [ _b1; b2 ] ->
+      Alcotest.(check bool) "missing parent" true
+        (Forest.add f b2 = Forest.Missing_parent)
+  | _ -> assert false
+
+let test_children_and_parent () =
+  let f = Forest.create () in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  let b2a = Helpers.child ~reg ~view:2 b1 in
+  let b2b = Helpers.child ~reg ~view:3 b1 in
+  Helpers.add_all f [ b1; b2a; b2b ];
+  Alcotest.(check int) "two children" 2 (List.length (Forest.children f b1.hash));
+  (match Forest.parent f b2a with
+  | Some p -> Alcotest.(check bool) "parent" true (Block.equal p b1)
+  | None -> Alcotest.fail "no parent");
+  Alcotest.(check int) "genesis children" 1
+    (List.length (Forest.children f Block.genesis_hash))
+
+let test_extends () =
+  let f = Forest.create () in
+  let blocks = Helpers.chain ~reg 4 in
+  Helpers.add_all f blocks;
+  match blocks with
+  | [ b1; _b2; _b3; b4 ] ->
+      Alcotest.(check bool) "deep extends" true
+        (Forest.extends f ~descendant:b4.hash ~ancestor:b1.hash);
+      Alcotest.(check bool) "extends genesis" true
+        (Forest.extends f ~descendant:b4.hash ~ancestor:Block.genesis_hash);
+      Alcotest.(check bool) "reflexive" true
+        (Forest.extends f ~descendant:b4.hash ~ancestor:b4.hash);
+      Alcotest.(check bool) "not reversed" false
+        (Forest.extends f ~descendant:b1.hash ~ancestor:b4.hash)
+  | _ -> assert false
+
+let test_commit_prefix () =
+  let f = Forest.create () in
+  let blocks = Helpers.chain ~reg 3 in
+  Helpers.add_all f blocks;
+  match blocks with
+  | [ b1; b2; b3 ] -> (
+      match Forest.commit f b2.hash with
+      | Ok (newly, forked) ->
+          Alcotest.(check int) "two newly committed" 2 (List.length newly);
+          Alcotest.(check bool) "order low to high" true
+            (match newly with
+            | [ x; y ] -> Block.equal x b1 && Block.equal y b2
+            | _ -> false);
+          Alcotest.(check int) "no forks" 0 (List.length forked);
+          Alcotest.(check int) "committed height" 2 (Forest.committed_height f);
+          Alcotest.(check bool) "b3 survives" true (Forest.mem f b3.hash);
+          Alcotest.(check int) "size" 1 (Forest.size f)
+      | Error _ -> Alcotest.fail "commit failed")
+  | _ -> assert false
+
+let test_commit_prunes_conflicting_branch () =
+  let f = Forest.create () in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  let b2 = Helpers.child ~reg ~view:2 b1 in
+  let b2' = Helpers.child ~reg ~view:3 b1 in
+  let b3' = Helpers.child ~reg ~view:4 b2' in
+  Helpers.add_all f [ b1; b2; b2'; b3' ];
+  match Forest.commit f b2.hash with
+  | Ok (newly, forked) ->
+      Alcotest.(check int) "committed" 2 (List.length newly);
+      Alcotest.(check int) "forked branch pruned" 2 (List.length forked);
+      Alcotest.(check bool) "forked sorted by height" true
+        (match forked with
+        | [ x; y ] -> x.Block.height <= y.Block.height
+        | _ -> false);
+      Alcotest.(check bool) "b2' gone" false (Forest.mem f b2'.hash);
+      Alcotest.(check bool) "b3' gone" false (Forest.mem f b3'.hash)
+  | Error _ -> Alcotest.fail "commit failed"
+
+let test_commit_already_committed () =
+  let f = Forest.create () in
+  let blocks = Helpers.chain ~reg 2 in
+  Helpers.add_all f blocks;
+  match blocks with
+  | [ b1; _ ] ->
+      (match Forest.commit f b1.hash with Ok _ -> () | Error _ -> Alcotest.fail "first");
+      Alcotest.(check bool) "already" true
+        (Forest.commit f b1.hash = Error Forest.Already_committed)
+  | _ -> assert false
+
+let test_commit_unknown () =
+  let f = Forest.create () in
+  Alcotest.(check bool) "unknown" true
+    (Forest.commit f (String.make 32 'q') = Error Forest.Unknown_block)
+
+let test_add_below_horizon () =
+  let f = Forest.create () in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  let b2 = Helpers.child ~reg ~view:2 b1 in
+  Helpers.add_all f [ b1; b2 ];
+  (match Forest.commit f b2.hash with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  (* A late block whose parent is genesis (now below the horizon). *)
+  let late = Helpers.child ~reg ~view:5 Block.genesis in
+  Alcotest.(check bool) "late conflicting add dropped" true
+    (Forest.add f late = Forest.Below_prune_horizon);
+  (* A block extending the committed head is fine. *)
+  let ok = Helpers.child ~reg ~view:6 b2 in
+  Alcotest.(check bool) "extending head ok" true (Forest.add f ok = Forest.Added)
+
+let test_committed_at () =
+  let f = Forest.create () in
+  let blocks = Helpers.chain ~reg 3 in
+  Helpers.add_all f blocks;
+  (match Forest.commit f (List.nth blocks 2).Block.hash with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "commit");
+  List.iteri
+    (fun i (b : Block.t) ->
+      match Forest.committed_at f (i + 1) with
+      | Some got -> Alcotest.(check bool) "height index" true (Block.equal got b)
+      | None -> Alcotest.fail "missing committed block")
+    blocks;
+  Alcotest.(check bool) "beyond head" true (Forest.committed_at f 9 = None)
+
+let test_commit_conflicting_is_error () =
+  let f = Forest.create () in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  let b1' = Helpers.child ~reg ~view:2 Block.genesis in
+  Helpers.add_all f [ b1; b1' ];
+  (match Forest.commit f b1.hash with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  (* b1' was pruned by the commit; committing it must fail, not fork. *)
+  Alcotest.(check bool) "conflict detected" true
+    (match Forest.commit f b1'.hash with
+    | Error Forest.Unknown_block | Error Forest.Conflicts_with_committed -> true
+    | Ok _ | Error _ -> false)
+
+let test_tip_candidates () =
+  let f = Forest.create () in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  let b2 = Helpers.child ~reg ~view:2 b1 in
+  let b2' = Helpers.child ~reg ~view:3 b1 in
+  Helpers.add_all f [ b1; b2; b2' ];
+  let tips = Forest.tip_candidates f in
+  Alcotest.(check int) "two leaves" 2 (List.length tips);
+  Alcotest.(check int) "highest first" 2 (List.hd tips).Block.height
+
+let test_fold_uncommitted () =
+  let f = Forest.create () in
+  Helpers.add_all f (Helpers.chain ~reg 5);
+  let count = Forest.fold_uncommitted f (fun acc _ -> acc + 1) 0 in
+  Alcotest.(check int) "folds all" 5 count
+
+(* Property: random insert/commit sequences keep invariants: committed
+   chain is linear and hash-linked; uncommitted blocks all descend from
+   the committed head. *)
+let random_ops_prop =
+  let open QCheck in
+  let gen = Gen.list_size (Gen.int_range 1 40) (Gen.int_range 0 9) in
+  Test.make ~name:"random grow/commit keeps forest invariants" ~count:100
+    (make ~print:(fun l -> string_of_int (List.length l)) gen)
+    (fun choices ->
+      let f = Forest.create () in
+      let tips = ref [ Block.genesis ] in
+      let view = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun c ->
+          incr view;
+          if c < 7 then begin
+            (* grow a random tip *)
+            let parent = List.nth !tips (c mod List.length !tips) in
+            let b = Helpers.child ~reg ~view:!view parent in
+            match Forest.add f b with
+            | Forest.Added -> tips := b :: !tips
+            | Forest.Below_prune_horizon -> ()
+            | Forest.Duplicate | Forest.Missing_parent -> ok := false
+          end
+          else begin
+            (* commit a random live tip *)
+            let candidates = Forest.tip_candidates f in
+            match candidates with
+            | [] -> ()
+            | b :: _ -> (
+                match Forest.commit f b.Block.hash with
+                | Ok _ ->
+                    tips :=
+                      List.filter (fun t -> Forest.mem f t.Block.hash) !tips;
+                    tips := Forest.last_committed f :: !tips
+                | Error Forest.Already_committed -> ()
+                | Error _ -> ())
+          end)
+        choices;
+      (* Invariant 1: committed chain hash-linked. *)
+      let head = Forest.last_committed f in
+      let rec walk (b : Block.t) =
+        if b.height = 0 then true
+        else
+          match Forest.committed_at f (b.height - 1) with
+          | Some p -> String.equal b.parent p.hash && walk p
+          | None -> false
+      in
+      (* Invariant 2: all uncommitted blocks descend from the head. *)
+      let all_descend =
+        Forest.fold_uncommitted f
+          (fun acc b ->
+            acc && Forest.extends f ~descendant:b.Block.hash ~ancestor:head.hash)
+          true
+      in
+      !ok && walk head && all_descend)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "add chain" `Quick test_add_chain;
+    Alcotest.test_case "duplicate" `Quick test_add_duplicate;
+    Alcotest.test_case "missing parent" `Quick test_add_missing_parent;
+    Alcotest.test_case "children/parent" `Quick test_children_and_parent;
+    Alcotest.test_case "extends" `Quick test_extends;
+    Alcotest.test_case "commit prefix" `Quick test_commit_prefix;
+    Alcotest.test_case "commit prunes conflicts" `Quick
+      test_commit_prunes_conflicting_branch;
+    Alcotest.test_case "already committed" `Quick test_commit_already_committed;
+    Alcotest.test_case "unknown commit" `Quick test_commit_unknown;
+    Alcotest.test_case "below horizon" `Quick test_add_below_horizon;
+    Alcotest.test_case "committed_at" `Quick test_committed_at;
+    Alcotest.test_case "conflicting commit is error" `Quick
+      test_commit_conflicting_is_error;
+    Alcotest.test_case "tip candidates" `Quick test_tip_candidates;
+    Alcotest.test_case "fold_uncommitted" `Quick test_fold_uncommitted;
+    QCheck_alcotest.to_alcotest random_ops_prop;
+  ]

@@ -1,0 +1,96 @@
+module Heap = Bamboo_util.Heap
+
+let int_heap () = Heap.create ~cmp:compare ()
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h)
+
+let test_ordering () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  let drained = List.init 6 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 8; 9 ] drained
+
+let test_fifo_ties () =
+  (* Equal keys must pop in insertion order: the simulator's determinism
+     depends on it. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "tie order" [ "z"; "a"; "b"; "c" ] order
+
+let test_peek_stable () =
+  let h = int_heap () in
+  Heap.push h 4;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "peek" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 2 (Heap.length h)
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 7;
+  Alcotest.(check (option int)) "reusable" (Some 7) (Heap.pop h)
+
+let test_growth () =
+  let h = Heap.create ~capacity:1 ~cmp:compare () in
+  for i = 1000 downto 1 do
+    Heap.push h i
+  done;
+  Alcotest.(check int) "length" 1000 (Heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.pop h)
+
+let sorted_prop =
+  let open QCheck in
+  Test.make ~name:"heap pops in sorted order" ~count:300
+    (list_of_size (Gen.int_range 0 100) small_int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let interleaved_prop =
+  let open QCheck in
+  Test.make ~name:"interleaved push/pop maintains min-heap invariant"
+    ~count:200
+    (list_of_size (Gen.int_range 0 80) (option small_int))
+    (fun ops ->
+      (* Some x = push x, None = pop; compare against a sorted-list model. *)
+      let h = int_heap () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              Heap.push h x;
+              model := List.sort compare (x :: !model);
+              true
+          | None -> (
+              let got = Heap.pop h in
+              match !model with
+              | [] -> got = None
+              | m :: rest ->
+                  model := rest;
+                  got = Some m))
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+    Alcotest.test_case "peek" `Quick test_peek_stable;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "growth" `Quick test_growth;
+    QCheck_alcotest.to_alcotest sorted_prop;
+    QCheck_alcotest.to_alcotest interleaved_prop;
+  ]

@@ -1,0 +1,132 @@
+module Json = Bamboo_util.Json
+
+let json = Alcotest.testable (fun fmt v -> Format.pp_print_string fmt (Json.to_string v)) ( = )
+
+let test_scalars () =
+  Alcotest.check json "null" Json.Null (Json.of_string "null");
+  Alcotest.check json "true" (Json.Bool true) (Json.of_string "true");
+  Alcotest.check json "false" (Json.Bool false) (Json.of_string " false ");
+  Alcotest.check json "int" (Json.Int 42) (Json.of_string "42");
+  Alcotest.check json "negative" (Json.Int (-17)) (Json.of_string "-17");
+  Alcotest.check json "float" (Json.Float 3.5) (Json.of_string "3.5");
+  Alcotest.check json "exponent" (Json.Float 1200.0) (Json.of_string "1.2e3");
+  Alcotest.check json "string" (Json.String "hi") (Json.of_string "\"hi\"")
+
+let test_collections () =
+  Alcotest.check json "empty list" (Json.List []) (Json.of_string "[]");
+  Alcotest.check json "list" (Json.List [ Json.Int 1; Json.Int 2 ])
+    (Json.of_string "[1, 2]");
+  Alcotest.check json "empty obj" (Json.Obj []) (Json.of_string "{}");
+  Alcotest.check json "obj"
+    (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true ]) ])
+    (Json.of_string {|{"a": 1, "b": [true]}|})
+
+let test_nesting () =
+  let src = {|{"x": {"y": {"z": [1, {"w": null}]}}}|} in
+  let v = Json.of_string src in
+  let z = Json.(member "z" (member "y" (member "x" v))) in
+  match z with
+  | Json.List [ Json.Int 1; Json.Obj [ ("w", Json.Null) ] ] -> ()
+  | _ -> Alcotest.fail "wrong nested structure"
+
+let test_escapes () =
+  Alcotest.check json "newline" (Json.String "a\nb") (Json.of_string {|"a\nb"|});
+  Alcotest.check json "quote" (Json.String {|say "hi"|})
+    (Json.of_string {|"say \"hi\""|});
+  Alcotest.check json "backslash" (Json.String {|a\b|}) (Json.of_string {|"a\\b"|});
+  Alcotest.check json "unicode" (Json.String "A") (Json.of_string {|"A"|});
+  Alcotest.check json "two-byte utf8" (Json.String "\xc3\xa9")
+    (Json.of_string {|"é"|})
+
+let test_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  fails "";
+  fails "{";
+  fails "[1,";
+  fails "tru";
+  fails {|{"a" 1}|};
+  fails {|{"a": 1,}|};
+  fails "[1] trailing";
+  fails {|"unterminated|};
+  fails {|"bad \q escape"|}
+
+let test_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "bamboo");
+        ("n", Json.Int 4);
+        ("timeout", Json.Float 0.25);
+        ("flags", Json.List [ Json.Bool true; Json.Null ]);
+        ("nested", Json.Obj [ ("k", Json.String "v\n\"q\"") ]);
+      ]
+  in
+  Alcotest.check json "compact" v (Json.of_string (Json.to_string v));
+  Alcotest.check json "indented" v (Json.of_string (Json.to_string ~indent:true v))
+
+let test_accessors () =
+  let v = Json.of_string {|{"i": 3, "f": 2.5, "b": true, "s": "x", "l": [1]}|} in
+  Alcotest.(check int) "to_int" 3 Json.(to_int (member "i" v));
+  Alcotest.(check (float 0.0)) "to_float of int" 3.0 Json.(to_float (member "i" v));
+  Alcotest.(check (float 0.0)) "to_float" 2.5 Json.(to_float (member "f" v));
+  Alcotest.(check bool) "to_bool" true Json.(to_bool (member "b" v));
+  Alcotest.(check string) "get_string" "x" Json.(get_string (member "s" v));
+  Alcotest.(check int) "to_list" 1 (List.length Json.(to_list (member "l" v)));
+  Alcotest.check json "missing member" Json.Null (Json.member "zzz" v)
+
+let test_accessor_errors () =
+  let v = Json.of_string {|{"s": "x"}|} in
+  (match Json.to_int (Json.member "s" v) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  match Json.member "k" (Json.Int 3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "member of non-object"
+
+let test_integral_float_to_int () =
+  Alcotest.(check int) "3.0 as int" 3 (Json.to_int (Json.Float 3.0))
+
+let round_trip_prop =
+  let open QCheck in
+  let rec gen_value depth =
+    let open Gen in
+    if depth = 0 then
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.Int i) small_signed_int;
+          map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 10));
+        ]
+    else
+      oneof
+        [
+          map (fun i -> Json.Int i) small_signed_int;
+          map (fun l -> Json.List l) (list_size (int_range 0 4) (gen_value (depth - 1)));
+          map
+            (fun kvs -> Json.Obj kvs)
+            (list_size (int_range 0 4)
+               (pair (string_size ~gen:printable (int_range 1 6)) (gen_value (depth - 1))));
+        ]
+  in
+  Test.make ~name:"to_string/of_string round trip" ~count:300
+    (make ~print:Json.to_string (gen_value 3))
+    (fun v -> Json.of_string (Json.to_string v) = v)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "collections" `Quick test_collections;
+    Alcotest.test_case "nesting" `Quick test_nesting;
+    Alcotest.test_case "escapes" `Quick test_escapes;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "accessor errors" `Quick test_accessor_errors;
+    Alcotest.test_case "integral float to int" `Quick test_integral_float_to_int;
+    QCheck_alcotest.to_alcotest round_trip_prop;
+  ]

@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "bamboo"
+    [
+      ("util.deque", Test_deque.suite);
+      ("util.heap", Test_heap.suite);
+      ("util.rng", Test_rng.suite);
+      ("util.dist", Test_dist.suite);
+      ("util.stats", Test_stats.suite);
+      ("util.json", Test_json.suite);
+      ("util.table", Test_table.suite);
+      ("crypto.sha256", Test_sha256.suite);
+      ("crypto.hmac", Test_hmac.suite);
+      ("crypto.sig", Test_sig.suite);
+      ("types", Test_types.suite);
+      ("types.codec", Test_codec.suite);
+      ("forest", Test_forest.suite);
+      ("mempool", Test_mempool.suite);
+      ("quorum", Test_quorum.suite);
+      ("sim", Test_sim.suite);
+      ("election", Test_election.suite);
+      ("pacemaker", Test_pacemaker.suite);
+      ("safety-rules", Test_safety_rules.suite);
+      ("byzantine", Test_byzantine.suite);
+      ("config", Test_config.suite);
+      ("metrics", Test_metrics.suite);
+      ("model", Test_model.suite);
+      ("node", Test_node.suite);
+      ("runtime", Test_runtime.suite);
+      ("kvstore", Test_kvstore.suite);
+      ("transport", Test_transport.suite);
+      ("http", Test_http.suite);
+      ("threaded", Test_threaded.suite);
+    ]

@@ -1,0 +1,135 @@
+module Mempool = Bamboo_mempool.Mempool
+open Bamboo_types
+
+let tx = Helpers.tx
+
+let test_add_and_batch_fifo () =
+  let p = Mempool.create () in
+  let txs = Helpers.txs 5 in
+  List.iter (fun t -> ignore (Mempool.add p t)) txs;
+  Alcotest.(check int) "length" 5 (Mempool.length p);
+  let batch = Mempool.batch p ~max:3 in
+  Alcotest.(check int) "batch size" 3 (List.length batch);
+  Alcotest.(check bool) "FIFO order" true
+    (List.for_all2 Tx.equal batch (List.filteri (fun i _ -> i < 3) txs));
+  Alcotest.(check int) "remaining" 2 (Mempool.length p)
+
+let test_batch_more_than_available () =
+  let p = Mempool.create () in
+  ignore (Mempool.add p (tx 1));
+  let batch = Mempool.batch p ~max:10 in
+  Alcotest.(check int) "takes what exists" 1 (List.length batch)
+
+let test_dedup () =
+  let p = Mempool.create () in
+  Alcotest.(check bool) "first add" true (Mempool.add p (tx 1));
+  Alcotest.(check bool) "duplicate rejected" false (Mempool.add p (tx 1));
+  Alcotest.(check int) "length" 1 (Mempool.length p)
+
+let test_inflight_dedup () =
+  let p = Mempool.create () in
+  ignore (Mempool.add p (tx 1));
+  ignore (Mempool.batch p ~max:1);
+  Alcotest.(check bool) "in-flight still rejected" false (Mempool.add p (tx 1));
+  Alcotest.(check bool) "contains in-flight" true
+    (Mempool.contains p (tx 1).Tx.id)
+
+let test_capacity () =
+  let p = Mempool.create ~capacity:2 () in
+  Alcotest.(check bool) "1" true (Mempool.add p (tx 1));
+  Alcotest.(check bool) "2" true (Mempool.add p (tx 2));
+  Alcotest.(check bool) "3 rejected" false (Mempool.add p (tx 3));
+  ignore (Mempool.batch p ~max:1);
+  Alcotest.(check bool) "space after batch" true (Mempool.add p (tx 3))
+
+let test_requeue_front_order () =
+  let p = Mempool.create () in
+  List.iter (fun t -> ignore (Mempool.add p t)) [ tx 1; tx 2; tx 3; tx 4 ];
+  let batch = Mempool.batch p ~max:2 in
+  (* queue: [3;4], forked batch [1;2] goes back to the FRONT in order. *)
+  let n = Mempool.requeue_front p batch in
+  Alcotest.(check int) "requeued" 2 n;
+  let next = Mempool.batch p ~max:4 in
+  Alcotest.(check (list int)) "front order preserved"
+    [ 1; 2; 3; 4 ]
+    (List.map (fun (t : Tx.t) -> t.id.seq) next)
+
+let test_requeue_skips_committed () =
+  let p = Mempool.create () in
+  ignore (Mempool.add p (tx 1));
+  let batch = Mempool.batch p ~max:1 in
+  Mempool.forget p batch;
+  Alcotest.(check int) "committed not requeued" 0 (Mempool.requeue_front p batch)
+
+let test_requeue_skips_foreign () =
+  let p = Mempool.create () in
+  (* A forked block proposed by another replica contains txs this pool has
+     never seen: they must not be adopted. *)
+  Alcotest.(check int) "foreign skipped" 0
+    (Mempool.requeue_front p [ tx 42 ]);
+  Alcotest.(check int) "still empty" 0 (Mempool.length p)
+
+let test_requeue_skips_queued () =
+  let p = Mempool.create () in
+  ignore (Mempool.add p (tx 1));
+  Alcotest.(check int) "already queued" 0 (Mempool.requeue_front p [ tx 1 ])
+
+let test_forget_blocks_readds () =
+  let p = Mempool.create () in
+  ignore (Mempool.add p (tx 1));
+  let batch = Mempool.batch p ~max:1 in
+  Mempool.forget p batch;
+  Alcotest.(check bool) "committed never re-added" false (Mempool.add p (tx 1));
+  Alcotest.(check bool) "not contained" false (Mempool.contains p (tx 1).Tx.id)
+
+let test_batch_skips_committed_in_queue () =
+  (* Client-broadcast mode: a tx committed through another replica's block
+     while still queued here must be dropped by batch, not proposed again. *)
+  let p = Mempool.create () in
+  ignore (Mempool.add p (tx 1));
+  ignore (Mempool.add p (tx 2));
+  Mempool.forget p [ tx 1 ];
+  let batch = Mempool.batch p ~max:2 in
+  Alcotest.(check (list int)) "only live tx"
+    [ 2 ]
+    (List.map (fun (t : Tx.t) -> t.id.seq) batch)
+
+let test_requeue_respects_capacity () =
+  let p = Mempool.create ~capacity:3 () in
+  List.iter (fun t -> ignore (Mempool.add p t)) [ tx 1; tx 2; tx 3 ];
+  let batch = Mempool.batch p ~max:2 in
+  ignore (Mempool.add p (tx 4));
+  ignore (Mempool.add p (tx 5));
+  (* queue full again: [3;4;5]; requeueing 2 can only fit 0. *)
+  Alcotest.(check int) "capacity respected" 0 (Mempool.requeue_front p batch)
+
+let no_duplicate_batches_prop =
+  let open QCheck in
+  let gen = Gen.list_size (Gen.int_range 0 120) (Gen.int_range 0 30) in
+  Test.make ~name:"a tx is never batched twice unless requeued" ~count:200
+    (make ~print:(fun l -> string_of_int (List.length l)) gen)
+    (fun seqs ->
+      let p = Mempool.create ~capacity:1000 () in
+      List.iter (fun s -> ignore (Mempool.add p (tx s))) seqs;
+      let b1 = Mempool.batch p ~max:10 in
+      let b2 = Mempool.batch p ~max:10 in
+      let ids b = List.map (fun (t : Tx.t) -> t.Tx.id) b in
+      List.for_all (fun i -> not (List.mem i (ids b2))) (ids b1))
+
+let suite =
+  [
+    Alcotest.test_case "add/batch FIFO" `Quick test_add_and_batch_fifo;
+    Alcotest.test_case "batch underflow" `Quick test_batch_more_than_available;
+    Alcotest.test_case "dedup" `Quick test_dedup;
+    Alcotest.test_case "in-flight dedup" `Quick test_inflight_dedup;
+    Alcotest.test_case "capacity" `Quick test_capacity;
+    Alcotest.test_case "requeue front order" `Quick test_requeue_front_order;
+    Alcotest.test_case "requeue skips committed" `Quick test_requeue_skips_committed;
+    Alcotest.test_case "requeue skips foreign" `Quick test_requeue_skips_foreign;
+    Alcotest.test_case "requeue skips queued" `Quick test_requeue_skips_queued;
+    Alcotest.test_case "forget blocks re-adds" `Quick test_forget_blocks_readds;
+    Alcotest.test_case "batch skips committed" `Quick
+      test_batch_skips_committed_in_queue;
+    Alcotest.test_case "requeue capacity" `Quick test_requeue_respects_capacity;
+    QCheck_alcotest.to_alcotest no_duplicate_batches_prop;
+  ]

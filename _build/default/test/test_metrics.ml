@@ -1,0 +1,127 @@
+module Metrics = Bamboo.Metrics
+
+let mk () = Metrics.create ~warmup:1.0 ~horizon:11.0 ~bucket:1.0
+
+let summarize t =
+  Metrics.summarize t ~protocol:"test" ~rejected_txs:0 ~safety_violation:false
+
+let test_window () =
+  let t = mk () in
+  Alcotest.(check bool) "before warmup" false (Metrics.in_window t ~now:0.5);
+  Alcotest.(check bool) "inside" true (Metrics.in_window t ~now:5.0);
+  Alcotest.(check bool) "after horizon" false (Metrics.in_window t ~now:11.5)
+
+let test_throughput () =
+  let t = mk () in
+  Metrics.record_commit t ~now:2.0 ~ntxs:500 ~nblocks:2 ~hashes:[];
+  Metrics.record_commit t ~now:3.0 ~ntxs:500 ~nblocks:2 ~hashes:[];
+  (* outside the window: ignored by aggregates *)
+  Metrics.record_commit t ~now:0.5 ~ntxs:999 ~nblocks:1 ~hashes:[];
+  Metrics.record_commit t ~now:11.5 ~ntxs:999 ~nblocks:1 ~hashes:[];
+  let s = summarize t in
+  Alcotest.(check int) "txs" 1000 s.committed_txs;
+  Alcotest.(check int) "blocks" 4 s.committed_blocks;
+  Alcotest.(check (float 1e-9)) "throughput over 10s" 100.0 s.throughput
+
+let test_latency_window_rules () =
+  let t = mk () in
+  (* issued before warmup: excluded even though completion is inside. *)
+  Metrics.record_latency t ~now:2.0 ~issued_at:0.5 ~latency:1.5;
+  (* issued inside, completes inside: counted. *)
+  Metrics.record_latency t ~now:3.0 ~issued_at:2.0 ~latency:1.0;
+  Metrics.record_latency t ~now:4.0 ~issued_at:2.0 ~latency:2.0;
+  (* completes after horizon: excluded. *)
+  Metrics.record_latency t ~now:12.0 ~issued_at:10.0 ~latency:2.0;
+  let s = summarize t in
+  Alcotest.(check int) "samples" 2 s.latency_samples;
+  Alcotest.(check (float 1e-9)) "mean" 1.5 s.latency_mean
+
+let test_percentiles_in_summary () =
+  let t = mk () in
+  List.iter
+    (fun l -> Metrics.record_latency t ~now:5.0 ~issued_at:4.0 ~latency:l)
+    (List.init 100 (fun i -> float_of_int (i + 1)));
+  let s = summarize t in
+  Alcotest.(check bool) "p50 < p95 < p99" true
+    (s.latency_p50 < s.latency_p95 && s.latency_p95 < s.latency_p99)
+
+let test_cgr_and_bi () =
+  let t = mk () in
+  (* Four accepted blocks: three commit, one is overwritten. *)
+  List.iter
+    (fun h -> Metrics.record_append t ~now:2.0 ~hash:h)
+    [ "b1"; "b2"; "b3"; "b4" ];
+  Metrics.record_commit t ~now:2.5 ~ntxs:10 ~nblocks:3
+    ~hashes:[ "b1"; "b2"; "b3" ];
+  Metrics.record_fork t ~now:2.6 ~nblocks:1 ~hashes:[ "b4" ];
+  Metrics.record_block_interval t ~now:2.5 ~views:3;
+  Metrics.record_block_interval t ~now:2.5 ~views:3;
+  Metrics.record_block_interval t ~now:2.5 ~views:4;
+  let s = summarize t in
+  Alcotest.(check (float 1e-9)) "CGR = committed/(committed+overwritten)" 0.75
+    s.cgr;
+  Alcotest.(check (float 1e-6)) "BI mean" (10.0 /. 3.0) s.block_interval
+
+let test_cgr_ignores_unaccepted_junk () =
+  let t = mk () in
+  List.iter (fun h -> Metrics.record_append t ~now:2.0 ~hash:h) [ "b1"; "b2" ];
+  Metrics.record_commit t ~now:2.5 ~ntxs:5 ~nblocks:2 ~hashes:[ "b1"; "b2" ];
+  (* A pruned block the observer never voted for (e.g. a futile Streamlet
+     fork) must not lower the CGR. *)
+  Metrics.record_fork t ~now:2.6 ~nblocks:1 ~hashes:[ "junk" ];
+  Alcotest.(check (float 1e-9)) "CGR stays 1" 1.0 (summarize t).cgr
+
+let test_forked_counter () =
+  let t = mk () in
+  Metrics.record_fork t ~now:3.0 ~nblocks:2 ~hashes:[];
+  Metrics.record_fork t ~now:0.2 ~nblocks:5 ~hashes:[] (* warmup: ignored *);
+  let s = summarize t in
+  Alcotest.(check int) "forked" 2 s.forked_blocks
+
+let test_views_span () =
+  let t = mk () in
+  Metrics.set_view_span t ~first:100 ~last:350;
+  Alcotest.(check int) "views" 250 (summarize t).views
+
+let test_series_includes_warmup () =
+  let t = mk () in
+  Metrics.record_commit t ~now:0.5 ~ntxs:100 ~nblocks:1 ~hashes:[];
+  Metrics.record_commit t ~now:2.5 ~ntxs:300 ~nblocks:1 ~hashes:[];
+  Metrics.record_commit t ~now:2.7 ~ntxs:200 ~nblocks:1 ~hashes:[];
+  let series = Metrics.throughput_series t in
+  Alcotest.(check int) "bucket count" 3 (List.length series);
+  Alcotest.(check (float 1e-9)) "warmup bucket present" 100.0
+    (List.assoc 0.0 series);
+  Alcotest.(check (float 1e-9)) "bucket 2 aggregates" 500.0
+    (List.assoc 2.0 series);
+  Alcotest.(check (float 1e-9)) "empty bucket zero" 0.0 (List.assoc 1.0 series)
+
+let test_empty_summary () =
+  let s = summarize (mk ()) in
+  Alcotest.(check (float 0.0)) "throughput" 0.0 s.throughput;
+  Alcotest.(check (float 0.0)) "cgr" 0.0 s.cgr;
+  Alcotest.(check int) "samples" 0 s.latency_samples
+
+let test_invalid_create () =
+  (match Metrics.create ~warmup:5.0 ~horizon:5.0 ~bucket:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "horizon = warmup accepted");
+  match Metrics.create ~warmup:0.0 ~horizon:1.0 ~bucket:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bucket accepted"
+
+let suite =
+  [
+    Alcotest.test_case "window" `Quick test_window;
+    Alcotest.test_case "throughput" `Quick test_throughput;
+    Alcotest.test_case "latency window rules" `Quick test_latency_window_rules;
+    Alcotest.test_case "percentiles" `Quick test_percentiles_in_summary;
+    Alcotest.test_case "CGR and BI" `Quick test_cgr_and_bi;
+    Alcotest.test_case "CGR ignores unaccepted junk" `Quick
+      test_cgr_ignores_unaccepted_junk;
+    Alcotest.test_case "forked counter" `Quick test_forked_counter;
+    Alcotest.test_case "views span" `Quick test_views_span;
+    Alcotest.test_case "series" `Quick test_series_includes_warmup;
+    Alcotest.test_case "empty summary" `Quick test_empty_summary;
+    Alcotest.test_case "invalid create" `Quick test_invalid_create;
+  ]

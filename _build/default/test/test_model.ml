@@ -1,0 +1,123 @@
+module Model = Bamboo.Model
+module Config = Bamboo.Config
+
+let cfg = Config.default
+
+let test_building_blocks_positive () =
+  let m = Model.build ~config:cfg in
+  Alcotest.(check bool) "t_l > 0" true (m.t_l > 0.0);
+  Alcotest.(check bool) "t_nic > 0" true (m.t_nic > 0.0);
+  Alcotest.(check bool) "t_q > 0" true (m.t_q > 0.0);
+  Alcotest.(check bool) "t_s > sum of parts" true (m.t_s > m.t_nic +. m.t_q);
+  Alcotest.(check bool) "saturation sensible" true
+    (m.saturation_rate > 1000.0 && m.saturation_rate < 1e7)
+
+let test_commit_multipliers () =
+  let t_commit p =
+    let m = Model.build ~config:{ cfg with protocol = p } in
+    (m.t_s, m.t_commit)
+  in
+  let hs_s, hs_c = t_commit Config.Hotstuff in
+  Alcotest.(check (float 1e-12)) "HS: 2 t_s" (2.0 *. hs_s) hs_c;
+  let tc_s, tc_c = t_commit Config.Twochain in
+  Alcotest.(check (float 1e-12)) "2CHS: t_s" tc_s tc_c;
+  let sl_s, sl_c = t_commit Config.Streamlet in
+  Alcotest.(check (float 1e-12)) "SL: t_s" sl_s sl_c
+
+let test_hotstuff_slower_than_twochain () =
+  let lat p rate =
+    let m = Model.build ~config:{ cfg with protocol = p } in
+    Option.get (Model.latency m ~rate)
+  in
+  Alcotest.(check bool) "HS latency above 2CHS" true
+    (lat Config.Hotstuff 10_000.0 > lat Config.Twochain 10_000.0)
+
+let test_latency_monotone_in_rate () =
+  let m = Model.build ~config:cfg in
+  let rec check prev = function
+    | [] -> ()
+    | f :: rest -> (
+        match Model.latency m ~rate:(f *. m.saturation_rate) with
+        | Some l ->
+            if l <= prev then Alcotest.fail "latency not increasing";
+            check l rest
+        | None -> Alcotest.fail "unexpected saturation")
+  in
+  check 0.0 [ 0.1; 0.3; 0.5; 0.7; 0.9; 0.99 ]
+
+let test_saturation_returns_none () =
+  let m = Model.build ~config:cfg in
+  Alcotest.(check bool) "at saturation" true
+    (Model.latency m ~rate:m.saturation_rate = None);
+  Alcotest.(check bool) "beyond" true
+    (Model.latency m ~rate:(1.5 *. m.saturation_rate) = None)
+
+let test_low_load_floor () =
+  (* At vanishing load, latency approaches t_L + t_s + t_commit. *)
+  let m = Model.build ~config:cfg in
+  match Model.latency m ~rate:1.0 with
+  | Some l ->
+      let floor = m.t_l +. m.t_s +. m.t_commit in
+      Alcotest.(check bool) "close to floor" true
+        (l >= floor && l < floor *. 1.01)
+  | None -> Alcotest.fail "saturated at rate 1"
+
+let test_bigger_blocks_raise_saturation () =
+  let sat bsize =
+    (Model.build ~config:{ cfg with bsize }).Model.saturation_rate
+  in
+  Alcotest.(check bool) "b400 > b100" true (sat 400 > sat 100);
+  Alcotest.(check bool) "b800 > b400" true (sat 800 > sat 400)
+
+let test_payload_lowers_saturation () =
+  let sat psize =
+    (Model.build ~config:{ cfg with psize }).Model.saturation_rate
+  in
+  Alcotest.(check bool) "payload costs NIC time" true (sat 0 > sat 1024)
+
+let test_network_delay_raises_t_q () =
+  let t_q d =
+    (Model.build ~config:{ cfg with extra_delay_mu = d }).Model.t_q
+  in
+  Alcotest.(check bool) "added delay" true (t_q 0.005 > t_q 0.0 +. 0.009)
+
+let test_scale_raises_t_q () =
+  let t_q n = (Model.build ~config:{ cfg with n }).Model.t_q in
+  Alcotest.(check bool) "order statistic grows with n" true (t_q 32 > t_q 4)
+
+let test_mc_matches_numeric () =
+  let m = Model.build ~config:{ cfg with n = 8 } in
+  let mc = Model.t_q_monte_carlo ~config:{ cfg with n = 8 } ~trials:200_000 in
+  Alcotest.(check bool) "t_Q MC vs numeric" true
+    (Float.abs (mc -. m.t_q) < 0.05 *. m.t_q +. 1e-5)
+
+let test_curve_prunes_saturated () =
+  let m = Model.build ~config:cfg in
+  let rates = [ 0.5 *. m.saturation_rate; 2.0 *. m.saturation_rate ] in
+  Alcotest.(check int) "only feasible points" 1
+    (List.length (Model.curve m ~rates))
+
+let test_invalid_rate () =
+  let m = Model.build ~config:cfg in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Model.latency: rate must be positive") (fun () ->
+      ignore (Model.latency m ~rate:0.0))
+
+let suite =
+  [
+    Alcotest.test_case "building blocks" `Quick test_building_blocks_positive;
+    Alcotest.test_case "commit multipliers" `Quick test_commit_multipliers;
+    Alcotest.test_case "HS slower than 2CHS" `Quick
+      test_hotstuff_slower_than_twochain;
+    Alcotest.test_case "latency monotone" `Quick test_latency_monotone_in_rate;
+    Alcotest.test_case "saturation None" `Quick test_saturation_returns_none;
+    Alcotest.test_case "low-load floor" `Quick test_low_load_floor;
+    Alcotest.test_case "block size vs saturation" `Quick
+      test_bigger_blocks_raise_saturation;
+    Alcotest.test_case "payload vs saturation" `Quick test_payload_lowers_saturation;
+    Alcotest.test_case "delay raises t_Q" `Quick test_network_delay_raises_t_q;
+    Alcotest.test_case "scale raises t_Q" `Quick test_scale_raises_t_q;
+    Alcotest.test_case "MC vs numeric t_Q" `Quick test_mc_matches_numeric;
+    Alcotest.test_case "curve prunes saturated" `Quick test_curve_prunes_saturated;
+    Alcotest.test_case "invalid rate" `Quick test_invalid_rate;
+  ]

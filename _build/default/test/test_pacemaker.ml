@@ -1,0 +1,109 @@
+module Pacemaker = Bamboo.Pacemaker
+open Bamboo_types
+
+let genesis_qc = Bamboo.Safety.genesis_qc
+
+let test_initial () =
+  let p = Pacemaker.create ~timeout:0.1 () in
+  Alcotest.(check int) "starts in view 1" 1 (Pacemaker.current_view p);
+  Alcotest.(check (float 0.0)) "duration" 0.1 (Pacemaker.timer_duration p);
+  Alcotest.(check bool) "startup reason" true
+    (Pacemaker.entry_reason p = Pacemaker.Startup)
+
+let test_advance_via_qc () =
+  let p = Pacemaker.create ~timeout:0.1 () in
+  let qc = { genesis_qc with Qc.view = 1 } in
+  Alcotest.(check bool) "advance" true
+    (Pacemaker.advance p ~to_view:2 ~reason:(Pacemaker.Via_qc qc));
+  Alcotest.(check int) "view 2" 2 (Pacemaker.current_view p);
+  Alcotest.(check bool) "reason recorded" true
+    (match Pacemaker.entry_reason p with Pacemaker.Via_qc _ -> true | _ -> false)
+
+let test_no_backwards_advance () =
+  let p = Pacemaker.create ~timeout:0.1 () in
+  ignore (Pacemaker.advance p ~to_view:5 ~reason:Pacemaker.Startup);
+  Alcotest.(check bool) "same view refused" false
+    (Pacemaker.advance p ~to_view:5 ~reason:Pacemaker.Startup);
+  Alcotest.(check bool) "lower view refused" false
+    (Pacemaker.advance p ~to_view:3 ~reason:Pacemaker.Startup);
+  Alcotest.(check int) "still 5" 5 (Pacemaker.current_view p)
+
+let test_view_jump () =
+  let p = Pacemaker.create ~timeout:0.1 () in
+  Alcotest.(check bool) "jump to 10" true
+    (Pacemaker.advance p ~to_view:10 ~reason:Pacemaker.Startup);
+  Alcotest.(check int) "view 10" 10 (Pacemaker.current_view p)
+
+let test_timer_fired_once_per_view () =
+  let p = Pacemaker.create ~timeout:0.1 () in
+  Alcotest.(check bool) "first expiry broadcasts" true
+    (Pacemaker.note_timer_fired p 1 = `Broadcast_timeout);
+  (* While still stuck in the view, every expiry re-broadcasts so that a
+     lost timeout message cannot starve TC formation. *)
+  Alcotest.(check bool) "second expiry re-broadcasts" true
+    (Pacemaker.note_timer_fired p 1 = `Broadcast_timeout);
+  Alcotest.(check bool) "timed_out" true (Pacemaker.timed_out p 1);
+  Alcotest.(check bool) "future not timed out" false (Pacemaker.timed_out p 2)
+
+let test_stale_timer_ignored () =
+  let p = Pacemaker.create ~timeout:0.1 () in
+  ignore (Pacemaker.advance p ~to_view:3 ~reason:Pacemaker.Startup);
+  Alcotest.(check bool) "old view timer stale" true
+    (Pacemaker.note_timer_fired p 1 = `Stale);
+  Alcotest.(check bool) "current fires" true
+    (Pacemaker.note_timer_fired p 3 = `Broadcast_timeout)
+
+let test_timeout_then_advance () =
+  let p = Pacemaker.create ~timeout:0.1 () in
+  ignore (Pacemaker.note_timer_fired p 1);
+  ignore (Pacemaker.advance p ~to_view:2 ~reason:Pacemaker.Startup);
+  Alcotest.(check bool) "view 1 stays timed out" true (Pacemaker.timed_out p 1);
+  Alcotest.(check bool) "new view timer can fire" true
+    (Pacemaker.note_timer_fired p 2 = `Broadcast_timeout)
+
+let test_invalid_timeout () =
+  Alcotest.check_raises "non-positive timeout"
+    (Invalid_argument "Pacemaker.create: timeout must be positive") (fun () ->
+      ignore (Pacemaker.create ~timeout:0.0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "initial" `Quick test_initial;
+    Alcotest.test_case "advance via QC" `Quick test_advance_via_qc;
+    Alcotest.test_case "no backwards advance" `Quick test_no_backwards_advance;
+    Alcotest.test_case "view jump" `Quick test_view_jump;
+    Alcotest.test_case "timer fires once per view" `Quick
+      test_timer_fired_once_per_view;
+    Alcotest.test_case "stale timer" `Quick test_stale_timer_ignored;
+    Alcotest.test_case "timeout then advance" `Quick test_timeout_then_advance;
+    Alcotest.test_case "invalid timeout" `Quick test_invalid_timeout;
+  ]
+
+let test_backoff_growth_and_reset () =
+  let p = Pacemaker.create ~backoff:2.0 ~timeout:0.1 () in
+  Alcotest.(check (float 1e-9)) "base" 0.1 (Pacemaker.timer_duration p);
+  let tc view = Bamboo.Pacemaker.Via_tc { Tcert.view; high_qc = genesis_qc; sigs = [] } in
+  ignore (Pacemaker.advance p ~to_view:2 ~reason:(tc 1));
+  Alcotest.(check (float 1e-9)) "doubled" 0.2 (Pacemaker.timer_duration p);
+  ignore (Pacemaker.advance p ~to_view:3 ~reason:(tc 2));
+  Alcotest.(check (float 1e-9)) "quadrupled" 0.4 (Pacemaker.timer_duration p);
+  Alcotest.(check int) "counter" 2 (Pacemaker.consecutive_timeouts p);
+  ignore
+    (Pacemaker.advance p ~to_view:4
+       ~reason:(Bamboo.Pacemaker.Via_qc { genesis_qc with Qc.view = 3 }));
+  Alcotest.(check (float 1e-9)) "reset on progress" 0.1
+    (Pacemaker.timer_duration p);
+  Alcotest.(check int) "counter reset" 0 (Pacemaker.consecutive_timeouts p)
+
+let test_backoff_validation () =
+  match Pacemaker.create ~backoff:0.5 ~timeout:0.1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "backoff < 1 accepted"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "backoff growth and reset" `Quick
+        test_backoff_growth_and_reset;
+      Alcotest.test_case "backoff validation" `Quick test_backoff_validation;
+    ]

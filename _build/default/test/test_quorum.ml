@@ -1,0 +1,147 @@
+module Quorum = Bamboo_quorum.Quorum
+open Bamboo_types
+
+let reg = Helpers.registry ()
+
+let test_sizes () =
+  let q4 = Quorum.create ~n:4 in
+  Alcotest.(check int) "n" 4 (Quorum.n q4);
+  Alcotest.(check int) "quorum(4)" 3 (Quorum.quorum_size q4);
+  Alcotest.(check int) "f(4)" 1 (Quorum.fault_bound q4);
+  let q7 = Quorum.create ~n:7 in
+  Alcotest.(check int) "quorum(7)" 5 (Quorum.quorum_size q7);
+  let q32 = Quorum.create ~n:32 in
+  Alcotest.(check int) "quorum(32)" 21 (Quorum.quorum_size q32);
+  Alcotest.(check int) "f(32)" 10 (Quorum.fault_bound q32)
+
+let test_vote_threshold () =
+  let q = Quorum.create ~n:4 in
+  let b = Helpers.child ~reg ~view:1 Block.genesis in
+  Alcotest.(check bool) "1 vote" true
+    (Quorum.voted q (Helpers.vote_for reg ~voter:0 b) = None);
+  Alcotest.(check bool) "2 votes" true
+    (Quorum.voted q (Helpers.vote_for reg ~voter:1 b) = None);
+  (match Quorum.voted q (Helpers.vote_for reg ~voter:2 b) with
+  | Some qc ->
+      Alcotest.(check string) "block" b.Block.hash qc.Qc.block;
+      Alcotest.(check int) "view" 1 qc.Qc.view;
+      Alcotest.(check int) "height" 1 qc.Qc.height;
+      Alcotest.(check int) "sigs" 3 (List.length qc.Qc.sigs);
+      Alcotest.(check bool) "verifies" true (Qc.verify reg ~quorum:3 qc)
+  | None -> Alcotest.fail "no QC at threshold");
+  (* Fourth vote must not produce a second QC. *)
+  Alcotest.(check bool) "4th vote" true
+    (Quorum.voted q (Helpers.vote_for reg ~voter:3 b) = None)
+
+let test_duplicate_votes_ignored () =
+  let q = Quorum.create ~n:4 in
+  let b = Helpers.child ~reg ~view:1 Block.genesis in
+  ignore (Quorum.voted q (Helpers.vote_for reg ~voter:0 b));
+  ignore (Quorum.voted q (Helpers.vote_for reg ~voter:0 b));
+  ignore (Quorum.voted q (Helpers.vote_for reg ~voter:0 b));
+  Alcotest.(check int) "still one voter" 1
+    (Quorum.vote_count q ~block:b.Block.hash ~view:1)
+
+let test_certified_lookup () =
+  let q = Quorum.create ~n:4 in
+  let b = Helpers.child ~reg ~view:1 Block.genesis in
+  Alcotest.(check bool) "not yet" true
+    (Quorum.certified q ~block:b.Block.hash ~view:1 = None);
+  List.iter
+    (fun voter -> ignore (Quorum.voted q (Helpers.vote_for reg ~voter b)))
+    [ 0; 1; 2 ];
+  Alcotest.(check bool) "certified" true
+    (Quorum.certified q ~block:b.Block.hash ~view:1 <> None)
+
+let test_distinct_blocks_separate () =
+  let q = Quorum.create ~n:4 in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  let b2 = Helpers.child ~reg ~view:2 Block.genesis in
+  ignore (Quorum.voted q (Helpers.vote_for reg ~voter:0 b1));
+  ignore (Quorum.voted q (Helpers.vote_for reg ~voter:1 b2));
+  Alcotest.(check int) "b1 count" 1 (Quorum.vote_count q ~block:b1.Block.hash ~view:1);
+  Alcotest.(check int) "b2 count" 1 (Quorum.vote_count q ~block:b2.Block.hash ~view:2)
+
+let test_timeout_threshold () =
+  let q = Quorum.create ~n:4 in
+  let high_qc = Qc.genesis ~block:Block.genesis_hash in
+  let tm sender = Timeout_msg.create reg ~sender ~view:5 ~high_qc in
+  Alcotest.(check bool) "1" true (Quorum.timed_out q (tm 0) = None);
+  Alcotest.(check bool) "2" true (Quorum.timed_out q (tm 1) = None);
+  (match Quorum.timed_out q (tm 2) with
+  | Some tc ->
+      Alcotest.(check int) "view" 5 tc.Tcert.view;
+      Alcotest.(check bool) "verifies" true (Tcert.verify reg ~quorum:3 tc);
+      Alcotest.(check bool) "lookup" true (Quorum.tc_for q ~view:5 <> None)
+  | None -> Alcotest.fail "no TC at threshold");
+  Alcotest.(check bool) "4th timeout no second TC" true
+    (Quorum.timed_out q (tm 3) = None)
+
+let test_timeout_duplicates () =
+  let q = Quorum.create ~n:4 in
+  let high_qc = Qc.genesis ~block:Block.genesis_hash in
+  let tm = Timeout_msg.create reg ~sender:0 ~view:5 ~high_qc in
+  ignore (Quorum.timed_out q tm);
+  ignore (Quorum.timed_out q tm);
+  ignore (Quorum.timed_out q tm);
+  Alcotest.(check bool) "no TC from one sender" true
+    (Quorum.tc_for q ~view:5 = None)
+
+let test_tc_carries_max_high_qc () =
+  let q = Quorum.create ~n:4 in
+  let b = Helpers.child ~reg ~view:3 Block.genesis in
+  let low = Qc.genesis ~block:Block.genesis_hash in
+  let high = Helpers.qc_for reg b in
+  ignore (Quorum.timed_out q (Timeout_msg.create reg ~sender:0 ~view:7 ~high_qc:low));
+  ignore (Quorum.timed_out q (Timeout_msg.create reg ~sender:1 ~view:7 ~high_qc:high));
+  match Quorum.timed_out q (Timeout_msg.create reg ~sender:2 ~view:7 ~high_qc:low) with
+  | Some tc -> Alcotest.(check int) "max qc" 3 tc.Tcert.high_qc.Qc.view
+  | None -> Alcotest.fail "no TC"
+
+let test_gc () =
+  let q = Quorum.create ~n:4 in
+  let b = Helpers.child ~reg ~view:1 Block.genesis in
+  List.iter
+    (fun voter -> ignore (Quorum.voted q (Helpers.vote_for reg ~voter b)))
+    [ 0; 1; 2 ];
+  let high_qc = Qc.genesis ~block:Block.genesis_hash in
+  ignore (Quorum.timed_out q (Timeout_msg.create reg ~sender:0 ~view:1 ~high_qc));
+  Quorum.gc q ~below_view:2;
+  Alcotest.(check bool) "vote slot gone" true
+    (Quorum.certified q ~block:b.Block.hash ~view:1 = None);
+  Alcotest.(check bool) "timeout slot gone" true (Quorum.tc_for q ~view:1 = None)
+
+let threshold_prop =
+  let open QCheck in
+  let gen = Gen.pair (Gen.int_range 1 10) (Gen.int_range 0 40) in
+  Test.make ~name:"QC appears exactly at 2f+1 distinct votes" ~count:100
+    (make ~print:(fun (f, extra) -> Printf.sprintf "f=%d extra=%d" f extra) gen)
+    (fun (f, extra_votes) ->
+      let n = (3 * f) + 1 in
+      let reg = Helpers.registry ~n () in
+      let q = Quorum.create ~n in
+      let b = Helpers.child ~reg ~view:1 Block.genesis in
+      let quorum = (2 * f) + 1 in
+      let produced = ref 0 in
+      for voter = 0 to min (n - 1) (quorum + extra_votes) - 1 do
+        match Quorum.voted q (Helpers.vote_for reg ~voter b) with
+        | Some _ ->
+            incr produced;
+            if voter + 1 <> quorum then raise Exit
+        | None -> ()
+      done;
+      !produced <= 1)
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "vote threshold" `Quick test_vote_threshold;
+    Alcotest.test_case "duplicate votes" `Quick test_duplicate_votes_ignored;
+    Alcotest.test_case "certified lookup" `Quick test_certified_lookup;
+    Alcotest.test_case "distinct blocks" `Quick test_distinct_blocks_separate;
+    Alcotest.test_case "timeout threshold" `Quick test_timeout_threshold;
+    Alcotest.test_case "timeout duplicates" `Quick test_timeout_duplicates;
+    Alcotest.test_case "TC max high_qc" `Quick test_tc_carries_max_high_qc;
+    Alcotest.test_case "gc" `Quick test_gc;
+    QCheck_alcotest.to_alcotest threshold_prop;
+  ]

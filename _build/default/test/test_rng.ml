@@ -1,0 +1,97 @@
+module Rng = Bamboo_util.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int32) "same stream" (Rng.bits32 a) (Rng.bits32 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits32 a = Rng.bits32 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done
+
+let test_int_uniformity () =
+  let rng = Rng.create ~seed:9 in
+  let counts = Array.make 8 0 in
+  let trials = 80_000 in
+  for _ = 1 to trials do
+    let v = Rng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials / 8 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d skewed: %d vs %d" i c expected)
+    counts
+
+let test_float_range () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of range"
+  done
+
+let test_int64_bounds () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int64 rng 1_000_000_000_000L in
+    if v < 0L || v >= 1_000_000_000_000L then Alcotest.fail "int64 out of bounds"
+  done
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:21 in
+  let a = Rng.split parent in
+  let b = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits32 a = Rng.bits32 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_copy () =
+  let a = Rng.create ~seed:31 in
+  ignore (Rng.bits32 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int32) "copy tracks original" (Rng.bits32 a) (Rng.bits32 b)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:41 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_invalid_bound () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int64 bounds" `Quick test_int64_bounds;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "invalid bound" `Quick test_invalid_bound;
+  ]

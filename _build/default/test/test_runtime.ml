@@ -1,0 +1,302 @@
+(* End-to-end simulator runs: protocol progress, metric sanity, Byzantine
+   behaviour, fault injection, determinism, and the cross-replica safety
+   property under every protocol. *)
+
+module Runtime = Bamboo.Runtime
+module Workload = Bamboo.Workload
+module Config = Bamboo.Config
+
+let base =
+  { Config.default with runtime = 1.5; warmup = 0.3; seed = 5 }
+
+let run ?faults config rate =
+  Runtime.run ~config ~workload:(Workload.open_loop ~rate ()) ?faults ()
+
+let check_healthy name (r : Runtime.result) =
+  Alcotest.(check bool) (name ^ ": consistent") true r.consistent;
+  Alcotest.(check bool) (name ^ ": no violation") false r.any_violation
+
+let test_happy_path_all_protocols () =
+  List.iter
+    (fun protocol ->
+      let name = Config.protocol_name protocol in
+      let r = run { base with protocol } 5000.0 in
+      check_healthy name r;
+      let s = r.summary in
+      Alcotest.(check bool) (name ^ ": throughput tracks arrivals") true
+        (Float.abs (s.throughput -. 5000.0) < 500.0);
+      Alcotest.(check bool) (name ^ ": latency sane") true
+        (s.latency_mean > 0.001 && s.latency_mean < 0.2);
+      Alcotest.(check bool) (name ^ ": CGR ~ 1") true (s.cgr > 0.98);
+      Alcotest.(check int) (name ^ ": no forks") 0 s.forked_blocks)
+    [ Config.Hotstuff; Config.Twochain; Config.Streamlet; Config.Fasthotstuff ]
+
+let test_block_interval_constants () =
+  let bi protocol = (run { base with protocol } 5000.0).summary.block_interval in
+  Alcotest.(check (float 0.05)) "HS BI = 3" 3.0 (bi Config.Hotstuff);
+  Alcotest.(check (float 0.05)) "2CHS BI = 2" 2.0 (bi Config.Twochain);
+  Alcotest.(check (float 0.05)) "SL BI = 2" 2.0 (bi Config.Streamlet)
+
+let test_twochain_latency_below_hotstuff () =
+  let lat protocol = (run { base with protocol } 5000.0).summary.latency_mean in
+  Alcotest.(check bool) "one voting round cheaper" true
+    (lat Config.Twochain < lat Config.Hotstuff)
+
+let test_determinism () =
+  let r1 = run base 8000.0 and r2 = run base 8000.0 in
+  Alcotest.(check int) "txs identical" r1.summary.committed_txs
+    r2.summary.committed_txs;
+  Alcotest.(check (float 1e-12)) "latency identical" r1.summary.latency_mean
+    r2.summary.latency_mean;
+  let r3 = run { base with seed = 6 } 8000.0 in
+  Alcotest.(check bool) "seed changes trajectory" true
+    (r3.summary.committed_txs <> r1.summary.committed_txs
+    || r3.summary.latency_mean <> r1.summary.latency_mean)
+
+let test_closed_loop () =
+  let r =
+    Runtime.run ~config:base ~workload:(Workload.closed_loop ~clients:20) ()
+  in
+  check_healthy "closed loop" r;
+  Alcotest.(check bool) "commits" true (r.summary.committed_txs > 0);
+  Alcotest.(check bool) "latency measured" true (r.summary.latency_samples > 0)
+
+let test_broadcast_workload () =
+  let r =
+    Runtime.run ~config:base
+      ~workload:(Workload.open_loop ~broadcast:true ~rate:2000.0 ())
+      ()
+  in
+  check_healthy "broadcast" r;
+  (* Deduplication must prevent double commits: committed distinct txs
+     cannot exceed arrivals. *)
+  Alcotest.(check bool) "no duplication inflation" true
+    (r.summary.throughput < 2500.0);
+  Alcotest.(check bool) "commits" true (r.summary.committed_txs > 0)
+
+let byz_base =
+  {
+    base with
+    n = 8;
+    byz_no = 2;
+    runtime = 2.5;
+    timeout = 0.05;
+    seed = 17;
+  }
+
+let test_forking_attack_hotstuff () =
+  let r = run { byz_base with strategy = Config.Fork } 4000.0 in
+  check_healthy "HS fork" r;
+  let s = r.summary in
+  Alcotest.(check bool) "forks observed" true (s.forked_blocks > 0);
+  Alcotest.(check bool) "CGR degraded" true (s.cgr < 0.9);
+  Alcotest.(check bool) "BI above happy-path 3" true (s.block_interval > 3.0)
+
+let test_forking_attack_depth_ordering () =
+  let cgr protocol =
+    (run { byz_base with protocol; strategy = Config.Fork } 4000.0).summary.cgr
+  in
+  let hs = cgr Config.Hotstuff and tchs = cgr Config.Twochain in
+  Alcotest.(check bool) "2CHS more fork-resilient than HS" true (tchs > hs)
+
+let test_forking_attack_streamlet_immune () =
+  let r =
+    run { byz_base with protocol = Config.Streamlet; strategy = Config.Fork }
+      4000.0
+  in
+  check_healthy "SL fork" r;
+  Alcotest.(check bool) "CGR stays 1" true (r.summary.cgr > 0.99)
+
+let test_silence_attack () =
+  let r = run { byz_base with strategy = Config.Silence } 4000.0 in
+  check_healthy "HS silence" r;
+  let s = r.summary in
+  Alcotest.(check bool) "overwrites happen" true (s.forked_blocks > 0);
+  Alcotest.(check bool) "CGR degraded" true (s.cgr < 1.0);
+  Alcotest.(check bool) "BI grows" true (s.block_interval > 3.0)
+
+let test_silence_attack_streamlet_no_forks () =
+  let r =
+    run { byz_base with protocol = Config.Streamlet; strategy = Config.Silence }
+      4000.0
+  in
+  check_healthy "SL silence" r;
+  Alcotest.(check int) "no forks" 0 r.summary.forked_blocks;
+  Alcotest.(check bool) "CGR stays 1" true (r.summary.cgr > 0.99)
+
+let test_crash_fault () =
+  let config = { base with runtime = 2.0 } in
+  let faults = { Runtime.fluctuation = None; crash = Some (3, 1.0) } in
+  let r = run ~faults config 4000.0 in
+  check_healthy "crash" r;
+  (* One crashed replica of four: liveness retained via timeouts. *)
+  Alcotest.(check bool) "still commits after crash" true
+    (r.summary.committed_txs > 0);
+  (* The crashed node's view falls behind the others. *)
+  let crashed_view = r.final_views.(3) in
+  Alcotest.(check bool) "crashed node lags" true
+    (Array.exists (fun v -> v > crashed_view) r.final_views)
+
+let test_fluctuation_recovers () =
+  let config = { base with runtime = 3.0; seed = 23 } in
+  let faults =
+    { Runtime.fluctuation = Some (1.0, 1.5, 0.01, 0.05); crash = None }
+  in
+  let r = run ~faults config 3000.0 in
+  check_healthy "fluctuation" r;
+  (* Throughput in the last second must recover to arrival rate. *)
+  let tail =
+    List.filter (fun (t, _) -> t >= 2.0 && t < 3.0) r.series
+    |> List.map snd
+  in
+  let mean = List.fold_left ( +. ) 0.0 tail /. float_of_int (List.length tail) in
+  Alcotest.(check bool) "recovered" true (mean > 1500.0)
+
+let test_series_covers_run () =
+  let r = run base 3000.0 in
+  Alcotest.(check bool) "has buckets" true (List.length r.series >= 2);
+  List.iter
+    (fun (t, thr) ->
+      if t < 0.0 || thr < 0.0 then Alcotest.fail "bad series point")
+    r.series
+
+let test_static_leader () =
+  let r = run { base with election = Config.Static 0 } 4000.0 in
+  check_healthy "static" r;
+  Alcotest.(check bool) "commits" true (r.summary.committed_txs > 0)
+
+let test_hashed_election () =
+  let r = run { base with election = Config.Hashed } 4000.0 in
+  check_healthy "hashed" r;
+  Alcotest.(check bool) "commits" true (r.summary.committed_txs > 0)
+
+let test_mempool_backpressure () =
+  (* Tiny mempool at a high rate: rejections must be reported and the run
+     stays healthy. *)
+  let r = run { base with memsize = 50 } 200_000.0 in
+  check_healthy "backpressure" r;
+  Alcotest.(check bool) "rejections counted" true (r.summary.rejected_txs > 0)
+
+let test_lossy_network () =
+  (* 5% independent message loss: block synchronization and timeout
+     re-broadcast keep the cluster live and consistent. *)
+  let config = { base with timeout = 0.05; loss = 0.05; runtime = 2.5 } in
+  let r = run config 4000.0 in
+  check_healthy "lossy" r;
+  Alcotest.(check bool) "still commits most traffic" true
+    (r.summary.throughput > 2500.0);
+  (* Heavier loss: slower, but never inconsistent. *)
+  let r = run { config with loss = 0.2 } 2000.0 in
+  check_healthy "very lossy" r;
+  Alcotest.(check bool) "progress under 20% loss" true
+    (r.summary.committed_txs > 0)
+
+let test_backoff_restores_liveness () =
+  (* View timer below the real round trip: fixed timers expire before any
+     proposal can arrive and the cluster starves; geometric backoff
+     stretches them until progress resumes (paper §VI-D discusses timeout
+     settings; the backoff pacemaker is this repo's extension). *)
+  let config =
+    {
+      base with
+      timeout = 0.010;
+      extra_delay_mu = 0.010;
+      extra_delay_sigma = 0.0;
+      runtime = 2.0;
+    }
+  in
+  let starved = run config 2000.0 in
+  Alcotest.(check int) "fixed timers starve" 0
+    starved.summary.committed_txs;
+  let recovered = run { config with backoff = 2.0 } 2000.0 in
+  Alcotest.(check bool) "backoff restores throughput" true
+    (recovered.summary.throughput > 1000.0);
+  check_healthy "backoff" recovered
+
+let test_cpu_utilization_reported () =
+  let r = run base 20_000.0 in
+  Alcotest.(check int) "one entry per replica" base.n
+    (Array.length r.cpu_utilization);
+  Array.iter
+    (fun u ->
+      if u <= 0.0 || u > 1.0 then
+        Alcotest.failf "utilization out of range: %f" u)
+    r.cpu_utilization;
+  (* Higher load must consume more CPU. *)
+  let light = run base 2_000.0 in
+  Alcotest.(check bool) "monotone in load" true
+    (r.cpu_utilization.(0) > light.cpu_utilization.(0))
+
+let test_invalid_config_rejected () =
+  match run { base with n = 0 } 100.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid config accepted"
+
+(* Safety property: across random seeds, protocols and faults, no two
+   replicas ever commit conflicting blocks and no local violation occurs. *)
+let safety_prop =
+  let open QCheck in
+  let gen =
+    Gen.quad (Gen.int_range 0 3) (Gen.int_range 0 2) (Gen.int_range 0 1000)
+      (Gen.oneofl [ 0.005; 0.02; 0.1 ])
+  in
+  Test.make ~name:"no conflicting commits under random runs" ~count:12
+    (make
+       ~print:(fun (p, s, seed, t) ->
+         Printf.sprintf "proto=%d strat=%d seed=%d timeout=%g" p s seed t)
+       gen)
+    (fun (p, s, seed, timeout) ->
+      let protocol =
+        List.nth
+          [ Config.Hotstuff; Config.Twochain; Config.Streamlet; Config.Fasthotstuff ]
+          p
+      in
+      let strategy = List.nth [ Config.Honest; Config.Silence; Config.Fork ] s in
+      let config =
+        {
+          base with
+          protocol;
+          strategy;
+          n = 7;
+          byz_no = (if strategy = Config.Honest then 0 else 2);
+          timeout;
+          runtime = 1.0;
+          warmup = 0.2;
+          seed;
+        }
+      in
+      let r = run config 3000.0 in
+      r.consistent && not r.any_violation)
+
+let suite =
+  [
+    Alcotest.test_case "happy path, all protocols" `Quick
+      test_happy_path_all_protocols;
+    Alcotest.test_case "block interval constants" `Quick
+      test_block_interval_constants;
+    Alcotest.test_case "2CHS latency < HS" `Quick
+      test_twochain_latency_below_hotstuff;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "closed loop" `Quick test_closed_loop;
+    Alcotest.test_case "broadcast workload" `Quick test_broadcast_workload;
+    Alcotest.test_case "forking attack (HS)" `Quick test_forking_attack_hotstuff;
+    Alcotest.test_case "fork depth ordering" `Quick
+      test_forking_attack_depth_ordering;
+    Alcotest.test_case "streamlet fork immunity" `Quick
+      test_forking_attack_streamlet_immune;
+    Alcotest.test_case "silence attack" `Quick test_silence_attack;
+    Alcotest.test_case "streamlet silence: no forks" `Quick
+      test_silence_attack_streamlet_no_forks;
+    Alcotest.test_case "crash fault" `Quick test_crash_fault;
+    Alcotest.test_case "fluctuation recovery" `Quick test_fluctuation_recovers;
+    Alcotest.test_case "series sanity" `Quick test_series_covers_run;
+    Alcotest.test_case "static leader" `Quick test_static_leader;
+    Alcotest.test_case "hashed election" `Quick test_hashed_election;
+    Alcotest.test_case "mempool backpressure" `Quick test_mempool_backpressure;
+    Alcotest.test_case "lossy network" `Quick test_lossy_network;
+    Alcotest.test_case "backoff restores liveness" `Quick
+      test_backoff_restores_liveness;
+    Alcotest.test_case "cpu utilization" `Quick test_cpu_utilization_reported;
+    Alcotest.test_case "invalid config" `Quick test_invalid_config_rejected;
+    QCheck_alcotest.to_alcotest safety_prop;
+  ]

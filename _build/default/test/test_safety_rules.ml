@@ -1,0 +1,365 @@
+(* Direct tests of the four rules per protocol, on hand-built chains. *)
+
+open Bamboo_types
+module Forest = Bamboo_forest.Forest
+module Safety = Bamboo.Safety
+
+let reg = Helpers.registry ()
+
+type env = {
+  forest : Forest.t;
+  certified : (Ids.hash, Qc.t) Hashtbl.t;
+  p : Safety.t;
+}
+
+let make_env maker =
+  let forest = Forest.create () in
+  let certified = Hashtbl.create 16 in
+  Hashtbl.add certified Block.genesis_hash Safety.genesis_qc;
+  let chain =
+    Safety.{ forest; qc_of = (fun h -> Hashtbl.find_opt certified h) }
+  in
+  let ctx = Safety.{ n = 4; self = 0; registry = reg; quorum = 3 } in
+  { forest; certified; p = maker ctx chain }
+
+(* Add a block to the forest (must succeed). *)
+let grow env b =
+  match Forest.add env.forest b with
+  | Forest.Added -> ()
+  | _ -> Alcotest.fail "fixture: add failed"
+
+(* Certify a block: register its QC and run the state-updating/commit
+   rule; returns the commit target if any. *)
+let certify env (b : Block.t) =
+  let qc = Helpers.qc_for reg b in
+  Hashtbl.add env.certified b.hash qc;
+  env.p.Safety.on_qc qc
+
+let commit_target = Alcotest.(option string)
+
+(* --- chained family shared helper --- *)
+
+let test_certified_chain_head () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let chain =
+    Safety.
+      {
+        forest = env.forest;
+        qc_of = (fun h -> Hashtbl.find_opt env.certified h);
+      }
+  in
+  let blocks = Helpers.chain ~reg 3 in
+  List.iter (grow env) blocks;
+  match blocks with
+  | [ b1; b2; b3 ] ->
+      List.iter (fun b -> ignore (certify env b)) [ b1; b2; b3 ];
+      (match Bamboo.Chained_common.certified_chain_head chain ~tip:b3 ~length:3 with
+      | Some head -> Alcotest.(check bool) "3-chain head" true (Block.equal head b1)
+      | None -> Alcotest.fail "expected 3-chain");
+      (match Bamboo.Chained_common.certified_chain_head chain ~tip:b3 ~length:1 with
+      | Some head -> Alcotest.(check bool) "1-chain head" true (Block.equal head b3)
+      | None -> Alcotest.fail "expected 1-chain")
+  | _ -> assert false
+
+let test_chain_head_requires_certification () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let chain =
+    Safety.
+      {
+        forest = env.forest;
+        qc_of = (fun h -> Hashtbl.find_opt env.certified h);
+      }
+  in
+  match Helpers.chain ~reg 2 with
+  | [ b1; b2 ] ->
+      List.iter (grow env) [ b1; b2 ];
+      ignore (certify env b2);
+      (* b1 not certified: no 2-chain ending at b2. *)
+      Alcotest.(check bool) "no chain through uncertified" true
+        (Bamboo.Chained_common.certified_chain_head chain ~tip:b2 ~length:2 = None)
+  | _ -> assert false
+
+(* --- HotStuff --- *)
+
+let test_hotstuff_three_chain_commit () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let blocks = Helpers.chain ~reg 4 in
+  List.iter (grow env) blocks;
+  match blocks with
+  | [ b1; b2; b3; b4 ] ->
+      Alcotest.check commit_target "b1: no commit" None (certify env b1);
+      Alcotest.check commit_target "b2: no commit" None (certify env b2);
+      Alcotest.check commit_target "b3 completes 3-chain of b1"
+        (Some b1.Block.hash) (certify env b3);
+      Alcotest.check commit_target "b4 commits b2" (Some b2.Block.hash)
+        (certify env b4)
+  | _ -> assert false
+
+let test_hotstuff_lock_is_two_chain_head () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let blocks = Helpers.chain ~reg 3 in
+  List.iter (grow env) blocks;
+  match blocks with
+  | [ b1; b2; b3 ] ->
+      Alcotest.(check (option (pair string int))) "no lock initially" None
+        (env.p.Safety.locked ());
+      ignore (certify env b1);
+      Alcotest.(check (option (pair string int))) "one QC: still none" None
+        (env.p.Safety.locked ());
+      ignore (certify env b2);
+      Alcotest.(check (option (pair string int))) "lock on b1"
+        (Some (b1.Block.hash, b1.Block.view))
+        (env.p.Safety.locked ());
+      ignore (certify env b3);
+      Alcotest.(check (option (pair string int))) "lock advances to b2"
+        (Some (b2.Block.hash, b2.Block.view))
+        (env.p.Safety.locked ())
+  | _ -> assert false
+
+let test_hotstuff_voting_rule () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let blocks = Helpers.chain ~reg 3 in
+  List.iter (grow env) blocks;
+  List.iter (fun b -> ignore (certify env b)) blocks;
+  (* lock is now on b2 (head of highest 2-chain). *)
+  match blocks with
+  | [ b1; _b2; b3 ] ->
+      let b4 = Helpers.child ~reg ~view:4 b3 in
+      Alcotest.(check bool) "extends lock: vote" true
+        (env.p.Safety.should_vote ~block:b4 ~tc:None);
+      env.p.Safety.on_vote_sent b4;
+      Alcotest.(check int) "lvView" 4 (env.p.Safety.last_voted_view ());
+      Alcotest.(check bool) "same view again: no vote" false
+        (env.p.Safety.should_vote ~block:b4 ~tc:None);
+      (* A conflicting block on b1 with an old justify: violates the lock. *)
+      let fork = Helpers.child ~reg ~view:5 b1 in
+      let fork =
+        { fork with Block.justify = { fork.Block.justify with Qc.view = 1 } }
+      in
+      grow env fork;
+      Alcotest.(check bool) "conflicts with lock: no vote" false
+        (env.p.Safety.should_vote ~block:fork ~tc:None)
+  | _ -> assert false
+
+let test_hotstuff_unlock_by_higher_justify () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let blocks = Helpers.chain ~reg 3 in
+  List.iter (grow env) blocks;
+  List.iter (fun b -> ignore (certify env b)) blocks;
+  (* lock on b2 (view 2). A block conflicting with the lock but justified
+     by a QC from view 3 (> 2) must be votable. *)
+  match blocks with
+  | [ b1; _b2; _b3 ] ->
+      let b1_qc = Hashtbl.find env.certified b1.Block.hash in
+      let fork =
+        Block.create ~view:9
+          ~parent:b1 (* conflicts with locked b2 *)
+          ~justify:{ b1_qc with Qc.view = 3 } (* pretend higher view *)
+          ~proposer:0 ~txs:[] ()
+      in
+      grow env fork;
+      Alcotest.(check bool) "higher justify unlocks" true
+        (env.p.Safety.should_vote ~block:fork ~tc:None)
+  | _ -> assert false
+
+let test_hotstuff_propose_on_high_qc () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let blocks = Helpers.chain ~reg 2 in
+  List.iter (grow env) blocks;
+  List.iter (fun b -> ignore (certify env b)) blocks;
+  match blocks with
+  | [ _b1; b2 ] -> (
+      Alcotest.(check int) "hQC view" 2 (env.p.Safety.high_qc ()).Qc.view;
+      match env.p.Safety.propose ~view:3 ~tc:None with
+      | Some Safety.{ parent; justify } ->
+          Alcotest.(check bool) "parent is hQC block" true (Block.equal parent b2);
+          Alcotest.(check int) "justify view" 2 justify.Qc.view
+      | None -> Alcotest.fail "expected proposal")
+  | _ -> assert false
+
+let test_hotstuff_abandon_blocks_vote () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  grow env b1;
+  env.p.Safety.note_view_abandoned 1;
+  Alcotest.(check bool) "no vote in abandoned view" false
+    (env.p.Safety.should_vote ~block:b1 ~tc:None)
+
+(* Commits must require direct parent links, not just any certified
+   ancestors: a 3-chain with a gap does not commit in HotStuff. *)
+let test_hotstuff_no_commit_across_fork_gap () =
+  let env = make_env Bamboo.Hotstuff.make in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  grow env b1;
+  ignore (certify env b1);
+  let b2 = Helpers.child ~reg ~view:2 b1 in
+  grow env b2;
+  ignore (certify env b2);
+  (* fork: b3' skips b2 and builds on b1. *)
+  let b1_qc = Hashtbl.find env.certified b1.Block.hash in
+  let b3' = Helpers.child ~reg ~justify:b1_qc ~view:3 b1 in
+  grow env b3';
+  Alcotest.check commit_target "no 3-chain through fork" None (certify env b3')
+
+(* --- two-chain HotStuff --- *)
+
+let test_twochain_commit () =
+  let env = make_env Bamboo.Twochain.make in
+  let blocks = Helpers.chain ~reg 3 in
+  List.iter (grow env) blocks;
+  match blocks with
+  | [ b1; b2; _b3 ] ->
+      Alcotest.check commit_target "b1: none" None (certify env b1);
+      Alcotest.check commit_target "b2 commits b1" (Some b1.Block.hash)
+        (certify env b2);
+      Alcotest.check commit_target "b3 commits b2" (Some b2.Block.hash)
+        (certify env (List.nth blocks 2))
+  | _ -> assert false
+
+let test_twochain_lock_is_one_chain_head () =
+  let env = make_env Bamboo.Twochain.make in
+  let blocks = Helpers.chain ~reg 2 in
+  List.iter (grow env) blocks;
+  match blocks with
+  | [ b1; b2 ] ->
+      ignore (certify env b1);
+      Alcotest.(check (option (pair string int))) "lock on first certified"
+        (Some (b1.Block.hash, 1))
+        (env.p.Safety.locked ());
+      ignore (certify env b2);
+      Alcotest.(check (option (pair string int))) "lock tracks highest QC"
+        (Some (b2.Block.hash, 2))
+        (env.p.Safety.locked ())
+  | _ -> assert false
+
+(* --- Streamlet --- *)
+
+let test_streamlet_vote_longest_chain_only () =
+  let env = make_env Bamboo.Streamlet.make in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  grow env b1;
+  ignore (certify env b1);
+  let b2 = Helpers.child ~reg ~view:2 b1 in
+  Alcotest.(check bool) "extends longest notarized: vote" true
+    (env.p.Safety.should_vote ~block:b2 ~tc:None);
+  (* A block at the same height as the notarized tip does not extend the
+     longest chain. *)
+  let short = Helpers.child ~reg ~view:3 Block.genesis in
+  grow env short;
+  Alcotest.(check bool) "short chain: no vote" false
+    (env.p.Safety.should_vote ~block:short ~tc:None)
+
+let test_streamlet_vote_requires_notarized_parent () =
+  let env = make_env Bamboo.Streamlet.make in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  grow env b1;
+  (* b1 exists but has no QC: a child of b1 must not attract votes. *)
+  let b2 = Helpers.child ~reg ~view:2 b1 in
+  Alcotest.(check bool) "unnotarized parent" false
+    (env.p.Safety.should_vote ~block:b2 ~tc:None)
+
+let test_streamlet_commit_three_consecutive () =
+  let env = make_env Bamboo.Streamlet.make in
+  let blocks = Helpers.chain ~reg 3 in
+  List.iter (grow env) blocks;
+  match blocks with
+  | [ b1; b2; b3 ] ->
+      Alcotest.check commit_target "b1: none" None (certify env b1);
+      (* Genesis counts as notarized at view 0, so views 0,1,2 already form
+         a consecutive triple: certifying b2 finalizes b1. *)
+      Alcotest.check commit_target "b2 commits b1" (Some b1.Block.hash)
+        (certify env b2);
+      Alcotest.check commit_target "b3 commits middle (b2)"
+        (Some b2.Block.hash) (certify env b3)
+  | _ -> assert false
+
+let test_streamlet_no_commit_with_view_gap () =
+  let env = make_env Bamboo.Streamlet.make in
+  let b1 = Helpers.child ~reg ~view:1 Block.genesis in
+  grow env b1;
+  ignore (certify env b1);
+  let b2 = Helpers.child ~reg ~view:2 b1 in
+  grow env b2;
+  ignore (certify env b2);
+  (* view gap: 2 -> 4 (a silent view in between). *)
+  let b4 = Helpers.child ~reg ~view:4 b2 in
+  grow env b4;
+  Alcotest.check commit_target "gap blocks commit" None (certify env b4)
+
+let test_streamlet_propose_on_longest () =
+  let env = make_env Bamboo.Streamlet.make in
+  let blocks = Helpers.chain ~reg 2 in
+  List.iter (grow env) blocks;
+  List.iter (fun b -> ignore (certify env b)) blocks;
+  match (blocks, env.p.Safety.propose ~view:3 ~tc:None) with
+  | [ _; b2 ], Some Safety.{ parent; _ } ->
+      Alcotest.(check bool) "tip of longest notarized" true
+        (Block.equal parent b2)
+  | _, None -> Alcotest.fail "expected proposal"
+  | _ -> assert false
+
+let test_streamlet_flags () =
+  let env = make_env Bamboo.Streamlet.make in
+  Alcotest.(check bool) "votes broadcast" true env.p.Safety.vote_broadcast;
+  Alcotest.(check bool) "echo on" true env.p.Safety.echo;
+  let hs = make_env Bamboo.Hotstuff.make in
+  Alcotest.(check bool) "HS votes to leader" false hs.p.Safety.vote_broadcast;
+  Alcotest.(check bool) "HS no echo" false hs.p.Safety.echo
+
+(* --- Fast-HotStuff --- *)
+
+let test_fasthotstuff_tc_override () =
+  let env = make_env Bamboo.Fasthotstuff.make in
+  let blocks = Helpers.chain ~reg 2 in
+  List.iter (grow env) blocks;
+  List.iter (fun b -> ignore (certify env b)) blocks;
+  (* Lock is on b2 (one-chain head). A proposal on b1 (conflicting, justify
+     view 1 not above lock 2) is only votable with a TC for the previous
+     view whose aggregated high-QC matches. *)
+  match blocks with
+  | [ b1; _b2 ] ->
+      let b1_qc = Hashtbl.find env.certified b1.Block.hash in
+      let fork = Helpers.child ~reg ~justify:b1_qc ~view:4 b1 in
+      grow env fork;
+      Alcotest.(check bool) "without TC: no vote" false
+        (env.p.Safety.should_vote ~block:fork ~tc:None);
+      let tms =
+        List.init 3 (fun sender ->
+            Timeout_msg.create reg ~sender ~view:3 ~high_qc:b1_qc)
+      in
+      let tc = Tcert.of_timeouts tms in
+      Alcotest.(check bool) "with TC: vote" true
+        (env.p.Safety.should_vote ~block:fork ~tc:(Some tc))
+  | _ -> assert false
+
+let suite =
+  [
+    Alcotest.test_case "certified_chain_head" `Quick test_certified_chain_head;
+    Alcotest.test_case "chain head needs certification" `Quick
+      test_chain_head_requires_certification;
+    Alcotest.test_case "HS: three-chain commit" `Quick
+      test_hotstuff_three_chain_commit;
+    Alcotest.test_case "HS: lock = two-chain head" `Quick
+      test_hotstuff_lock_is_two_chain_head;
+    Alcotest.test_case "HS: voting rule" `Quick test_hotstuff_voting_rule;
+    Alcotest.test_case "HS: unlock by higher justify" `Quick
+      test_hotstuff_unlock_by_higher_justify;
+    Alcotest.test_case "HS: propose on hQC" `Quick test_hotstuff_propose_on_high_qc;
+    Alcotest.test_case "HS: abandoned view" `Quick test_hotstuff_abandon_blocks_vote;
+    Alcotest.test_case "HS: no commit across fork gap" `Quick
+      test_hotstuff_no_commit_across_fork_gap;
+    Alcotest.test_case "2CHS: two-chain commit" `Quick test_twochain_commit;
+    Alcotest.test_case "2CHS: lock = one-chain head" `Quick
+      test_twochain_lock_is_one_chain_head;
+    Alcotest.test_case "SL: longest-chain voting" `Quick
+      test_streamlet_vote_longest_chain_only;
+    Alcotest.test_case "SL: notarized parent required" `Quick
+      test_streamlet_vote_requires_notarized_parent;
+    Alcotest.test_case "SL: consecutive-view commit" `Quick
+      test_streamlet_commit_three_consecutive;
+    Alcotest.test_case "SL: view gap blocks commit" `Quick
+      test_streamlet_no_commit_with_view_gap;
+    Alcotest.test_case "SL: propose on longest" `Quick test_streamlet_propose_on_longest;
+    Alcotest.test_case "SL: flags" `Quick test_streamlet_flags;
+    Alcotest.test_case "FHS: TC-responsive voting" `Quick test_fasthotstuff_tc_override;
+  ]

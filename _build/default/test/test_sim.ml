@@ -1,0 +1,195 @@
+module Sim = Bamboo_sim.Sim
+module Machine = Bamboo_sim.Machine
+module Netmodel = Bamboo_sim.Netmodel
+module Rng = Bamboo_util.Rng
+
+let test_event_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:3.0 (fun () -> log := "c" :: !log);
+  Sim.schedule sim ~delay:1.0 (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~delay:2.0 (fun () -> log := "b" :: !log);
+  Sim.run_to_completion sim;
+  Alcotest.(check (list string)) "timestamp order" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.run_to_completion sim;
+  Alcotest.(check (list int)) "FIFO at equal timestamps" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref 0.0 in
+  Sim.schedule sim ~delay:2.5 (fun () -> seen := Sim.now sim);
+  Sim.run_to_completion sim;
+  Alcotest.(check (float 1e-12)) "clock at event" 2.5 !seen
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  Sim.schedule sim ~delay:1.0 (fun () ->
+      times := Sim.now sim :: !times;
+      Sim.schedule sim ~delay:1.0 (fun () -> times := Sim.now sim :: !times));
+  Sim.run_to_completion sim;
+  Alcotest.(check (list (float 1e-12))) "chained" [ 1.0; 2.0 ] (List.rev !times)
+
+let test_run_until_horizon () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Sim.schedule sim ~delay:d (fun () -> fired := d :: !fired))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Sim.run_until sim 2.5;
+  Alcotest.(check (list (float 0.0))) "only before horizon" [ 1.0; 2.0 ]
+    (List.rev !fired);
+  Alcotest.(check (float 1e-12)) "clock at horizon" 2.5 (Sim.now sim);
+  Alcotest.(check int) "pending" 2 (Sim.pending sim);
+  Sim.run_until sim 10.0;
+  Alcotest.(check int) "drained" 0 (Sim.pending sim)
+
+let test_negative_delay_clamped () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:1.0 (fun () ->
+      Sim.schedule sim ~delay:(-5.0) (fun () ->
+          Alcotest.(check (float 1e-12)) "clamped to now" 1.0 (Sim.now sim)));
+  Sim.run_to_completion sim
+
+let test_event_budget () =
+  let sim = Sim.create () in
+  let rec forever () = Sim.schedule sim ~delay:0.001 forever in
+  forever ();
+  match Sim.run_to_completion ~max_events:100 sim with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected budget failure"
+
+(* --- machine model --- *)
+
+let test_cpu_fifo_queueing () =
+  let sim = Sim.create () in
+  let m = Machine.create ~sim ~bandwidth:1e9 in
+  let finish = ref [] in
+  Machine.cpu m ~duration:1.0 (fun () -> finish := ("a", Sim.now sim) :: !finish);
+  Machine.cpu m ~duration:2.0 (fun () -> finish := ("b", Sim.now sim) :: !finish);
+  Sim.run_to_completion sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "serialized service"
+    [ ("a", 1.0); ("b", 3.0) ]
+    (List.rev !finish);
+  Alcotest.(check (float 1e-9)) "busy seconds" 3.0 (Machine.cpu_busy_seconds m)
+
+let test_cpu_idle_gap () =
+  let sim = Sim.create () in
+  let m = Machine.create ~sim ~bandwidth:1e9 in
+  let t = ref 0.0 in
+  Machine.cpu m ~duration:1.0 (fun () -> ());
+  Sim.schedule sim ~delay:5.0 (fun () ->
+      Machine.cpu m ~duration:1.0 (fun () -> t := Sim.now sim));
+  Sim.run_to_completion sim;
+  Alcotest.(check (float 1e-9)) "restarts after idle" 6.0 !t
+
+let test_nic_bandwidth () =
+  let sim = Sim.create () in
+  let m = Machine.create ~sim ~bandwidth:1000.0 in
+  let t = ref 0.0 in
+  Machine.nic_out m ~bytes:500 (fun () -> t := Sim.now sim);
+  Sim.run_to_completion sim;
+  Alcotest.(check (float 1e-9)) "bytes/bandwidth" 0.5 !t
+
+let test_nic_in_out_independent () =
+  let sim = Sim.create () in
+  let m = Machine.create ~sim ~bandwidth:1000.0 in
+  let finish = ref [] in
+  Machine.nic_out m ~bytes:1000 (fun () -> finish := ("out", Sim.now sim) :: !finish);
+  Machine.nic_in m ~bytes:1000 (fun () -> finish := ("in", Sim.now sim) :: !finish);
+  Sim.run_to_completion sim;
+  (* Full duplex: both complete at 1.0, not serialized to 2.0. *)
+  List.iter
+    (fun (_, t) -> Alcotest.(check (float 1e-9)) "parallel duplex" 1.0 t)
+    !finish
+
+let test_zero_duration_work () =
+  let sim = Sim.create () in
+  let m = Machine.create ~sim ~bandwidth:1e9 in
+  let ran = ref false in
+  Machine.cpu m ~duration:0.0 (fun () -> ran := true);
+  Sim.run_to_completion sim;
+  Alcotest.(check bool) "zero work completes" true !ran
+
+let test_machine_invalid () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Machine.create: bandwidth must be positive") (fun () ->
+      ignore (Machine.create ~sim ~bandwidth:0.0));
+  let m = Machine.create ~sim ~bandwidth:1.0 in
+  Alcotest.check_raises "negative cpu"
+    (Invalid_argument "Machine.cpu: negative duration") (fun () ->
+      Machine.cpu m ~duration:(-1.0) (fun () -> ()))
+
+(* --- network model --- *)
+
+let test_netmodel_statistics () =
+  let rng = Rng.create ~seed:3 in
+  let net = Netmodel.create ~rng ~mu:0.005 ~sigma:0.001 () in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let d = Netmodel.one_way net ~now:0.0 ~src:0 ~dst:1 in
+    if d < 0.0 then Alcotest.fail "negative delay";
+    sum := !sum +. d
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near mu" true (Float.abs (mean -. 0.005) < 0.0002)
+
+let test_netmodel_extra_delay () =
+  let rng = Rng.create ~seed:4 in
+  let net = Netmodel.create ~rng ~mu:0.001 ~sigma:0.0 () in
+  Netmodel.set_extra_delay net ~mu:0.010 ~sigma:0.0;
+  let d = Netmodel.one_way net ~now:0.0 ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "base + extra" 0.011 d;
+  Alcotest.(check (float 1e-9)) "mean accessor" 0.011 (Netmodel.mean_one_way net)
+
+let test_netmodel_fluctuation_window () =
+  let rng = Rng.create ~seed:5 in
+  let net = Netmodel.create ~rng ~mu:0.001 ~sigma:0.0 () in
+  Netmodel.set_fluctuation net ~from_t:10.0 ~until_t:20.0 ~lo:0.05 ~hi:0.1;
+  let inside = Netmodel.one_way net ~now:15.0 ~src:0 ~dst:1 in
+  Alcotest.(check bool) "inside window" true (inside >= 0.05 && inside < 0.1);
+  let before = Netmodel.one_way net ~now:5.0 ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "before window" 0.001 before;
+  let after = Netmodel.one_way net ~now:25.0 ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "after window" 0.001 after;
+  Netmodel.clear_fluctuation net;
+  let cleared = Netmodel.one_way net ~now:15.0 ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "cleared" 0.001 cleared
+
+let test_client_rtt () =
+  let rng = Rng.create ~seed:6 in
+  let net = Netmodel.create ~rng ~mu:0.002 ~sigma:0.0 () in
+  Alcotest.(check (float 1e-9)) "2x one-way" 0.004 (Netmodel.client_rtt net ~now:0.0)
+
+let suite =
+  [
+    Alcotest.test_case "event ordering" `Quick test_event_ordering;
+    Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+    Alcotest.test_case "clock advances" `Quick test_clock_advances;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "run_until horizon" `Quick test_run_until_horizon;
+    Alcotest.test_case "negative delay clamped" `Quick test_negative_delay_clamped;
+    Alcotest.test_case "event budget" `Quick test_event_budget;
+    Alcotest.test_case "cpu FIFO" `Quick test_cpu_fifo_queueing;
+    Alcotest.test_case "cpu idle gap" `Quick test_cpu_idle_gap;
+    Alcotest.test_case "nic bandwidth" `Quick test_nic_bandwidth;
+    Alcotest.test_case "nic duplex" `Quick test_nic_in_out_independent;
+    Alcotest.test_case "zero-duration work" `Quick test_zero_duration_work;
+    Alcotest.test_case "machine invalid args" `Quick test_machine_invalid;
+    Alcotest.test_case "netmodel statistics" `Quick test_netmodel_statistics;
+    Alcotest.test_case "netmodel extra delay" `Quick test_netmodel_extra_delay;
+    Alcotest.test_case "netmodel fluctuation" `Quick test_netmodel_fluctuation_window;
+    Alcotest.test_case "client rtt" `Quick test_client_rtt;
+  ]

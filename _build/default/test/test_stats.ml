@@ -1,0 +1,110 @@
+module Stats = Bamboo_util.Stats
+
+let feed xs =
+  let t = Stats.create () in
+  List.iter (Stats.add t) xs;
+  t
+
+let test_empty () =
+  let t = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count t);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.mean t);
+  Alcotest.(check (float 0.0)) "stddev" 0.0 (Stats.stddev t);
+  Alcotest.(check (float 0.0)) "percentile" 0.0 (Stats.percentile t 50.0)
+
+let test_basic_moments () =
+  let t = feed [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean t);
+  Alcotest.(check (float 1e-9)) "total" 40.0 (Stats.total t);
+  (* Sample variance with n-1 denominator: 32/7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance t);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min_value t);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max_value t)
+
+let test_percentiles () =
+  let t = feed (List.init 101 float_of_int) in
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile t 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile t 50.0);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile t 95.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile t 100.0);
+  Alcotest.(check (float 1e-9)) "median" 50.0 (Stats.median t)
+
+let test_percentile_interpolation () =
+  let t = feed [ 10.0; 20.0 ] in
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 15.0 (Stats.percentile t 50.0);
+  Alcotest.(check (float 1e-9)) "p25" 12.5 (Stats.percentile t 25.0)
+
+let test_percentile_after_more_adds () =
+  (* Adding after a percentile query must re-sort correctly. *)
+  let t = feed [ 3.0; 1.0 ] in
+  ignore (Stats.median t);
+  Stats.add t 2.0;
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Stats.median t)
+
+let test_merge () =
+  let a = feed [ 1.0; 2.0 ] and b = feed [ 3.0; 4.0 ] in
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" 4 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean m)
+
+let test_single_sample () =
+  let t = feed [ 42.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 42.0 (Stats.mean t);
+  Alcotest.(check (float 1e-9)) "variance" 0.0 (Stats.variance t);
+  Alcotest.(check (float 1e-9)) "median" 42.0 (Stats.median t)
+
+let test_list_helpers () =
+  Alcotest.(check (float 1e-9)) "mean_of" 2.0 (Stats.mean_of [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean_of empty" 0.0 (Stats.mean_of []);
+  Alcotest.(check (float 1e-9)) "stddev_of" 1.0 (Stats.stddev_of [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev_of single" 0.0 (Stats.stddev_of [ 5.0 ])
+
+let test_invalid_percentile () =
+  let t = feed [ 1.0 ] in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile t 101.0))
+
+let welford_matches_naive =
+  let open QCheck in
+  let gen = Gen.list_size (Gen.int_range 2 50) (Gen.float_range (-100.) 100.) in
+  Test.make ~name:"streaming variance matches naive computation" ~count:300
+    (make ~print:(fun xs -> string_of_int (List.length xs)) gen)
+    (fun xs ->
+      let t = feed xs in
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let naive =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. (n -. 1.0)
+      in
+      Float.abs (Stats.variance t -. naive) < 1e-6 *. (1.0 +. naive))
+
+let percentile_bounds =
+  let open QCheck in
+  let gen =
+    Gen.pair
+      (Gen.list_size (Gen.int_range 1 50) (Gen.float_range (-1000.) 1000.))
+      (Gen.float_range 0.0 100.0)
+  in
+  Test.make ~name:"percentiles lie within [min, max]" ~count:300
+    (make ~print:(fun (xs, p) -> Printf.sprintf "%d samples, p=%g" (List.length xs) p) gen)
+    (fun (xs, p) ->
+      let t = feed xs in
+      let v = Stats.percentile t p in
+      v >= Stats.min_value t -. 1e-9 && v <= Stats.max_value t +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "moments" `Quick test_basic_moments;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "interpolation" `Quick test_percentile_interpolation;
+    Alcotest.test_case "re-sort after add" `Quick test_percentile_after_more_adds;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "single sample" `Quick test_single_sample;
+    Alcotest.test_case "list helpers" `Quick test_list_helpers;
+    Alcotest.test_case "invalid percentile" `Quick test_invalid_percentile;
+    QCheck_alcotest.to_alcotest welford_matches_naive;
+    QCheck_alcotest.to_alcotest percentile_bounds;
+  ]

@@ -1,0 +1,75 @@
+module Table = Bamboo_util.Table
+
+let test_alignment () =
+  let out =
+    Table.render ~header:[ "name"; "value" ]
+      ~rows:[ [ "a"; "1" ]; [ "longer-name"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: _sep :: row1 :: row2 :: _ ->
+      (* All cells of one column start at the same offset. *)
+      let idx s = String.index s 'v' in
+      ignore (idx header);
+      Alcotest.(check bool) "header contains name" true
+        (String.length header >= String.length "name         value");
+      Alcotest.(check bool) "row1 padded to column" true
+        (String.length row1 >= String.index header 'v');
+      Alcotest.(check bool) "row2 full width" true
+        (String.length row2 >= String.index header 'v')
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check bool) "separator present" true
+    (String.length out > 0 && String.contains out '-')
+
+let test_short_rows_padded () =
+  let out = Table.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "1" ] ] in
+  Alcotest.(check bool) "renders without exception" true (String.length out > 0)
+
+let test_fmt_float () =
+  Alcotest.(check string) "default decimals" "3.14" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "custom decimals" "3.1416"
+    (Table.fmt_float ~decimals:4 3.14159)
+
+let test_fmt_si () =
+  Alcotest.(check string) "plain" "12.0" (Table.fmt_si 12.0);
+  Alcotest.(check string) "kilo" "131.2k" (Table.fmt_si 131_200.0);
+  Alcotest.(check string) "mega" "2.5M" (Table.fmt_si 2_500_000.0);
+  Alcotest.(check string) "giga" "1.2G" (Table.fmt_si 1_200_000_000.0)
+
+let test_experiment_registry () =
+  (* Every documented experiment is runnable by name; unknown names fail. *)
+  let names = Bamboo.Experiments.names in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " present") true (List.mem expected names))
+    [
+      "table2"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
+      "fig15"; "ablation_broadcast"; "ablation_election"; "ablation_echo";
+      "ablation_fhs"; "ablation_backoff";
+    ];
+  match Bamboo.Experiments.run_one ~scale:Bamboo.Experiments.Quick "nonsense" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown experiment accepted"
+
+let test_sweep_rates_sensible () =
+  let config = Bamboo.Config.default in
+  let rates =
+    Bamboo.Experiments.saturation_sweep_rates ~config
+      ~scale:Bamboo.Experiments.Quick
+  in
+  Alcotest.(check bool) "non-empty" true (List.length rates >= 3);
+  let sorted = List.sort compare rates in
+  Alcotest.(check bool) "increasing" true (rates = sorted);
+  List.iter
+    (fun r -> if r <= 0.0 then Alcotest.fail "non-positive rate")
+    rates
+
+let suite =
+  [
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "short rows" `Quick test_short_rows_padded;
+    Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+    Alcotest.test_case "fmt_si" `Quick test_fmt_si;
+    Alcotest.test_case "experiment registry" `Quick test_experiment_registry;
+    Alcotest.test_case "sweep rates" `Quick test_sweep_rates_sensible;
+  ]

@@ -1,0 +1,148 @@
+open Bamboo_types
+module Chan = Bamboo_network.Chan_transport
+module Tcp = Bamboo_network.Tcp_transport
+
+let reg = Helpers.registry ()
+
+let sample_msg ?(voter = 0) () =
+  Message.Vote (Helpers.vote_for reg ~voter (Helpers.child ~reg ~view:1 Bamboo_types.Block.genesis))
+
+(* --- channel transport --- *)
+
+let test_chan_send_recv () =
+  let cluster = Chan.create_cluster ~n:3 in
+  let a = Chan.endpoint cluster 0 and b = Chan.endpoint cluster 1 in
+  Alcotest.(check int) "self" 0 (Chan.self a);
+  Alcotest.(check int) "n" 3 (Chan.n a);
+  let msg = sample_msg () in
+  Chan.send a ~dst:1 msg;
+  (match Chan.recv b ~timeout_s:1.0 with
+  | Some got -> Alcotest.(check string) "delivered" (Message.key msg) (Message.key got)
+  | None -> Alcotest.fail "timeout");
+  Alcotest.(check bool) "empty now" true (Chan.recv b ~timeout_s:0.01 = None)
+
+let test_chan_fifo () =
+  let cluster = Chan.create_cluster ~n:2 in
+  let a = Chan.endpoint cluster 0 and b = Chan.endpoint cluster 1 in
+  let msgs = List.init 4 (fun voter -> sample_msg ~voter ()) in
+  List.iter (Chan.send a ~dst:1) msgs;
+  List.iter
+    (fun expected ->
+      match Chan.recv b ~timeout_s:1.0 with
+      | Some got ->
+          Alcotest.(check string) "order" (Message.key expected) (Message.key got)
+      | None -> Alcotest.fail "timeout")
+    msgs
+
+let test_chan_broadcast () =
+  let cluster = Chan.create_cluster ~n:4 in
+  let eps = Array.init 4 (Chan.endpoint cluster) in
+  Chan.broadcast eps.(2) (sample_msg ());
+  Array.iteri
+    (fun i ep ->
+      let got = Chan.recv ep ~timeout_s:0.05 in
+      if i = 2 then Alcotest.(check bool) "not to self" true (got = None)
+      else Alcotest.(check bool) "delivered" true (got <> None))
+    eps
+
+let test_chan_close () =
+  let cluster = Chan.create_cluster ~n:2 in
+  let a = Chan.endpoint cluster 0 and b = Chan.endpoint cluster 1 in
+  Chan.close b;
+  Chan.send a ~dst:1 (sample_msg ());
+  Alcotest.(check bool) "closed drops" true (Chan.recv b ~timeout_s:0.02 = None)
+
+let test_chan_cross_thread () =
+  let cluster = Chan.create_cluster ~n:2 in
+  let a = Chan.endpoint cluster 0 and b = Chan.endpoint cluster 1 in
+  let sender =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.02;
+        Chan.send a ~dst:1 (sample_msg ()))
+      ()
+  in
+  let got = Chan.recv b ~timeout_s:1.0 in
+  Thread.join sender;
+  Alcotest.(check bool) "received across threads" true (got <> None)
+
+(* --- TCP transport --- *)
+
+let base_port = ref 29460
+
+let fresh_ports n =
+  let p = !base_port in
+  base_port := p + n;
+  Tcp.loopback_addresses ~n ~base_port:p
+
+let test_tcp_round_trip () =
+  let addresses = fresh_ports 2 in
+  let a = Tcp.create ~self:0 ~addresses in
+  let b = Tcp.create ~self:1 ~addresses in
+  let msg = sample_msg () in
+  Tcp.send a ~dst:1 msg;
+  (match Tcp.recv b ~timeout_s:2.0 with
+  | Some got ->
+      Alcotest.(check string) "payload intact" (Codec.encode msg) (Codec.encode got)
+  | None -> Alcotest.fail "timeout");
+  Tcp.close a;
+  Tcp.close b
+
+let test_tcp_broadcast () =
+  let addresses = fresh_ports 3 in
+  let eps = List.map (fun (self, _) -> Tcp.create ~self ~addresses) addresses in
+  (match eps with
+  | [ a; b; c ] ->
+      Tcp.broadcast a (sample_msg ());
+      Alcotest.(check bool) "b got it" true (Tcp.recv b ~timeout_s:2.0 <> None);
+      Alcotest.(check bool) "c got it" true (Tcp.recv c ~timeout_s:2.0 <> None);
+      Alcotest.(check bool) "a did not" true (Tcp.recv a ~timeout_s:0.05 = None)
+  | _ -> assert false);
+  List.iter Tcp.close eps
+
+let test_tcp_send_to_self () =
+  let addresses = fresh_ports 1 in
+  let a = Tcp.create ~self:0 ~addresses in
+  Tcp.send a ~dst:0 (sample_msg ());
+  Alcotest.(check bool) "loop delivery" true (Tcp.recv a ~timeout_s:0.5 <> None);
+  Tcp.close a
+
+let test_tcp_unreachable_peer_is_silent () =
+  let addresses = fresh_ports 2 in
+  let a = Tcp.create ~self:0 ~addresses in
+  (* Peer 1 never started: sends must be dropped without raising. *)
+  Tcp.send a ~dst:1 (sample_msg ());
+  Alcotest.(check bool) "no crash" true true;
+  Tcp.close a
+
+let test_tcp_large_message () =
+  let addresses = fresh_ports 2 in
+  let a = Tcp.create ~self:0 ~addresses in
+  let b = Tcp.create ~self:1 ~addresses in
+  let block =
+    Helpers.child ~reg ~view:1 ~txs:(Helpers.txs 2000) Bamboo_types.Block.genesis
+  in
+  let msg = Message.Proposal { block; tc = None } in
+  Tcp.send a ~dst:1 msg;
+  (match Tcp.recv b ~timeout_s:3.0 with
+  | Some (Message.Proposal { block = got; _ }) ->
+      Alcotest.(check int) "txs intact" 2000 (List.length got.Block.txs);
+      Alcotest.(check string) "hash intact" block.Block.hash got.Block.hash
+  | Some _ | None -> Alcotest.fail "bad delivery");
+  Tcp.close a;
+  Tcp.close b
+
+let suite =
+  [
+    Alcotest.test_case "chan send/recv" `Quick test_chan_send_recv;
+    Alcotest.test_case "chan FIFO" `Quick test_chan_fifo;
+    Alcotest.test_case "chan broadcast" `Quick test_chan_broadcast;
+    Alcotest.test_case "chan close" `Quick test_chan_close;
+    Alcotest.test_case "chan cross-thread" `Quick test_chan_cross_thread;
+    Alcotest.test_case "tcp round trip" `Quick test_tcp_round_trip;
+    Alcotest.test_case "tcp broadcast" `Quick test_tcp_broadcast;
+    Alcotest.test_case "tcp self send" `Quick test_tcp_send_to_self;
+    Alcotest.test_case "tcp unreachable peer" `Quick
+      test_tcp_unreachable_peer_is_silent;
+    Alcotest.test_case "tcp large message" `Quick test_tcp_large_message;
+  ]
