@@ -66,8 +66,45 @@ let backoff_t = Arg.(value & opt (some float) None & info [ "backoff" ] ~docv:"F
 let runtime_t = Arg.(value & opt (some float) None & info [ "runtime" ] ~docv:"SECONDS")
 let seed_t = Arg.(value & opt (some int) None & info [ "seed" ])
 
+let trace_format_conv =
+  let parse s =
+    match Bamboo.Config.trace_format_of_name s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt f ->
+        Format.pp_print_string fmt (Bamboo.Config.trace_format_name f) )
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a structured event trace to $(docv).")
+
+let trace_format_t =
+  Arg.(
+    value
+    & opt (some trace_format_conv) None
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace format: $(b,jsonl) (one JSON event per line) or \
+           $(b,chrome) (trace_event JSON, opens in chrome://tracing or \
+           Perfetto).")
+
+let probe_interval_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "probe-interval" ] ~docv:"MS"
+        ~doc:
+          "Sample CPU/NIC queue depths and utilization every $(docv) \
+           virtual milliseconds (0 disables probing).")
+
 let override config protocol n byz strategy bsize psize delay timeout backoff
-    runtime seed =
+    runtime seed trace trace_format probe_interval =
   let set v f config = match v with None -> config | Some v -> f config v in
   config
   |> set protocol (fun c protocol -> { c with Bamboo.Config.protocol })
@@ -81,12 +118,16 @@ let override config protocol n byz strategy bsize psize delay timeout backoff
   |> set backoff (fun c backoff -> { c with Bamboo.Config.backoff })
   |> set runtime (fun c runtime -> { c with Bamboo.Config.runtime })
   |> set seed (fun c seed -> { c with Bamboo.Config.seed })
+  |> set trace (fun c f -> { c with Bamboo.Config.trace_file = Some f })
+  |> set trace_format (fun c trace_format -> { c with Bamboo.Config.trace_format })
+  |> set probe_interval (fun c p ->
+         { c with Bamboo.Config.probe_interval = p /. 1000.0 })
 
 let common_t =
   Term.(
     const override $ Term.(const load_config $ config_file) $ protocol_t $ n_t
     $ byz_t $ strategy_t $ bsize_t $ psize_t $ delay_t $ timeout_t $ backoff_t
-    $ runtime_t $ seed_t)
+    $ runtime_t $ seed_t $ trace_t $ trace_format_t $ probe_interval_t)
 
 (* --- run --- *)
 
@@ -128,7 +169,32 @@ let run_cmd =
         in
         Format.printf "config: %a@.workload: %s@." Bamboo.Config.pp config
           (Bamboo.Workload.describe workload);
-        let r = Bamboo.Runtime.run ~config ~workload () in
+        let trace_oc, trace =
+          match config.Bamboo.Config.trace_file with
+          | None -> (None, Bamboo_obs.Trace.null)
+          | Some path ->
+              let oc =
+                try open_out path
+                with Sys_error e ->
+                  Printf.eprintf "cannot open trace file: %s\n" e;
+                  exit 2
+              in
+              let t =
+                match config.Bamboo.Config.trace_format with
+                | Bamboo.Config.Jsonl -> Bamboo_obs.Trace.jsonl oc
+                | Bamboo.Config.Chrome -> Bamboo_obs.Trace.chrome oc
+              in
+              (Some (path, oc), t)
+        in
+        let r = Bamboo.Runtime.run ~config ~workload ~trace () in
+        (match trace_oc with
+        | None -> ()
+        | Some (path, oc) ->
+            Bamboo_obs.Trace.close trace;
+            close_out oc;
+            Format.printf "trace written to %s (%s)@." path
+              (Bamboo.Config.trace_format_name
+                 config.Bamboo.Config.trace_format));
         let s = r.Bamboo.Runtime.summary in
         Format.printf "%a@." Bamboo.Metrics.pp_summary s;
         Format.printf
@@ -143,6 +209,18 @@ let run_cmd =
                 (Array.map
                    (fun u -> Printf.sprintf "%.0f%%" (100.0 *. u))
                    r.cpu_utilization)));
+        Format.printf "simulator events: %d@." r.sim_events;
+        let d = r.Bamboo.Runtime.decomposition in
+        if d.Bamboo_obs.Latency.samples > 0 then
+          Format.printf "latency decomposition: %a@."
+            Bamboo_obs.Latency.pp_summary d;
+        (match r.Bamboo.Runtime.probe with
+        | [] -> ()
+        | probes ->
+            Format.printf "probe gauges (mean / max):@.";
+            List.iter
+              (fun p -> Format.printf "  %a@." Bamboo_obs.Probe.pp_summary p)
+              probes);
         if series then
           List.iter
             (fun (t, thr) -> Format.printf "  t=%5.1fs  %8.0f tx/s@." t thr)

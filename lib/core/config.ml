@@ -8,6 +8,8 @@ type election = Rotation | Static of int | Hashed
 
 type propose_policy = Immediate | Wait_timeout
 
+type trace_format = Jsonl | Chrome
+
 type t = {
   protocol : protocol;
   n : int;
@@ -33,6 +35,9 @@ type t = {
   cpu_op : float;
   cpu_per_tx : float;
   seed : int;
+  trace_file : string option;
+  trace_format : trace_format;
+  probe_interval : float; (* seconds; 0 = probing disabled *)
 }
 
 let default =
@@ -61,6 +66,9 @@ let default =
     cpu_op = 0.00015 (* 150 us per sign/verify, a secp256k1 op in Go *);
     cpu_per_tx = 0.0000005 (* 0.5 us per tx *);
     seed = 42;
+    trace_file = None;
+    trace_format = Jsonl;
+    probe_interval = 0.0;
   }
 
 let quorum_size t = (2 * ((t.n - 1) / 3)) + 1
@@ -89,6 +97,13 @@ let strategy_of_name = function
   | "fork" | "forking" -> Ok Fork
   | s -> Error (Printf.sprintf "unknown strategy %S" s)
 
+let trace_format_name = function Jsonl -> "jsonl" | Chrome -> "chrome"
+
+let trace_format_of_name = function
+  | "jsonl" -> Ok Jsonl
+  | "chrome" -> Ok Chrome
+  | s -> Error (Printf.sprintf "unknown trace format %S" s)
+
 let validate t =
   let f = (t.n - 1) / 3 in
   if t.n <= 0 then Error "n must be positive"
@@ -106,6 +121,7 @@ let validate t =
   else if t.loss < 0.0 || t.loss >= 1.0 then Error "loss must be in [0, 1)"
   else if t.bandwidth <= 0.0 then Error "bandwidth must be positive"
   else if t.cpu_op < 0.0 || t.cpu_per_tx < 0.0 then Error "CPU costs must be non-negative"
+  else if t.probe_interval < 0.0 then Error "probe interval must be non-negative"
   else
     match t.election with
     | Static i when i < 0 || i >= t.n -> Error "static leader out of range"
@@ -149,6 +165,10 @@ let to_json t =
       ("cpuOp", Json.Float (t.cpu_op *. 1e6));
       ("cpuPerTx", Json.Float (t.cpu_per_tx *. 1e6));
       ("seed", Json.Int t.seed);
+      ( "trace",
+        match t.trace_file with None -> Json.Null | Some f -> Json.String f );
+      ("traceFormat", Json.String (trace_format_name t.trace_format));
+      ("probeInterval", Json.Float (t.probe_interval *. 1000.0));
     ]
 
 let known_fields =
@@ -157,7 +177,7 @@ let known_fields =
     "psize"; "timeout"; "backoff"; "proposePolicy"; "tcAdoptQc"; "echo"; "runtime";
     "warmup";
     "mu"; "sigma"; "delay"; "delaySigma"; "loss"; "bandwidth"; "cpuOp"; "cpuPerTx";
-    "seed";
+    "seed"; "trace"; "traceFormat"; "probeInterval";
   ]
 
 let of_json json =
@@ -196,6 +216,14 @@ let of_json json =
               | Json.String "immediate" -> Ok Immediate
               | Json.String "wait_timeout" -> Ok Wait_timeout
               | _ -> Error "bad proposePolicy"
+            in
+            let trace_format =
+              match Json.member "traceFormat" json with
+              | Json.Null -> default.trace_format
+              | v -> (
+                  match trace_format_of_name (Json.get_string v) with
+                  | Ok f -> f
+                  | Error e -> raise (Invalid_argument e))
             in
             match (protocol, strategy, election, propose_policy) with
             | Ok protocol, Ok strategy, Ok election, Ok propose_policy ->
@@ -240,6 +268,15 @@ let of_json json =
                       get "cpuPerTx" (fun v -> Json.to_float v /. 1e6)
                         default.cpu_per_tx;
                     seed = get "seed" Json.to_int default.seed;
+                    trace_file =
+                      (match Json.member "trace" json with
+                      | Json.Null -> default.trace_file
+                      | v -> Some (Json.get_string v));
+                    trace_format;
+                    probe_interval =
+                      get "probeInterval"
+                        (fun v -> Json.to_float v /. 1000.0)
+                        default.probe_interval;
                   }
             | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
               ->

@@ -19,6 +19,10 @@ type propose_policy = Immediate | Wait_timeout
     previous view (optimistic responsiveness) or waits out the view timer
     first (the non-responsive setting of the Fig. 15 "t100" experiment). *)
 
+type trace_format = Jsonl | Chrome
+(** Output format for structured traces: JSON-lines (one event per line)
+    or the Chrome trace_event format (opens in Perfetto). *)
+
 type t = {
   protocol : protocol;
   n : int;  (** Number of replicas. *)
@@ -60,6 +64,12 @@ type t = {
   cpu_op : float;  (** Seconds per crypto op (sign or verify). *)
   cpu_per_tx : float;  (** Per-transaction hashing/validation seconds. *)
   seed : int;
+  (* Observability (off by default; disabled instrumentation is free). *)
+  trace_file : string option;  (** Write a structured trace here. *)
+  trace_format : trace_format;
+  probe_interval : float;
+      (** Virtual-time period for sampling CPU/NIC queue depths and
+          utilization; 0 (the default) disables probing. *)
 }
 
 val default : t
@@ -81,5 +91,9 @@ val of_json : Bamboo_util.Json.t -> (t, string) result
 val protocol_name : protocol -> string
 
 val protocol_of_name : string -> (protocol, string) result
+
+val trace_format_name : trace_format -> string
+
+val trace_format_of_name : string -> (trace_format, string) result
 
 val pp : Format.formatter -> t -> unit

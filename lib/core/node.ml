@@ -18,6 +18,8 @@ type output =
   | Forked of Block.t list
   | Proposed of Block.t
   | Voted of Block.t
+  | Qc_formed of Qc.t
+  | Entered_view of { view : Ids.view; reason : string }
 
 type t = {
   config : Config.t;
@@ -178,6 +180,8 @@ let rec do_propose t out view =
 
 and try_advance t out ~to_view ~reason =
   if Pacemaker.advance t.pacemaker ~to_view ~reason then begin
+    emit out
+      (Entered_view { view = to_view; reason = Pacemaker.reason_label reason });
     emit out
       (Set_timer
          {
@@ -361,7 +365,9 @@ and handle_vote t out (vote : Vote.t) =
     if t.verify_sigs && not (Vote.verify t.registry vote) then ()
     else
       match Quorum.voted t.quorum vote with
-      | Some qc -> register_qc t out qc
+      | Some qc ->
+          emit out (Qc_formed qc);
+          register_qc t out qc
       | None -> ()
   end
 

@@ -37,6 +37,12 @@ type output =
       (** This node accepted the block as a valid chain extension and voted
           for it. The paper's chain-growth-rate metric divides committed
           blocks by blocks appended to the chain, i.e. accepted ones. *)
+  | Qc_formed of Qc.t
+      (** This node assembled a vote quorum locally (for observability;
+          QCs learned from proposals or timeouts are not re-announced). *)
+  | Entered_view of { view : Ids.view; reason : string }
+      (** The pacemaker advanced; [reason] is ["qc"], ["tc"] or
+          ["startup"] (for observability). *)
 
 type t
 

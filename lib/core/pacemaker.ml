@@ -27,6 +27,11 @@ let current_view t = t.view
 
 let entry_reason t = t.reason
 
+let reason_label = function
+  | Via_qc _ -> "qc"
+  | Via_tc _ -> "tc"
+  | Startup -> "startup"
+
 let base_timeout t = t.timeout
 
 let consecutive_timeouts t = t.consecutive

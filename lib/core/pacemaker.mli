@@ -29,6 +29,9 @@ val entry_reason : t -> entry_reason
 (** How the current view was entered — leaders use this to decide whether
     the first proposal must carry a TC. *)
 
+val reason_label : entry_reason -> string
+(** ["qc"], ["tc"] or ["startup"]; used by trace events. *)
+
 val timer_duration : t -> float
 (** Duration for the current view's timer, including any backoff. *)
 

@@ -4,7 +4,11 @@ module Machine = Bamboo_sim.Machine
 module Netmodel = Bamboo_sim.Netmodel
 module Rng = Bamboo_util.Rng
 module Dist = Bamboo_util.Dist
+module Json = Bamboo_util.Json
 module Forest = Bamboo_forest.Forest
+module Trace = Bamboo_obs.Trace
+module Probe = Bamboo_obs.Probe
+module Latency = Bamboo_obs.Latency
 
 type faults = {
   fluctuation : (float * float * float * float) option;
@@ -21,6 +25,9 @@ type result = {
   cpu_utilization : float array;
   consistent : bool;
   any_violation : bool;
+  decomposition : Latency.summary;
+  probe : Probe.summary list;
+  sim_events : int;
 }
 
 type tx_record = {
@@ -32,6 +39,16 @@ type tx_record = {
       (* already counted in the observer's committed-tx metrics; under
          broadcast submission a tx can legitimately appear in two
          committed blocks, but must be counted once *)
+  (* Latency-decomposition stages, all measured at the target replica and
+     only for single-target submissions; negative = not reached yet. *)
+  mutable submit_wire : float; (* client -> replica one-way *)
+  mutable ingest_wait : float; (* CPU-queue wait of the ingest charge *)
+  mutable ingest_service : float;
+  mutable arrived_at : float; (* entered the mempool *)
+  mutable batched_at : float; (* batched into a proposal *)
+  mutable propose_wait : float; (* CPU-queue wait of block creation *)
+  mutable propose_service : float;
+  mutable nic_ser : float; (* outbound NIC backlog of the broadcast *)
 }
 
 type st = {
@@ -45,6 +62,9 @@ type st = {
   records : (Tx.id, tx_record) Hashtbl.t;
   workload_rng : Rng.t;
   crash : (int * float) option;
+  trace : Trace.t;
+  spans : (Ids.hash, int) Hashtbl.t; (* block hash -> trace span id *)
+  decomp : Latency.t;
   mutable next_seq : int;
   mutable reissue : client:int -> after:float -> unit;
       (* closed-loop continuation, installed by [run] *)
@@ -54,6 +74,14 @@ let crashed st id =
   match st.crash with
   | Some (r, at) -> r = id && Sim.now st.sim >= at
   | None -> false
+
+let span_of st hash =
+  match Hashtbl.find_opt st.spans hash with
+  | Some s -> s
+  | None ->
+      let s = Trace.fresh_span st.trace in
+      Hashtbl.add st.spans hash s;
+      s
 
 (* CPU cost of validating an incoming message (charged at the receiver):
    a signature/QC check per the paper's t_CPU, plus per-transaction work
@@ -81,6 +109,38 @@ let output_cost (cfg : Config.t) ~self = function
       if tm.Timeout_msg.sender = self then cfg.cpu_op else 0.0
   | Message.Request_block _ -> 0.0
 
+let trace_receive st ~dst msg =
+  let ts = Sim.now st.sim in
+  match msg with
+  | Message.Proposal { block; _ } ->
+      Trace.emit st.trace ~ts ~node:dst ~view:block.Block.view
+        ~span:(span_of st block.Block.hash)
+        ~args:[ ("proposer", Json.Int block.Block.proposer) ]
+        Trace.Proposal_received
+  | Message.Vote v ->
+      Trace.emit st.trace ~ts ~node:dst ~view:v.Vote.view
+        ~span:(span_of st v.Vote.block)
+        ~args:[ ("voter", Json.Int v.Vote.voter) ]
+        Trace.Vote_received
+  | Message.Timeout tm ->
+      Trace.emit st.trace ~ts ~node:dst ~view:tm.Timeout_msg.view
+        ~args:[ ("sender", Json.Int tm.Timeout_msg.sender) ]
+        Trace.Timeout_received
+  | Message.Request_block _ -> ()
+
+let trace_sent st ~src msg =
+  let ts = Sim.now st.sim in
+  match msg with
+  | Message.Vote v when v.Vote.voter = src ->
+      Trace.emit st.trace ~ts ~node:src ~view:v.Vote.view
+        ~span:(span_of st v.Vote.block) Trace.Vote_sent
+  | Message.Timeout tm when tm.Timeout_msg.sender = src ->
+      Trace.emit st.trace ~ts ~node:src ~view:tm.Timeout_msg.view
+        Trace.Timeout_fired
+  | Message.Proposal _ | Message.Vote _ | Message.Timeout _
+  | Message.Request_block _ ->
+      () (* original proposals are traced via the Proposed output *)
+
 let rec transmit st ~src ~dst msg =
   if not (crashed st src) then begin
     let bytes = Message.wire_size msg in
@@ -95,9 +155,12 @@ let rec transmit st ~src ~dst msg =
                     else input_cost st.config msg
                   in
                   Machine.cpu st.machines.(dst) ~duration:cost (fun () ->
-                      if not (crashed st dst) then
+                      if not (crashed st dst) then begin
+                        if Trace.enabled st.trace then
+                          trace_receive st ~dst msg;
                         let outs = Node.handle st.nodes.(dst) (Receive msg) in
-                        process_outputs st dst outs))))
+                        process_outputs st dst outs
+                      end))))
   end
 
 and complete_tx st replica (tx : Tx.t) =
@@ -109,29 +172,80 @@ and complete_tx st replica (tx : Tx.t) =
       let done_at = Sim.now st.sim +. response in
       Metrics.record_latency st.metrics ~now:done_at ~issued_at:rec_.issued_at
         ~latency:(done_at -. rec_.issued_at);
+      (* Stage decomposition, over the same measurement window as
+         [record_latency]; only single-target submissions have a
+         well-defined path (the target replica batches, proposes and
+         commits the transaction itself). *)
+      if
+        rec_.target = replica
+        && rec_.arrived_at >= 0.0
+        && rec_.batched_at >= 0.0
+        && rec_.issued_at >= st.config.Config.warmup
+        && done_at < st.config.Config.runtime
+      then begin
+        let total = done_at -. rec_.issued_at in
+        let client_wire = rec_.submit_wire +. response in
+        let cpu_queue = rec_.ingest_wait +. rec_.propose_wait in
+        let cpu_service = rec_.ingest_service +. rec_.propose_service in
+        let mempool_wait = rec_.batched_at -. rec_.arrived_at in
+        let nic_serialization = rec_.nic_ser in
+        let consensus_wait =
+          total -. client_wire -. cpu_queue -. cpu_service -. mempool_wait
+          -. nic_serialization
+        in
+        Latency.record st.decomp
+          {
+            client_wire;
+            cpu_queue;
+            cpu_service;
+            mempool_wait;
+            nic_serialization;
+            consensus_wait;
+          }
+          ~total
+      end;
       if rec_.client > 0 then st.reissue ~client:rec_.client ~after:response
   | Some _ | None -> ()
 
 and process_outputs st id outs =
   let sends = ref [] in
   let creation = ref 0.0 in
+  let proposed = ref [] in
+  let tracing = Trace.enabled st.trace in
+  let now = Sim.now st.sim in
   List.iter
     (fun out ->
       match out with
       | Node.Send { dst; msg } ->
           creation := !creation +. output_cost st.config ~self:id msg;
-          sends := (dst, msg) :: !sends
+          sends := (dst, msg) :: !sends;
+          if tracing then trace_sent st ~src:id msg
       | Node.Broadcast msg ->
           creation := !creation +. output_cost st.config ~self:id msg;
           for dst = 0 to st.config.n - 1 do
             if dst <> id then sends := (dst, msg) :: !sends
-          done
+          done;
+          if tracing then trace_sent st ~src:id msg
       | Node.Set_timer { timer; after } ->
           Sim.schedule st.sim ~delay:after (fun () ->
               if not (crashed st id) then
                 let outs = Node.handle st.nodes.(id) (Timer timer) in
                 process_outputs st id outs)
       | Node.Committed { blocks; trigger_view } ->
+          if tracing then
+            List.iter
+              (fun (b : Block.t) ->
+                Trace.emit st.trace ~ts:now ~node:id ~view:b.view
+                  ~span:(span_of st b.hash)
+                  ~args:
+                    [
+                      ("hash", Json.String (Ids.short b.hash));
+                      ("height", Json.Int b.height);
+                      ("txs", Json.Int (List.length b.txs));
+                      ("triggerView", Json.Int trigger_view);
+                    ]
+                  Trace.Commit)
+              blocks;
           List.iter
             (fun (b : Block.t) -> List.iter (complete_tx st id) b.txs)
             blocks;
@@ -159,6 +273,18 @@ and process_outputs st id outs =
               blocks
           end
       | Node.Forked blocks ->
+          if tracing then
+            List.iter
+              (fun (b : Block.t) ->
+                Trace.emit st.trace ~ts:now ~node:id ~view:b.view
+                  ~span:(span_of st b.hash)
+                  ~args:
+                    [
+                      ("hash", Json.String (Ids.short b.hash));
+                      ("height", Json.Int b.height);
+                    ]
+                  Trace.Fork_prune)
+              blocks;
           if id = st.observer then
             Metrics.record_fork st.metrics ~now:(Sim.now st.sim)
               ~nblocks:(List.length blocks)
@@ -167,12 +293,77 @@ and process_outputs st id outs =
           if id = st.observer then
             Metrics.record_append st.metrics ~now:(Sim.now st.sim)
               ~hash:b.Block.hash
-      | Node.Proposed _ -> ())
+      | Node.Proposed b ->
+          proposed := b :: !proposed;
+          if tracing then begin
+            let span = span_of st b.Block.hash in
+            Trace.emit st.trace ~ts:now ~node:id ~view:b.Block.view ~span
+              ~args:
+                [
+                  ("hash", Json.String (Ids.short b.Block.hash));
+                  ("height", Json.Int b.Block.height);
+                  ("txs", Json.Int (List.length b.Block.txs));
+                ]
+              Trace.Proposal_sent;
+            if b.Block.txs <> [] then
+              Trace.emit st.trace ~ts:now ~node:id ~view:b.Block.view ~span
+                ~args:[ ("count", Json.Int (List.length b.Block.txs)) ]
+                Trace.Tx_dequeue
+          end
+      | Node.Qc_formed qc ->
+          if tracing then
+            Trace.emit st.trace ~ts:now ~node:id ~view:qc.Qc.view
+              ~span:(span_of st qc.Qc.block)
+              ~args:[ ("height", Json.Int qc.Qc.height) ]
+              Trace.Qc_formed
+      | Node.Entered_view { view; reason } ->
+          if tracing then
+            Trace.emit st.trace ~ts:now ~node:id ~view
+              ~args:[ ("reason", Json.String reason) ]
+              Trace.View_change)
     outs;
   let sends = List.rev !sends in
-  if sends <> [] || !creation > 0.0 then
+  if sends <> [] || !creation > 0.0 then begin
+    (* Stage bookkeeping for freshly batched transactions: they experience
+       the whole of this flush's CPU charge (queueing plus service). *)
+    (if !proposed <> [] then
+       let cpu_wait =
+         Float.max 0.0 (Machine.cpu_busy_until st.machines.(id) -. now)
+       in
+       List.iter
+         (fun (b : Block.t) ->
+           List.iter
+             (fun (tx : Tx.t) ->
+               match Hashtbl.find_opt st.records tx.Tx.id with
+               | Some r when r.target = id ->
+                   r.batched_at <- now;
+                   r.propose_wait <- cpu_wait;
+                   r.propose_service <- !creation;
+                   r.nic_ser <- 0.0
+               | Some _ | None -> ())
+             b.txs)
+         !proposed);
     Machine.cpu st.machines.(id) ~duration:!creation (fun () ->
-        List.iter (fun (dst, msg) -> transmit st ~src:id ~dst msg) sends)
+        let nic_before =
+          Float.max (Sim.now st.sim)
+            (Machine.nic_out_busy_until st.machines.(id))
+        in
+        List.iter (fun (dst, msg) -> transmit st ~src:id ~dst msg) sends;
+        (if !proposed <> [] then
+           let ser =
+             Float.max 0.0
+               (Machine.nic_out_busy_until st.machines.(id) -. nic_before)
+           in
+           List.iter
+             (fun (b : Block.t) ->
+               List.iter
+                 (fun (tx : Tx.t) ->
+                   match Hashtbl.find_opt st.records tx.Tx.id with
+                   | Some r when r.target = id -> r.nic_ser <- ser
+                   | Some _ | None -> ())
+                 b.txs)
+             !proposed))
+  end
 
 (* --- client-side transaction issue --- *)
 
@@ -186,6 +377,14 @@ let record_tx st ~client ~record_target (tx : Tx.t) =
       client;
       completed = false;
       counted = false;
+      submit_wire = 0.0;
+      ingest_wait = 0.0;
+      ingest_service = 0.0;
+      arrived_at = -1.0;
+      batched_at = -1.0;
+      propose_wait = 0.0;
+      propose_service = 0.0;
+      nic_ser = 0.0;
     }
 
 let send_batch st ~target txs =
@@ -193,9 +392,28 @@ let send_batch st ~target txs =
   let one_way = Netmodel.client_rtt st.net ~now /. 2.0 in
   Sim.schedule st.sim ~delay:one_way (fun () ->
       if not (crashed st target) then begin
+        let arrival = Sim.now st.sim in
         let cost = float_of_int (List.length txs) *. st.config.cpu_per_tx in
+        let wait =
+          Float.max 0.0 (Machine.cpu_busy_until st.machines.(target) -. arrival)
+        in
         Machine.cpu st.machines.(target) ~duration:cost (fun () ->
             if not (crashed st target) then begin
+              let entered = Sim.now st.sim in
+              List.iter
+                (fun (tx : Tx.t) ->
+                  match Hashtbl.find_opt st.records tx.Tx.id with
+                  | Some r when r.target = target ->
+                      r.submit_wire <- one_way;
+                      r.ingest_wait <- wait;
+                      r.ingest_service <- cost;
+                      r.arrived_at <- entered
+                  | Some _ | None -> ())
+                txs;
+              if Trace.enabled st.trace then
+                Trace.emit st.trace ~ts:entered ~node:target
+                  ~args:[ ("count", Json.Int (List.length txs)) ]
+                  Trace.Tx_enqueue;
               let outs = Node.handle st.nodes.(target) (Submit txs) in
               process_outputs st target outs
             end)
@@ -268,7 +486,51 @@ let start_closed_loop st ~clients =
     Sim.schedule st.sim ~delay:jitter (fun () -> issue_one st ~client)
   done
 
-let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer () =
+(* --- observability wiring --- *)
+
+let install_probe ~config ~sim ~machines ~trace =
+  let interval = config.Config.probe_interval in
+  if interval <= 0.0 then None
+  else begin
+    let p = Probe.create ~trace ~interval () in
+    Array.iteri
+      (fun i m ->
+        Probe.add_gauge p ~node:i ~name:"cpu_queue_depth" (fun () ->
+            float_of_int (Machine.queue_depth m `Cpu));
+        Probe.add_gauge p ~node:i ~name:"nic_out_queue_depth" (fun () ->
+            float_of_int (Machine.queue_depth m `Nic_out));
+        Probe.add_gauge p ~node:i ~name:"nic_in_queue_depth" (fun () ->
+            float_of_int (Machine.queue_depth m `Nic_in));
+        (* Busy fraction per sampling window: seconds of work admitted to
+           the queue since the last sample, over the window. Exceeds 1.0
+           while a backlog builds — exactly the saturation signal the
+           paper's L-shaped latency knee corresponds to. *)
+        let last_cpu = ref 0.0 in
+        Probe.add_gauge p ~node:i ~name:"cpu_utilization" (fun () ->
+            let b = Machine.cpu_busy_seconds m in
+            let d = b -. !last_cpu in
+            last_cpu := b;
+            d /. interval);
+        let last_nic = ref 0.0 in
+        Probe.add_gauge p ~node:i ~name:"nic_out_utilization" (fun () ->
+            let b = Machine.nic_out_busy_seconds m in
+            let d = b -. !last_nic in
+            last_nic := b;
+            d /. interval))
+      machines;
+    Probe.add_gauge p ~node:(-1) ~name:"event_heap" (fun () ->
+        float_of_int (Sim.pending sim));
+    let rec tick () =
+      Probe.sample p ~now:(Sim.now sim);
+      if Sim.now sim +. interval <= config.Config.runtime then
+        Sim.schedule sim ~delay:interval tick
+    in
+    Sim.schedule sim ~delay:interval tick;
+    Some p
+  end
+
+let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer
+    ?(trace = Trace.null) () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Runtime.run: " ^ e));
@@ -299,6 +561,17 @@ let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer () =
     Array.init config.Config.n (fun _ ->
         Machine.create ~sim ~bandwidth:config.Config.bandwidth)
   in
+  (* Machine service spans feed the trace's per-queue timeline threads;
+     the hook stays uninstalled when tracing is off. *)
+  if Trace.enabled trace then
+    Array.iteri
+      (fun i m ->
+        Machine.set_service_hook m
+          (Some
+             (fun ~queue ~start ~duration ->
+               Trace.service trace ~node:i ~queue ~start ~duration)))
+      machines;
+  let probe = install_probe ~config ~sim ~machines ~trace in
   let nodes =
     Array.init config.Config.n (fun self ->
         Node.create ~config ~self ~registry ~verify_sigs:false ~root:`Flat ())
@@ -319,6 +592,9 @@ let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer () =
       records = Hashtbl.create 4096;
       workload_rng;
       crash = faults.crash;
+      trace;
+      spans = Hashtbl.create 1024;
+      decomp = Latency.create ();
       next_seq = 0;
       reissue = (fun ~client:_ ~after:_ -> ());
     }
@@ -381,4 +657,7 @@ let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer () =
     cpu_utilization;
     consistent = !consistent;
     any_violation;
+    decomposition = Latency.summarize st.decomp;
+    probe = (match probe with None -> [] | Some p -> Probe.summaries p);
+    sim_events = Sim.fired sim;
   }

@@ -30,6 +30,15 @@ type result = {
       (** Cross-replica consistency check of §III-A: the committed chains
           agree block-by-block on the common prefix. *)
   any_violation : bool;  (** Any replica's commit conflicted locally. *)
+  decomposition : Bamboo_obs.Latency.summary;
+      (** Per-transaction end-to-end latency split into client wire, CPU
+          queueing, CPU service, mempool residency, NIC serialization and
+          consensus wait; components sum to the measured latency. Only
+          single-target (non-broadcast) submissions contribute. *)
+  probe : Bamboo_obs.Probe.summary list;
+      (** Queue-depth/utilization gauge summaries; empty unless
+          [config.probe_interval > 0]. *)
+  sim_events : int;  (** Discrete events fired by the simulator. *)
 }
 
 val run :
@@ -38,9 +47,15 @@ val run :
   ?faults:faults ->
   ?bucket:float ->
   ?observer:int ->
+  ?trace:Bamboo_obs.Trace.t ->
   unit ->
   result
 (** [run ~config ~workload ()] simulates [config.runtime] virtual seconds.
     [observer] (default: the first honest replica) supplies the
     view/commit counts for CGR and BI. [bucket] (default 0.5 s) is the
-    time-series granularity. *)
+    time-series granularity. [trace] (default {!Bamboo_obs.Trace.null})
+    receives structured protocol/machine events; with the null sink all
+    instrumentation reduces to one tag check and the simulation's event
+    schedule is identical to an untraced run. Probing
+    ([config.probe_interval > 0]) does add sampling events to the heap,
+    though never reorders protocol events. *)

@@ -82,7 +82,8 @@ module Make (T : Bamboo_network.Transport.S) = struct
                   b.txs)
               blocks;
             Mutex.unlock shared.mutex
-        | Node.Forked _ | Node.Proposed _ | Node.Voted _ -> ())
+        | Node.Forked _ | Node.Proposed _ | Node.Voted _ -> ()
+        | Node.Qc_formed _ | Node.Entered_view _ -> ())
       outs;
     fire_due shared ctx
 

@@ -1,0 +1,90 @@
+module Stats = Bamboo_util.Stats
+module Json = Bamboo_util.Json
+
+type components = {
+  client_wire : float;
+  cpu_queue : float;
+  cpu_service : float;
+  mempool_wait : float;
+  nic_serialization : float;
+  consensus_wait : float;
+}
+
+type t = {
+  client_wire : Stats.t;
+  cpu_queue : Stats.t;
+  cpu_service : Stats.t;
+  mempool_wait : Stats.t;
+  nic_serialization : Stats.t;
+  consensus_wait : Stats.t;
+  total : Stats.t;
+}
+
+type summary = {
+  samples : int;
+  client_wire : float;
+  cpu_queue : float;
+  cpu_service : float;
+  mempool_wait : float;
+  nic_serialization : float;
+  consensus_wait : float;
+  total : float;
+}
+
+let create () =
+  {
+    client_wire = Stats.create ();
+    cpu_queue = Stats.create ();
+    cpu_service = Stats.create ();
+    mempool_wait = Stats.create ();
+    nic_serialization = Stats.create ();
+    consensus_wait = Stats.create ();
+    total = Stats.create ();
+  }
+
+let record (t : t) (c : components) ~total =
+  Stats.add t.client_wire c.client_wire;
+  Stats.add t.cpu_queue c.cpu_queue;
+  Stats.add t.cpu_service c.cpu_service;
+  Stats.add t.mempool_wait c.mempool_wait;
+  Stats.add t.nic_serialization c.nic_serialization;
+  Stats.add t.consensus_wait c.consensus_wait;
+  Stats.add t.total total
+
+let summarize (t : t) =
+  {
+    samples = Stats.count t.total;
+    client_wire = Stats.mean t.client_wire;
+    cpu_queue = Stats.mean t.cpu_queue;
+    cpu_service = Stats.mean t.cpu_service;
+    mempool_wait = Stats.mean t.mempool_wait;
+    nic_serialization = Stats.mean t.nic_serialization;
+    consensus_wait = Stats.mean t.consensus_wait;
+    total = Stats.mean t.total;
+  }
+
+let components_sum (s : summary) =
+  s.client_wire +. s.cpu_queue +. s.cpu_service +. s.mempool_wait
+  +. s.nic_serialization +. s.consensus_wait
+
+let to_json (s : summary) =
+  Json.Obj
+    [
+      ("samples", Json.Int s.samples);
+      ("clientWire", Json.Float s.client_wire);
+      ("cpuQueue", Json.Float s.cpu_queue);
+      ("cpuService", Json.Float s.cpu_service);
+      ("mempoolWait", Json.Float s.mempool_wait);
+      ("nicSerialization", Json.Float s.nic_serialization);
+      ("consensusWait", Json.Float s.consensus_wait);
+      ("total", Json.Float s.total);
+    ]
+
+let pp_summary fmt (s : summary) =
+  let ms v = v *. 1000.0 in
+  Format.fprintf fmt
+    "latency decomposition (%d txs, ms): client wire %.3f | cpu queue %.3f | \
+     cpu service %.3f | mempool %.3f | nic %.3f | consensus %.3f | total %.3f"
+    s.samples (ms s.client_wire) (ms s.cpu_queue) (ms s.cpu_service)
+    (ms s.mempool_wait) (ms s.nic_serialization) (ms s.consensus_wait)
+    (ms s.total)

@@ -1,0 +1,74 @@
+module Stats = Bamboo_util.Stats
+module Json = Bamboo_util.Json
+
+type gauge = { node : int; name : string; read : unit -> float; stats : Stats.t }
+
+type t = {
+  interval : float;
+  trace : Trace.t;
+  mutable gauges : gauge list; (* reverse insertion order *)
+  mutable ticks : int;
+}
+
+type summary = {
+  node : int;
+  name : string;
+  samples : int;
+  mean : float;
+  max : float;
+}
+
+let create ?(trace = Trace.null) ~interval () =
+  if interval <= 0.0 then invalid_arg "Probe.create: interval must be positive";
+  { interval; trace; gauges = []; ticks = 0 }
+
+let interval t = t.interval
+
+let add_gauge t ~node ~name read =
+  t.gauges <- { node; name; read; stats = Stats.create () } :: t.gauges
+
+let sample t ~now =
+  t.ticks <- t.ticks + 1;
+  List.iter
+    (fun g ->
+      let v = g.read () in
+      Stats.add g.stats v;
+      Trace.gauge t.trace ~ts:now ~node:g.node ~name:g.name v)
+    (List.rev t.gauges)
+
+let samples t = t.ticks
+
+let summaries t =
+  List.rev_map
+    (fun (g : gauge) ->
+      {
+        node = g.node;
+        name = g.name;
+        samples = Stats.count g.stats;
+        mean = Stats.mean g.stats;
+        max = Stats.max_value g.stats;
+      })
+    t.gauges
+
+let find_summary summaries ~node ~name =
+  List.find_opt
+    (fun (s : summary) -> s.node = node && s.name = name)
+    summaries
+
+let find t ~node ~name = find_summary (summaries t) ~node ~name
+
+let summary_to_json (s : summary) =
+  Json.Obj
+    [
+      ("node", Json.Int s.node);
+      ("name", Json.String s.name);
+      ("samples", Json.Int s.samples);
+      ("mean", Json.Float s.mean);
+      ("max", Json.Float s.max);
+    ]
+
+let to_json t = Json.List (List.map summary_to_json (summaries t))
+
+let pp_summary fmt (s : summary) =
+  Format.fprintf fmt "node %d %-20s mean %10.3f  max %10.3f  (%d samples)"
+    s.node s.name s.mean s.max s.samples

@@ -1,0 +1,47 @@
+(** Periodic sampling of simulator resource gauges.
+
+    A probe holds a set of named gauges (per-node CPU/NIC queue depths,
+    busy fractions, the simulator's event-heap size, ...) registered by
+    the runtime. {!sample} reads every gauge, accumulates the value into a
+    {!Bamboo_util.Stats} collector, and — when a trace is attached — emits
+    a counter event so queue dynamics are visible on the timeline.
+
+    The probe never schedules simulator events itself; the runtime drives
+    it on its configured virtual-time interval. *)
+
+type t
+
+type summary = {
+  node : int;  (** Replica id; -1 for cluster-level gauges. *)
+  name : string;
+  samples : int;
+  mean : float;
+  max : float;
+}
+
+val create : ?trace:Trace.t -> interval:float -> unit -> t
+(** [interval] is the sampling period in virtual seconds (must be
+    positive); it is informational here — the caller schedules the
+    samples. *)
+
+val interval : t -> float
+
+val add_gauge : t -> node:int -> name:string -> (unit -> float) -> unit
+
+val sample : t -> now:float -> unit
+(** Reads every gauge once, tagging trace counter events with [now]. *)
+
+val samples : t -> int
+(** Number of [sample] calls so far. *)
+
+val summaries : t -> summary list
+(** One summary per gauge, in registration order. *)
+
+val find : t -> node:int -> name:string -> summary option
+
+val find_summary : summary list -> node:int -> name:string -> summary option
+(** Lookup in an already-extracted summary list (e.g. a run result). *)
+
+val to_json : t -> Bamboo_util.Json.t
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,3 +1,5 @@
+type queue = [ `Cpu | `Nic_out | `Nic_in ]
+
 type t = {
   sim : Sim.t;
   bandwidth : float;
@@ -5,6 +7,13 @@ type t = {
   mutable nic_out_free : float;
   mutable nic_in_free : float;
   mutable cpu_used : float;
+  mutable nic_out_used : float;
+  mutable nic_in_used : float;
+  mutable cpu_depth : int;
+  mutable nic_out_depth : int;
+  mutable nic_in_depth : int;
+  mutable on_service :
+    (queue:queue -> start:float -> duration:float -> unit) option;
 }
 
 let create ~sim ~bandwidth =
@@ -16,36 +25,72 @@ let create ~sim ~bandwidth =
     nic_out_free = 0.0;
     nic_in_free = 0.0;
     cpu_used = 0.0;
+    nic_out_used = 0.0;
+    nic_in_used = 0.0;
+    cpu_depth = 0;
+    nic_out_depth = 0;
+    nic_in_depth = 0;
+    on_service = None;
   }
 
 let bandwidth t = t.bandwidth
 
-let serve ~sim ~free ~duration k =
-  let start = Float.max (Sim.now sim) !free in
+let set_service_hook t hook = t.on_service <- hook
+
+let incr_depth t = function
+  | `Cpu -> t.cpu_depth <- t.cpu_depth + 1
+  | `Nic_out -> t.nic_out_depth <- t.nic_out_depth + 1
+  | `Nic_in -> t.nic_in_depth <- t.nic_in_depth + 1
+
+let decr_depth t = function
+  | `Cpu -> t.cpu_depth <- t.cpu_depth - 1
+  | `Nic_out -> t.nic_out_depth <- t.nic_out_depth - 1
+  | `Nic_in -> t.nic_in_depth <- t.nic_in_depth - 1
+
+let serve t ~queue ~free ~duration k =
+  let start = Float.max (Sim.now t.sim) !free in
   let finish = start +. duration in
   free := finish;
-  Sim.schedule_at sim ~at:finish k
+  incr_depth t queue;
+  (match t.on_service with
+  | Some f -> f ~queue ~start ~duration
+  | None -> ());
+  Sim.schedule_at t.sim ~at:finish (fun () ->
+      decr_depth t queue;
+      k ())
 
 let cpu t ~duration k =
   if duration < 0.0 then invalid_arg "Machine.cpu: negative duration";
   t.cpu_used <- t.cpu_used +. duration;
   let free = ref t.cpu_free in
-  serve ~sim:t.sim ~free ~duration k;
+  serve t ~queue:`Cpu ~free ~duration k;
   t.cpu_free <- !free
 
 let nic_out t ~bytes k =
   if bytes < 0 then invalid_arg "Machine.nic_out: negative bytes";
   let duration = float_of_int bytes /. t.bandwidth in
+  t.nic_out_used <- t.nic_out_used +. duration;
   let free = ref t.nic_out_free in
-  serve ~sim:t.sim ~free ~duration k;
+  serve t ~queue:`Nic_out ~free ~duration k;
   t.nic_out_free <- !free
 
 let nic_in t ~bytes k =
   if bytes < 0 then invalid_arg "Machine.nic_in: negative bytes";
   let duration = float_of_int bytes /. t.bandwidth in
+  t.nic_in_used <- t.nic_in_used +. duration;
   let free = ref t.nic_in_free in
-  serve ~sim:t.sim ~free ~duration k;
+  serve t ~queue:`Nic_in ~free ~duration k;
   t.nic_in_free <- !free
 
 let cpu_busy_until t = t.cpu_free
+let nic_out_busy_until t = t.nic_out_free
+let nic_in_busy_until t = t.nic_in_free
+
 let cpu_busy_seconds t = t.cpu_used
+let nic_out_busy_seconds t = t.nic_out_used
+let nic_in_busy_seconds t = t.nic_in_used
+
+let queue_depth t = function
+  | `Cpu -> t.cpu_depth
+  | `Nic_out -> t.nic_out_depth
+  | `Nic_in -> t.nic_in_depth

@@ -5,7 +5,14 @@
     (bytes / bandwidth, charged once outbound at the sender and once
     inbound at the receiver — the paper's [t_NIC = 2m/b]) are scheduled on
     the owning queue; completion times account for queueing behind earlier
-    work. *)
+    work.
+
+    Each queue additionally tracks its depth (jobs admitted but not yet
+    completed) and cumulative busy time, feeding the observability layer's
+    probes; an optional service hook reports every service span (for
+    timeline tracing) without altering scheduling. *)
+
+type queue = [ `Cpu | `Nic_out | `Nic_in ]
 
 type t
 
@@ -28,5 +35,21 @@ val cpu_busy_until : t -> float
 (** Absolute virtual time at which the CPU queue drains; used by tests and
     utilization metrics. *)
 
+val nic_out_busy_until : t -> float
+val nic_in_busy_until : t -> float
+
 val cpu_busy_seconds : t -> float
 (** Total CPU seconds consumed so far. *)
+
+val nic_out_busy_seconds : t -> float
+val nic_in_busy_seconds : t -> float
+
+val queue_depth : t -> queue -> int
+(** Jobs admitted to the queue and not yet completed (including the one
+    in service). *)
+
+val set_service_hook :
+  t -> (queue:queue -> start:float -> duration:float -> unit) option -> unit
+(** Installs (or clears) a callback invoked synchronously for every
+    admitted job with its computed service window. The hook must not
+    schedule simulator events; it exists to feed trace timelines. *)

@@ -2,12 +2,13 @@ module Heap = Bamboo_util.Heap
 
 type event = { at : float; fn : unit -> unit }
 
-type t = { mutable clock : float; events : event Heap.t }
+type t = { mutable clock : float; events : event Heap.t; mutable fired : int }
 
 let create () =
   {
     clock = 0.0;
     events = Heap.create ~cmp:(fun a b -> compare a.at b.at) ();
+    fired = 0;
   }
 
 let now t = t.clock
@@ -26,6 +27,7 @@ let run_until t horizon =
         (match Heap.pop t.events with
         | Some ev ->
             t.clock <- Float.max t.clock ev.at;
+            t.fired <- t.fired + 1;
             ev.fn ()
         | None -> assert false)
     | Some _ | None -> continue := false
@@ -42,9 +44,11 @@ let run_to_completion ?(max_events = 100_000_000) t =
         if !count > max_events then
           failwith "Sim.run_to_completion: event budget exhausted";
         t.clock <- Float.max t.clock ev.at;
+        t.fired <- t.fired + 1;
         ev.fn ();
         loop ()
   in
   loop ()
 
 let pending t = Heap.length t.events
+let fired t = t.fired

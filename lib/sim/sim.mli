@@ -29,3 +29,8 @@ val run_to_completion : ?max_events:int -> t -> unit
 
 val pending : t -> int
 (** Number of scheduled events not yet fired. *)
+
+val fired : t -> int
+(** Total events executed so far; an instrumentation-independent measure
+    of simulation work, used by the observability layer's zero-overhead
+    checks. *)

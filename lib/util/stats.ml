@@ -47,14 +47,14 @@ let variance t =
   if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
 
 let stddev t = sqrt (variance t)
-let min_value t = t.min
-let max_value t = t.max
+let min_value t = if t.n = 0 then 0.0 else t.min
+let max_value t = if t.n = 0 then 0.0 else t.max
 let total t = t.total
 
 let ensure_sorted t =
   if not t.sorted then begin
     let a = Array.sub t.samples 0 t.len in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     Array.blit a 0 t.samples 0 t.len;
     t.sorted <- true
   end

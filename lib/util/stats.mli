@@ -20,10 +20,11 @@ val variance : t -> float
 val stddev : t -> float
 
 val min_value : t -> float
-(** [infinity] when empty. *)
+(** 0 when empty (consistent with {!mean} and {!percentile}, and safe to
+    serialize — no infinities in JSON reports). *)
 
 val max_value : t -> float
-(** [neg_infinity] when empty. *)
+(** 0 when empty. *)
 
 val total : t -> float
 

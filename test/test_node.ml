@@ -46,7 +46,8 @@ let absorb net src outs =
       | Node.Forked blocks ->
           net.forked <- net.forked @ List.map (fun b -> (src, b)) blocks
       | Node.Proposed b -> net.proposed <- net.proposed @ [ b ]
-      | Node.Voted _ -> ())
+      | Node.Voted _ -> ()
+      | Node.Qc_formed _ | Node.Entered_view _ -> ())
     outs
 
 let start net =
