@@ -103,8 +103,29 @@ let probe_interval_t =
           "Sample CPU/NIC queue depths and utilization every $(docv) \
            virtual milliseconds (0 disables probing).")
 
+let faults_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "faults" ] ~docv:"FILE"
+        ~doc:
+          "JSON fault schedule (a list of fault entries, the same shape as \
+           the configuration's $(b,faults) section); replaces any schedule \
+           from --config. See README \"Fault injection\".")
+
+let load_faults path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  match Bamboo_faults.Schedule.of_json (Bamboo_util.Json.of_string raw) with
+  | Ok s -> s
+  | Error e ->
+      Printf.eprintf "error in %s: %s\n" path e;
+      exit 2
+
 let override config protocol n byz strategy bsize psize delay timeout backoff
-    runtime seed trace trace_format probe_interval =
+    runtime seed trace trace_format probe_interval faults =
   let set v f config = match v with None -> config | Some v -> f config v in
   config
   |> set protocol (fun c protocol -> { c with Bamboo.Config.protocol })
@@ -122,12 +143,15 @@ let override config protocol n byz strategy bsize psize delay timeout backoff
   |> set trace_format (fun c trace_format -> { c with Bamboo.Config.trace_format })
   |> set probe_interval (fun c p ->
          { c with Bamboo.Config.probe_interval = p /. 1000.0 })
+  |> set faults (fun c path ->
+         { c with Bamboo.Config.faults = load_faults path })
 
 let common_t =
   Term.(
     const override $ Term.(const load_config $ config_file) $ protocol_t $ n_t
     $ byz_t $ strategy_t $ bsize_t $ psize_t $ delay_t $ timeout_t $ backoff_t
-    $ runtime_t $ seed_t $ trace_t $ trace_format_t $ probe_interval_t)
+    $ runtime_t $ seed_t $ trace_t $ trace_format_t $ probe_interval_t
+    $ faults_t)
 
 (* --- run --- *)
 

@@ -1,0 +1,84 @@
+(* Fault injection: script a partition (with heal) and a slow-leader
+   window against a 4-replica HotStuff simulation, watch the commit time
+   series stall and recover, and read the fault timeline back from the
+   trace. The same schedule can be loaded from JSON with
+   [bamboo_cli run --faults file.json]; see README "Fault injection". *)
+
+module Schedule = Bamboo_faults.Schedule
+module Trace = Bamboo_obs.Trace
+module Json = Bamboo_util.Json
+
+let () =
+  (* From t=2s to t=3.5s split the cluster 2|2: no side holds a quorum
+     of 3, so commits must stall until the heal. From t=5s to t=6.5s
+     give replica 0's outbound links 20 ms of extra delay: every view
+     it leads slows down, the others stay fast. *)
+  let faults =
+    [
+      {
+        Schedule.at = 2.0;
+        until = Some 3.5;
+        spec = Schedule.Partition { a = [ 0; 1 ]; b = [] };
+      };
+      {
+        Schedule.at = 5.0;
+        until = Some 6.5;
+        spec =
+          Schedule.Link_delay
+            {
+              src = Schedule.Nodes [ 0 ];
+              dst = Schedule.All;
+              mu = 0.020;
+              sigma = 0.002;
+            };
+      };
+    ]
+  in
+  let config =
+    {
+      Bamboo.Config.default with
+      protocol = Bamboo.Config.Hotstuff;
+      n = 4;
+      runtime = 8.0;
+      warmup = 0.5;
+      seed = 7;
+      faults;
+    }
+  in
+  let workload = Bamboo.Workload.open_loop ~rate:10_000.0 () in
+  let trace = Trace.ring ~capacity:2_000_000 in
+  Format.printf "Chaos run: %a@." Bamboo.Config.pp config;
+  let result =
+    Bamboo.Runtime.run ~config ~workload ~trace ~bucket:0.5 ()
+  in
+  Format.printf "%a@." Bamboo.Metrics.pp_summary result.summary;
+  (* The commit time series, annotated with the active faults. *)
+  let active t =
+    List.filter_map
+      (fun (e : Schedule.entry) ->
+        let until = match e.until with Some u -> u | None -> infinity in
+        if e.at <= t && t < until then Some (Schedule.spec_name e.spec)
+        else None)
+      faults
+  in
+  print_endline "bucket      throughput  active faults";
+  List.iter
+    (fun (t, thr) ->
+      Printf.printf "t=%4.1fs  %9.0f tx/s  %s\n" t thr
+        (String.concat " " (active t)))
+    result.series;
+  (* The fault timeline as recorded in the trace. *)
+  print_endline "fault events:";
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Fault_inject | Trace.Fault_heal ->
+          let name =
+            match List.assoc_opt "fault" e.args with
+            | Some (Json.String s) -> s
+            | _ -> "?"
+          in
+          Printf.printf "  t=%.2fs  %-12s %s\n" e.ts
+            (Trace.kind_name e.kind) name
+      | _ -> ())
+    (Trace.events trace)

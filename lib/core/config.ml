@@ -38,6 +38,7 @@ type t = {
   trace_file : string option;
   trace_format : trace_format;
   probe_interval : float; (* seconds; 0 = probing disabled *)
+  faults : Bamboo_faults.Schedule.t;
 }
 
 let default =
@@ -69,6 +70,7 @@ let default =
     trace_file = None;
     trace_format = Jsonl;
     probe_interval = 0.0;
+    faults = Bamboo_faults.Schedule.empty;
   }
 
 let quorum_size t = (2 * ((t.n - 1) / 3)) + 1
@@ -125,7 +127,10 @@ let validate t =
   else
     match t.election with
     | Static i when i < 0 || i >= t.n -> Error "static leader out of range"
-    | Static _ | Rotation | Hashed -> Ok t
+    | Static _ | Rotation | Hashed -> (
+        match Bamboo_faults.Schedule.validate ~n:t.n t.faults with
+        | Ok _ -> Ok t
+        | Error e -> Error ("faults: " ^ e))
 
 let to_json t =
   let election =
@@ -169,6 +174,7 @@ let to_json t =
         match t.trace_file with None -> Json.Null | Some f -> Json.String f );
       ("traceFormat", Json.String (trace_format_name t.trace_format));
       ("probeInterval", Json.Float (t.probe_interval *. 1000.0));
+      ("faults", Bamboo_faults.Schedule.to_json t.faults);
     ]
 
 let known_fields =
@@ -177,7 +183,7 @@ let known_fields =
     "psize"; "timeout"; "backoff"; "proposePolicy"; "tcAdoptQc"; "echo"; "runtime";
     "warmup";
     "mu"; "sigma"; "delay"; "delaySigma"; "loss"; "bandwidth"; "cpuOp"; "cpuPerTx";
-    "seed"; "trace"; "traceFormat"; "probeInterval";
+    "seed"; "trace"; "traceFormat"; "probeInterval"; "faults";
   ]
 
 let of_json json =
@@ -277,6 +283,13 @@ let of_json json =
                       get "probeInterval"
                         (fun v -> Json.to_float v /. 1000.0)
                         default.probe_interval;
+                    faults =
+                      (match
+                         Bamboo_faults.Schedule.of_json
+                           (Json.member "faults" json)
+                       with
+                      | Ok s -> s
+                      | Error e -> raise (Invalid_argument e));
                   }
             | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
               ->

@@ -70,6 +70,10 @@ type t = {
   probe_interval : float;
       (** Virtual-time period for sampling CPU/NIC queue depths and
           utilization; 0 (the default) disables probing. *)
+  faults : Bamboo_faults.Schedule.t;
+      (** Declarative fault schedule (the JSON [faults] section), executed
+          by the [bamboo_faults] engine during the run. Empty (the
+          default) leaves the run bit-identical to a fault-free one. *)
 }
 
 val default : t

@@ -12,7 +12,11 @@ type scale = Quick | Full
 val names : string list
 (** All experiment identifiers: ["table2"], ["fig8"] ... ["fig15"],
     ["ablation_broadcast"], ["ablation_election"], ["ablation_echo"],
-    ["ablation_fhs"], ["ablation_backoff"]. *)
+    ["ablation_fhs"], ["ablation_backoff"], plus the fault-injection
+    scenarios ["chaos_leader_delay"] (targeted delay on one replica's
+    outbound links, per-protocol responsiveness) and
+    ["chaos_partition_heal"] (quorum-blocking partition, then
+    time-to-first-commit after the heal). *)
 
 val run_one : scale:scale -> string -> (unit, string) result
 (** Runs one experiment by name, printing its tables to stdout. *)

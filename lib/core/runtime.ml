@@ -9,13 +9,7 @@ module Forest = Bamboo_forest.Forest
 module Trace = Bamboo_obs.Trace
 module Probe = Bamboo_obs.Probe
 module Latency = Bamboo_obs.Latency
-
-type faults = {
-  fluctuation : (float * float * float * float) option;
-  crash : (int * float) option;
-}
-
-let no_faults = { fluctuation = None; crash = None }
+module Fault_engine = Bamboo_faults.Engine
 
 type result = {
   summary : Metrics.summary;
@@ -61,7 +55,7 @@ type st = {
   observer : int;
   records : (Tx.id, tx_record) Hashtbl.t;
   workload_rng : Rng.t;
-  crash : (int * float) option;
+  eng : Fault_engine.t;
   trace : Trace.t;
   spans : (Ids.hash, int) Hashtbl.t; (* block hash -> trace span id *)
   decomp : Latency.t;
@@ -70,10 +64,7 @@ type st = {
       (* closed-loop continuation, installed by [run] *)
 }
 
-let crashed st id =
-  match st.crash with
-  | Some (r, at) -> r = id && Sim.now st.sim >= at
-  | None -> false
+let crashed st id = Fault_engine.node_down st.eng id
 
 let span_of st hash =
   match Hashtbl.find_opt st.spans hash with
@@ -145,22 +136,37 @@ let rec transmit st ~src ~dst msg =
   if not (crashed st src) then begin
     let bytes = Message.wire_size msg in
     Machine.nic_out st.machines.(src) ~bytes (fun () ->
-        if not (Netmodel.drops st.net ~now:(Sim.now st.sim)) then
-        let delay = Netmodel.one_way st.net ~now:(Sim.now st.sim) ~src ~dst in
-        Sim.schedule st.sim ~delay (fun () ->
-            Machine.nic_in st.machines.(dst) ~bytes (fun () ->
-                if not (crashed st dst) then
-                  let cost =
-                    if Node.seen_before st.nodes.(dst) msg then duplicate_cost
-                    else input_cost st.config msg
-                  in
-                  Machine.cpu st.machines.(dst) ~duration:cost (fun () ->
-                      if not (crashed st dst) then begin
-                        if Trace.enabled st.trace then
-                          trace_receive st ~dst msg;
-                        let outs = Node.handle st.nodes.(dst) (Receive msg) in
-                        process_outputs st dst outs
-                      end))))
+        let now = Sim.now st.sim in
+        (* Partitioned links eat the message after the sender has paid its
+           NIC time — the bytes left the host and died on the wire. *)
+        if not (Netmodel.blocked st.net ~src ~dst) then begin
+          let deliver delay =
+            Sim.schedule st.sim ~delay (fun () ->
+                Machine.nic_in st.machines.(dst) ~bytes (fun () ->
+                    if not (crashed st dst) then
+                      let cost =
+                        if Node.seen_before st.nodes.(dst) msg then
+                          duplicate_cost
+                        else input_cost st.config msg
+                      in
+                      Machine.cpu st.machines.(dst) ~duration:cost (fun () ->
+                          if not (crashed st dst) then begin
+                            if Trace.enabled st.trace then
+                              trace_receive st ~dst msg;
+                            let outs =
+                              Node.handle st.nodes.(dst) (Receive msg)
+                            in
+                            process_outputs st dst outs
+                          end)))
+          in
+          let base_drop = Netmodel.drops st.net ~now in
+          let fault_drop = Netmodel.link_drops st.net ~src ~dst in
+          if not (base_drop || fault_drop) then
+            deliver (Netmodel.one_way st.net ~now ~src ~dst);
+          (* Duplication faults deliver extra copies with independent
+             delays; receivers discard them as echoed duplicates. *)
+          List.iter deliver (Netmodel.link_copies st.net ~src ~dst)
+        end)
   end
 
 and complete_tx st replica (tx : Tx.t) =
@@ -227,6 +233,9 @@ and process_outputs st id outs =
           done;
           if tracing then trace_sent st ~src:id msg
       | Node.Set_timer { timer; after } ->
+          (* Clock-skew faults stretch or shrink the replica's local timer
+             durations; the factor is exactly 1.0 when no skew is active. *)
+          let after = after *. Fault_engine.clock_factor st.eng id in
           Sim.schedule st.sim ~delay:after (fun () ->
               if not (crashed st id) then
                 let outs = Node.handle st.nodes.(id) (Timer timer) in
@@ -529,8 +538,7 @@ let install_probe ~config ~sim ~machines ~trace =
     Some p
   end
 
-let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer
-    ?(trace = Trace.null) () =
+let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null) () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Runtime.run: " ^ e));
@@ -542,16 +550,15 @@ let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer
   let master = Rng.create ~seed:config.Config.seed in
   let net_rng = Rng.split master in
   let workload_rng = Rng.split master in
+  (* Split after the streams that predate the fault subsystem, so those
+     streams (and hence an empty-schedule run) are unchanged. *)
+  let fault_rng = Rng.split master in
   let sim = Sim.create () in
   let net =
     Netmodel.create ~rng:net_rng ~mu:config.Config.mu ~sigma:config.Config.sigma
       ~extra_mu:config.Config.extra_delay_mu
       ~extra_sigma:config.Config.extra_delay_sigma ()
   in
-  (match faults.fluctuation with
-  | Some (from_t, until_t, lo, hi) ->
-      Netmodel.set_fluctuation net ~from_t ~until_t ~lo ~hi
-  | None -> ());
   if config.Config.loss > 0.0 then
     Netmodel.set_loss net ~rate:config.Config.loss;
   let registry =
@@ -591,7 +598,9 @@ let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer
       observer;
       records = Hashtbl.create 4096;
       workload_rng;
-      crash = faults.crash;
+      eng =
+        Fault_engine.create ~n:config.Config.n ~rng:fault_rng
+          ~schedule:config.Config.faults;
       trace;
       spans = Hashtbl.create 1024;
       decomp = Latency.create ();
@@ -599,6 +608,16 @@ let run ~config ~workload ?(faults = no_faults) ?(bucket = 0.5) ?observer
       reissue = (fun ~client:_ ~after:_ -> ());
     }
   in
+  (* Compile the fault schedule into simulator events. A recovering
+     replica kept its pre-crash state but slept through its view timer;
+     firing the timeout for its (stale) current view re-arms the
+     pacemaker, broadcasts a timeout, and re-requests any blocks it was
+     missing — from there the ordinary chain-sync path catches it up. *)
+  Fault_engine.install st.eng ~sim ~net ~machines ~trace
+    ~on_recover:(fun id ->
+      let view = Node.current_view st.nodes.(id) in
+      let outs = Node.handle st.nodes.(id) (Timer (Node.View_timeout view)) in
+      process_outputs st id outs);
   (* Boot all replicas. *)
   Array.iteri (fun id node -> process_outputs st id (Node.start node)) nodes;
   (* Start the workload. *)

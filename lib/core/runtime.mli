@@ -8,16 +8,6 @@
     machines and wires are modelled. Runs are deterministic in
     [config.seed]. *)
 
-type faults = {
-  fluctuation : (float * float * float * float) option;
-      (** [(from_t, until_t, lo, hi)]: one-way delays drawn uniformly from
-          [lo, hi) seconds during the window (Fig. 15 injection). *)
-  crash : (int * float) option;
-      (** [(replica, at)]: the replica goes silent at virtual time [at]. *)
-}
-
-val no_faults : faults
-
 type result = {
   summary : Metrics.summary;
   series : (float * float) list;  (** Committed-throughput time series. *)
@@ -44,7 +34,6 @@ type result = {
 val run :
   config:Config.t ->
   workload:Workload.t ->
-  ?faults:faults ->
   ?bucket:float ->
   ?observer:int ->
   ?trace:Bamboo_obs.Trace.t ->
@@ -58,4 +47,10 @@ val run :
     instrumentation reduces to one tag check and the simulation's event
     schedule is identical to an untraced run. Probing
     ([config.probe_interval > 0]) does add sampling events to the heap,
-    though never reorders protocol events. *)
+    though never reorders protocol events.
+
+    Infrastructure faults — crashes, recoveries, partitions, per-link
+    delay/loss/duplication/reordering, CPU slowdown, clock skew, delay
+    fluctuation — come from [config.faults] and are executed by the
+    [bamboo_faults] engine on dedicated RNG streams: a run with an empty
+    schedule is bit-identical to one predating the fault subsystem. *)

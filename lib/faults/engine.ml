@@ -1,0 +1,152 @@
+module Rng = Bamboo_util.Rng
+module Json = Bamboo_util.Json
+module Sim = Bamboo_sim.Sim
+module Netmodel = Bamboo_sim.Netmodel
+module Machine = Bamboo_sim.Machine
+module Trace = Bamboo_obs.Trace
+
+type t = {
+  n : int;
+  rng : Rng.t;
+  sched : Schedule.t;
+  down : bool array;
+  clock : float list array; (* active clock-skew factors, per replica *)
+  slow : float list array; (* active CPU-slowdown factors, per replica *)
+}
+
+let create ~n ~rng ~schedule =
+  if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  {
+    n;
+    rng;
+    sched = schedule;
+    down = Array.make n false;
+    clock = Array.make n [];
+    slow = Array.make n [];
+  }
+
+let schedule t = t.sched
+
+let node_down t i = t.down.(i)
+
+(* Folding over an empty stack yields exactly 1.0, and the runtime's
+   [*. 1.0] is a bit-exact identity, so unfaulted timers are unchanged. *)
+let product l = List.fold_left ( *. ) 1.0 l
+
+let clock_factor t i = product t.clock.(i)
+
+let remove_one x l =
+  let rec go = function
+    | [] -> []
+    | y :: tl -> if y = x then tl else y :: go tl
+  in
+  go l
+
+let expand t = function
+  | Schedule.All -> List.init t.n Fun.id
+  | Schedule.Nodes ids -> List.filter (fun i -> i >= 0 && i < t.n) ids
+
+(* Ordered (src, dst) pairs selected by a link fault; self-pairs dropped. *)
+let pairs t ~src ~dst =
+  let dsts = expand t dst in
+  List.concat_map
+    (fun s -> List.filter_map (fun d -> if s = d then None else Some (s, d)) dsts)
+    (expand t src)
+
+let effect_kind_of_spec = function
+  | Schedule.Link_delay { mu; sigma; _ } ->
+      Some (Netmodel.Extra_delay { mu; sigma })
+  | Schedule.Link_spike { lo; hi; _ } -> Some (Netmodel.Spike { lo; hi })
+  | Schedule.Link_loss { rate; _ } -> Some (Netmodel.Drop rate)
+  | Schedule.Link_dup { prob; _ } -> Some (Netmodel.Duplicate prob)
+  | Schedule.Link_reorder { prob; jitter; _ } ->
+      Some (Netmodel.Reorder { prob; jitter })
+  | Schedule.Partition _ | Schedule.Crash _ | Schedule.Cpu_slow _
+  | Schedule.Clock_skew _ | Schedule.Fluctuation _ ->
+      None
+
+(* Begin/heal actions for one schedule entry. The entry's RNG stream is
+   threaded into the network-level effect so its sampling never touches
+   the model's base stream. *)
+let compile t ~net ~machines ~on_recover (e : Schedule.entry) ~rng =
+  match e.spec with
+  | Schedule.Link_delay { src; dst; _ }
+  | Schedule.Link_spike { src; dst; _ }
+  | Schedule.Link_loss { src; dst; _ }
+  | Schedule.Link_dup { src; dst; _ }
+  | Schedule.Link_reorder { src; dst; _ } ->
+      let kind = Option.get (effect_kind_of_spec e.spec) in
+      (* One shared handle: a single fault source = a single RNG stream,
+         even when it covers many links. *)
+      let eff = Netmodel.effect ~rng kind in
+      let links = pairs t ~src ~dst in
+      ( (fun () ->
+          List.iter (fun (src, dst) -> Netmodel.attach net ~src ~dst eff) links),
+        fun () ->
+          List.iter (fun (src, dst) -> Netmodel.detach net ~src ~dst eff) links
+      )
+  | Schedule.Partition { a; b } ->
+      let b = if b = [] then List.filter (fun i -> not (List.mem i a)) (expand t All) else b in
+      let cross =
+        List.concat_map (fun x -> List.map (fun y -> (x, y)) b) a
+      in
+      ( (fun () ->
+          List.iter
+            (fun (x, y) ->
+              Netmodel.block net ~src:x ~dst:y;
+              Netmodel.block net ~src:y ~dst:x)
+            cross),
+        fun () ->
+          List.iter
+            (fun (x, y) ->
+              Netmodel.unblock net ~src:x ~dst:y;
+              Netmodel.unblock net ~src:y ~dst:x)
+            cross )
+  | Schedule.Crash { node } ->
+      ( (fun () -> t.down.(node) <- true),
+        fun () ->
+          t.down.(node) <- false;
+          on_recover node )
+  | Schedule.Cpu_slow { node; factor } ->
+      let apply () = Machine.set_speed machines.(node) (1.0 /. product t.slow.(node)) in
+      ( (fun () ->
+          t.slow.(node) <- factor :: t.slow.(node);
+          apply ()),
+        fun () ->
+          t.slow.(node) <- remove_one factor t.slow.(node);
+          apply () )
+  | Schedule.Clock_skew { node; factor } ->
+      ( (fun () -> t.clock.(node) <- factor :: t.clock.(node)),
+        fun () -> t.clock.(node) <- remove_one factor t.clock.(node) )
+  | Schedule.Fluctuation { lo; hi } ->
+      let until_t = match e.until with Some u -> u | None -> infinity in
+      ( (fun () ->
+          Netmodel.set_fluctuation net ~from_t:e.at ~until_t ~lo ~hi),
+        (* The window self-expires at [until_t]; the heal event only
+           marks the timeline. *)
+        fun () -> () )
+
+let install t ~sim ~net ~machines ~trace ~on_recover =
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let rng = Rng.split t.rng in
+      let begin_fault, heal_fault = compile t ~net ~machines ~on_recover e ~rng in
+      let emit kind ~ts =
+        Trace.emit trace ~ts ~node:(Schedule.node_of e.spec)
+          ~args:
+            [
+              ("fault", Json.String (Schedule.spec_name e.spec));
+              ("spec", Schedule.entry_to_json e);
+            ]
+          kind
+      in
+      Sim.schedule_at sim ~at:e.at (fun () ->
+          emit Trace.Fault_inject ~ts:e.at;
+          begin_fault ());
+      match e.until with
+      | None -> ()
+      | Some u ->
+          Sim.schedule_at sim ~at:u (fun () ->
+              emit Trace.Fault_heal ~ts:u;
+              heal_fault ()))
+    t.sched

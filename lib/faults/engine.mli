@@ -1,0 +1,48 @@
+(** Fault-schedule execution engine.
+
+    {!create} allocates the per-run fault state; {!install} compiles every
+    {!Schedule.entry} into begin/heal simulator events against the run's
+    network model, machines and trace. Each entry draws a dedicated RNG
+    stream (split from the engine's stream at install time, in entry
+    order), so stochastic faults never advance the base network or
+    workload streams: with an empty schedule, [install] schedules nothing
+    and the run is bit-identical to one without the subsystem.
+
+    The engine owns the node-level fault state that the runtime polls:
+    {!node_down} (crash-stop windows) and {!clock_factor} (pacemaker timer
+    scaling). Link-level faults act directly on the {!Bamboo_sim.Netmodel}
+    fault plane and need no polling.
+
+    Every injection and heal is emitted as a [Fault_inject] /
+    [Fault_heal] trace event (node = targeted replica, or -1 for
+    link/cluster faults) carrying the fault kind and its full JSON spec,
+    so Perfetto timelines show fault windows against protocol activity. *)
+
+type t
+
+val create : n:int -> rng:Bamboo_util.Rng.t -> schedule:Schedule.t -> t
+(** [n] is the cluster size. The schedule should already have passed
+    {!Schedule.validate}. *)
+
+val schedule : t -> Schedule.t
+
+val node_down : t -> int -> bool
+(** True while replica [i] is inside a crash window. *)
+
+val clock_factor : t -> int -> float
+(** Product of the clock-skew factors currently active on replica [i];
+    exactly [1.0] when none are. The runtime multiplies pacemaker timer
+    durations by it. *)
+
+val install :
+  t ->
+  sim:Bamboo_sim.Sim.t ->
+  net:Bamboo_sim.Netmodel.t ->
+  machines:Bamboo_sim.Machine.t array ->
+  trace:Bamboo_obs.Trace.t ->
+  on_recover:(int -> unit) ->
+  unit
+(** Schedules all fault begin/heal events. [on_recover node] is invoked
+    when a crash-recovery window heals, after the replica is marked up
+    again — the runtime uses it to kick the replica's rejoin path.
+    Call at most once, before the simulation starts. *)

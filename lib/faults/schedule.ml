@@ -1,0 +1,347 @@
+module Json = Bamboo_util.Json
+
+type node_set = All | Nodes of int list
+
+type spec =
+  | Link_delay of { src : node_set; dst : node_set; mu : float; sigma : float }
+  | Link_spike of { src : node_set; dst : node_set; lo : float; hi : float }
+  | Link_loss of { src : node_set; dst : node_set; rate : float }
+  | Link_dup of { src : node_set; dst : node_set; prob : float }
+  | Link_reorder of {
+      src : node_set;
+      dst : node_set;
+      prob : float;
+      jitter : float;
+    }
+  | Partition of { a : int list; b : int list }
+  | Crash of { node : int }
+  | Cpu_slow of { node : int; factor : float }
+  | Clock_skew of { node : int; factor : float }
+  | Fluctuation of { lo : float; hi : float }
+
+type entry = { at : float; until : float option; spec : spec }
+
+type t = entry list
+
+let empty = []
+
+let spec_name = function
+  | Link_delay _ -> "delay"
+  | Link_spike _ -> "spike"
+  | Link_loss _ -> "loss"
+  | Link_dup _ -> "duplicate"
+  | Link_reorder _ -> "reorder"
+  | Partition _ -> "partition"
+  | Crash _ -> "crash"
+  | Cpu_slow _ -> "slow"
+  | Clock_skew _ -> "clock_skew"
+  | Fluctuation _ -> "fluctuation"
+
+let node_of = function
+  | Crash { node } | Cpu_slow { node; _ } | Clock_skew { node; _ } -> node
+  | Link_delay _ | Link_spike _ | Link_loss _ | Link_dup _ | Link_reorder _
+  | Partition _ | Fluctuation _ ->
+      -1
+
+(* --- validation --- *)
+
+let check_set ~n name = function
+  | All -> Ok ()
+  | Nodes ids ->
+      if ids = [] then Error (Printf.sprintf "%s: empty node set" name)
+      else if List.exists (fun i -> i < 0 || i >= n) ids then
+        Error (Printf.sprintf "%s: replica id out of range [0, %d)" name n)
+      else Ok ()
+
+let check_prob name p =
+  if p < 0.0 || p >= 1.0 then
+    Error (Printf.sprintf "%s must be in [0, 1)" name)
+  else Ok ()
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let validate_spec ~n = function
+  | Link_delay { src; dst; mu; sigma } ->
+      let* () = check_set ~n "delay src" src in
+      let* () = check_set ~n "delay dst" dst in
+      if mu < 0.0 || sigma < 0.0 then Error "delay mu/sigma must be non-negative"
+      else Ok ()
+  | Link_spike { src; dst; lo; hi } ->
+      let* () = check_set ~n "spike src" src in
+      let* () = check_set ~n "spike dst" dst in
+      if lo < 0.0 || hi < lo then Error "spike requires 0 <= lo <= hi"
+      else Ok ()
+  | Link_loss { src; dst; rate } ->
+      let* () = check_set ~n "loss src" src in
+      let* () = check_set ~n "loss dst" dst in
+      check_prob "loss rate" rate
+  | Link_dup { src; dst; prob } ->
+      let* () = check_set ~n "duplicate src" src in
+      let* () = check_set ~n "duplicate dst" dst in
+      check_prob "duplicate prob" prob
+  | Link_reorder { src; dst; prob; jitter } ->
+      let* () = check_set ~n "reorder src" src in
+      let* () = check_set ~n "reorder dst" dst in
+      let* () = check_prob "reorder prob" prob in
+      if jitter < 0.0 then Error "reorder jitter must be non-negative" else Ok ()
+  | Partition { a; b } ->
+      let* () = check_set ~n "partition a" (Nodes a) in
+      let* () =
+        match b with [] -> Ok () | b -> check_set ~n "partition b" (Nodes b)
+      in
+      if List.exists (fun i -> List.mem i b) a then
+        Error "partition sets must be disjoint"
+      else if b = [] && List.length a >= n then
+        Error "partition isolates the whole cluster from nothing"
+      else Ok ()
+  | Crash { node } | Cpu_slow { node; _ } | Clock_skew { node; _ }
+    when node < 0 || node >= n ->
+      Error (Printf.sprintf "fault replica id out of range [0, %d)" n)
+  | Crash _ -> Ok ()
+  | Cpu_slow { factor; _ } | Clock_skew { factor; _ } ->
+      if factor <= 0.0 then Error "fault factor must be positive" else Ok ()
+  | Fluctuation { lo; hi } ->
+      if lo < 0.0 || hi < lo then Error "fluctuation requires 0 <= lo <= hi"
+      else Ok ()
+
+let validate ~n schedule =
+  let rec loop = function
+    | [] -> Ok schedule
+    | e :: rest ->
+        if e.at < 0.0 then Error "fault time must be non-negative"
+        else
+          let* () =
+            match e.until with
+            | Some u when u <= e.at -> Error "fault heal time must be after at"
+            | Some _ | None -> Ok ()
+          in
+          let* () = validate_spec ~n e.spec in
+          loop rest
+  in
+  loop schedule
+
+(* --- JSON --- *)
+
+let ms v = Json.Float (v *. 1000.0)
+
+let set_to_json = function
+  | All -> Json.String "all"
+  | Nodes ids -> Json.List (List.map (fun i -> Json.Int i) ids)
+
+let spec_fields = function
+  | Link_delay { src; dst; mu; sigma } ->
+      [
+        ("src", set_to_json src); ("dst", set_to_json dst);
+        ("mu", ms mu); ("sigma", ms sigma);
+      ]
+  | Link_spike { src; dst; lo; hi } ->
+      [
+        ("src", set_to_json src); ("dst", set_to_json dst);
+        ("lo", ms lo); ("hi", ms hi);
+      ]
+  | Link_loss { src; dst; rate } ->
+      [
+        ("src", set_to_json src); ("dst", set_to_json dst);
+        ("rate", Json.Float rate);
+      ]
+  | Link_dup { src; dst; prob } ->
+      [
+        ("src", set_to_json src); ("dst", set_to_json dst);
+        ("prob", Json.Float prob);
+      ]
+  | Link_reorder { src; dst; prob; jitter } ->
+      [
+        ("src", set_to_json src); ("dst", set_to_json dst);
+        ("prob", Json.Float prob); ("jitter", ms jitter);
+      ]
+  | Partition { a; b } ->
+      ("a", Json.List (List.map (fun i -> Json.Int i) a))
+      ::
+      (match b with
+      | [] -> []
+      | b -> [ ("b", Json.List (List.map (fun i -> Json.Int i) b)) ])
+  | Crash { node } -> [ ("node", Json.Int node) ]
+  | Cpu_slow { node; factor } ->
+      [ ("node", Json.Int node); ("factor", Json.Float factor) ]
+  | Clock_skew { node; factor } ->
+      [ ("node", Json.Int node); ("factor", Json.Float factor) ]
+  | Fluctuation { lo; hi } -> [ ("lo", ms lo); ("hi", ms hi) ]
+
+let entry_to_json e =
+  Json.Obj
+    (("kind", Json.String (spec_name e.spec))
+    :: ("at", Json.Float e.at)
+    :: (match e.until with
+       | None -> []
+       | Some u -> [ ("until", Json.Float u) ])
+    @ spec_fields e.spec)
+
+let to_json schedule = Json.List (List.map entry_to_json schedule)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let parse_set name json =
+  match json with
+  | Json.Null -> All
+  | Json.String "all" -> All
+  | Json.List l ->
+      Nodes
+        (List.map
+           (function
+             | Json.Int i -> i
+             | _ -> fail "%s: node set must list replica ids" name)
+           l)
+  | _ -> fail "%s: node set must be \"all\" or a list of ids" name
+
+let parse_ids name json =
+  match json with
+  | Json.List l ->
+      List.map
+        (function
+          | Json.Int i -> i | _ -> fail "%s: must list replica ids" name)
+        l
+  | _ -> fail "%s: must be a list of replica ids" name
+
+let parse_ms name json =
+  match json with
+  | Json.Null -> fail "missing field %S" name
+  | v -> Json.to_float v /. 1000.0
+
+let parse_ms_default name default json =
+  match json with Json.Null -> default | _ -> parse_ms name json
+
+(* Keys common to every entry; [kind] selects the per-kind extras. *)
+let base_keys = [ "kind"; "at"; "until" ]
+
+let keys_of_kind = function
+  | "delay" -> Some [ "src"; "dst"; "mu"; "sigma" ]
+  | "spike" -> Some [ "src"; "dst"; "lo"; "hi" ]
+  | "loss" -> Some [ "src"; "dst"; "rate" ]
+  | "duplicate" -> Some [ "src"; "dst"; "prob" ]
+  | "reorder" -> Some [ "src"; "dst"; "prob"; "jitter" ]
+  | "partition" -> Some [ "a"; "b" ]
+  | "crash" -> Some [ "node" ]
+  | "slow" -> Some [ "node"; "factor" ]
+  | "clock_skew" -> Some [ "node"; "factor" ]
+  | "fluctuation" -> Some [ "lo"; "hi" ]
+  | _ -> None
+
+let entry_of_json json =
+  match json with
+  | Json.Obj fields -> (
+      let kind =
+        match Json.member "kind" json with
+        | Json.String k -> k
+        | Json.Null -> fail "fault entry is missing \"kind\""
+        | _ -> fail "fault \"kind\" must be a string"
+      in
+      let allowed =
+        match keys_of_kind kind with
+        | Some keys -> base_keys @ keys
+        | None -> fail "unknown fault kind %S" kind
+      in
+      (match
+         List.find_opt (fun (k, _) -> not (List.mem k allowed)) fields
+       with
+      | Some (k, _) -> fail "fault %S: unknown key %S" kind k
+      | None -> ());
+      let mem k = Json.member k json in
+      let at =
+        match mem "at" with
+        | Json.Null -> 0.0
+        | v -> Json.to_float v
+      in
+      let until =
+        match mem "until" with Json.Null -> None | v -> Some (Json.to_float v)
+      in
+      let node () =
+        match mem "node" with
+        | Json.Int i -> i
+        | _ -> fail "fault %S: missing replica \"node\"" kind
+      in
+      let factor () =
+        match mem "factor" with
+        | Json.Null -> fail "fault %S: missing \"factor\"" kind
+        | v -> Json.to_float v
+      in
+      let src = parse_set "src" (mem "src") in
+      let dst = parse_set "dst" (mem "dst") in
+      let spec =
+        match kind with
+        | "delay" ->
+            Link_delay
+              {
+                src;
+                dst;
+                mu = parse_ms "mu" (mem "mu");
+                sigma = parse_ms_default "sigma" 0.0 (mem "sigma");
+              }
+        | "spike" ->
+            Link_spike
+              {
+                src;
+                dst;
+                lo = parse_ms "lo" (mem "lo");
+                hi = parse_ms "hi" (mem "hi");
+              }
+        | "loss" ->
+            Link_loss
+              {
+                src;
+                dst;
+                rate =
+                  (match mem "rate" with
+                  | Json.Null -> fail "fault \"loss\": missing \"rate\""
+                  | v -> Json.to_float v);
+              }
+        | "duplicate" ->
+            Link_dup
+              {
+                src;
+                dst;
+                prob =
+                  (match mem "prob" with
+                  | Json.Null -> fail "fault \"duplicate\": missing \"prob\""
+                  | v -> Json.to_float v);
+              }
+        | "reorder" ->
+            Link_reorder
+              {
+                src;
+                dst;
+                prob =
+                  (match mem "prob" with
+                  | Json.Null -> fail "fault \"reorder\": missing \"prob\""
+                  | v -> Json.to_float v);
+                jitter = parse_ms "jitter" (mem "jitter");
+              }
+        | "partition" ->
+            Partition
+              {
+                a = parse_ids "partition a" (mem "a");
+                b =
+                  (match mem "b" with
+                  | Json.Null -> []
+                  | v -> parse_ids "partition b" v);
+              }
+        | "crash" -> Crash { node = node () }
+        | "slow" -> Cpu_slow { node = node (); factor = factor () }
+        | "clock_skew" -> Clock_skew { node = node (); factor = factor () }
+        | "fluctuation" ->
+            Fluctuation
+              { lo = parse_ms "lo" (mem "lo"); hi = parse_ms "hi" (mem "hi") }
+        | _ -> assert false (* keys_of_kind already filtered *)
+      in
+      { at; until; spec })
+  | _ -> fail "fault entry must be a JSON object"
+
+let of_json json =
+  match json with
+  | Json.List entries -> (
+      try Ok (List.map entry_of_json entries) with
+      | Bad msg -> Error msg
+      | Invalid_argument msg -> Error msg)
+  | Json.Null -> Ok []
+  | _ -> Error "faults must be a JSON list of fault entries"

@@ -1,0 +1,83 @@
+(** Declarative fault schedules.
+
+    A schedule is a list of timed entries, each injecting one
+    infrastructure fault at virtual time [at] and (optionally) healing it
+    at [until]. Entries are compiled by {!Engine} into simulator events;
+    the schedule itself is pure data and round-trips through JSON (the
+    [faults] section of the configuration file, or a standalone file given
+    to the CLI's [--faults] flag).
+
+    Conventions, matching the configuration's JSON units: times ([at],
+    [until]) are virtual {e seconds}; delay parameters ([mu], [sigma],
+    [lo], [hi], [jitter]) are {e milliseconds} in JSON and seconds in the
+    OCaml representation; rates, probabilities and factors are unitless.
+
+    Link faults select {e ordered} (src, dst) pairs, so asymmetric faults
+    (e.g. delaying only a leader's outbound links) are expressed directly;
+    self-pairs are ignored. *)
+
+type node_set = All | Nodes of int list
+(** Selector for link endpoints. In JSON: the string ["all"] or a list of
+    replica ids. *)
+
+type spec =
+  | Link_delay of { src : node_set; dst : node_set; mu : float; sigma : float }
+      (** Additive normally-distributed delay on matching links. *)
+  | Link_spike of { src : node_set; dst : node_set; lo : float; hi : float }
+      (** Additive delay drawn uniformly from [lo, hi) per message. *)
+  | Link_loss of { src : node_set; dst : node_set; rate : float }
+      (** Independent per-message drop probability, composed with (on top
+          of) the run-wide [loss] setting. *)
+  | Link_dup of { src : node_set; dst : node_set; prob : float }
+      (** With probability [prob], deliver one extra copy of the message
+          with an independently sampled delay (copies may overtake the
+          original). *)
+  | Link_reorder of { src : node_set; dst : node_set; prob : float; jitter : float }
+      (** With probability [prob], add uniform extra delay in [0, jitter)
+          so that later messages overtake this one. *)
+  | Partition of { a : int list; b : int list }
+      (** Blocks all traffic between the two node sets, both directions,
+          until healed. An empty [b] means "the complement of [a]". *)
+  | Crash of { node : int }
+      (** Crash-stop while active. With an [until] time this is
+          crash-recovery: the replica rejoins with its pre-crash state and
+          catches up through the block-synchronization path. *)
+  | Cpu_slow of { node : int; factor : float }
+      (** Divides the replica's modelled CPU speed by [factor] (> 1 slows
+          it down) while active. *)
+  | Clock_skew of { node : int; factor : float }
+      (** Multiplies the replica's pacemaker timer durations by [factor]
+          while active ([< 1] = fast clock that fires timeouts early). *)
+  | Fluctuation of { lo : float; hi : float }
+      (** Cluster-wide delay-fluctuation window (the Fig. 15 experiment):
+          every one-way delay is drawn uniformly from [lo, hi) instead of
+          the base distribution while active. *)
+
+type entry = { at : float; until : float option; spec : spec }
+
+type t = entry list
+
+val empty : t
+
+val spec_name : spec -> string
+(** The JSON [kind] tag: ["delay"], ["spike"], ["loss"], ["duplicate"],
+    ["reorder"], ["partition"], ["crash"], ["slow"], ["clock_skew"] or
+    ["fluctuation"]. *)
+
+val node_of : spec -> int
+(** The replica a node-level fault targets, or [-1] for link/cluster
+    faults; used as the [node] of trace events. *)
+
+val validate : n:int -> t -> (t, string) result
+(** Checks entry invariants against a cluster of [n] replicas: ids in
+    range, [0 <= rate/prob < 1], positive factors, [lo <= hi],
+    [at >= 0], [until > at]. *)
+
+val to_json : t -> Bamboo_util.Json.t
+
+val entry_to_json : entry -> Bamboo_util.Json.t
+
+val of_json : Bamboo_util.Json.t -> (t, string) result
+(** Parses a JSON list of entries. Unknown [kind] tags and unknown keys
+    within an entry are rejected (a typo'd key must not silently disable a
+    fault). *)

@@ -15,6 +15,8 @@ type kind =
   | Tx_dequeue
   | Service
   | Gauge
+  | Fault_inject
+  | Fault_heal
 
 let kind_name = function
   | Proposal_sent -> "proposal_sent"
@@ -31,6 +33,8 @@ let kind_name = function
   | Tx_dequeue -> "tx_dequeue"
   | Service -> "service"
   | Gauge -> "gauge"
+  | Fault_inject -> "fault_inject"
+  | Fault_heal -> "fault_heal"
 
 type event = {
   seq : int;

@@ -35,6 +35,8 @@ type kind =
   | Tx_dequeue  (** Transactions batched into a proposal. *)
   | Service  (** A machine-queue service span (ring/jsonl sinks). *)
   | Gauge  (** A probe sample (ring/jsonl sinks). *)
+  | Fault_inject  (** A scheduled fault became active ([bamboo_faults]). *)
+  | Fault_heal  (** A scheduled fault healed. *)
 
 type event = {
   seq : int;  (** Emission order, 0-based. *)

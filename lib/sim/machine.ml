@@ -3,6 +3,7 @@ type queue = [ `Cpu | `Nic_out | `Nic_in ]
 type t = {
   sim : Sim.t;
   bandwidth : float;
+  mutable speed : float;
   mutable cpu_free : float;
   mutable nic_out_free : float;
   mutable nic_in_free : float;
@@ -21,6 +22,7 @@ let create ~sim ~bandwidth =
   {
     sim;
     bandwidth;
+    speed = 1.0;
     cpu_free = 0.0;
     nic_out_free = 0.0;
     nic_in_free = 0.0;
@@ -34,6 +36,12 @@ let create ~sim ~bandwidth =
   }
 
 let bandwidth t = t.bandwidth
+
+let set_speed t s =
+  if s <= 0.0 then invalid_arg "Machine.set_speed: speed must be positive";
+  t.speed <- s
+
+let speed t = t.speed
 
 let set_service_hook t hook = t.on_service <- hook
 
@@ -61,6 +69,9 @@ let serve t ~queue ~free ~duration k =
 
 let cpu t ~duration k =
   if duration < 0.0 then invalid_arg "Machine.cpu: negative duration";
+  (* Dividing by a speed of exactly 1.0 is a bit-exact identity, so an
+     unfaulted machine schedules precisely as before. *)
+  let duration = duration /. t.speed in
   t.cpu_used <- t.cpu_used +. duration;
   let free = ref t.cpu_free in
   serve t ~queue:`Cpu ~free ~duration k;

@@ -21,6 +21,14 @@ val create : sim:Sim.t -> bandwidth:float -> t
 
 val bandwidth : t -> float
 
+val set_speed : t -> float -> unit
+(** Sets the CPU speed factor (default 1.0): every subsequent {!cpu}
+    duration is divided by it, so a factor of 0.5 halves the machine's
+    effective speed. The fault subsystem's [slow] fault drives this.
+    Raises [Invalid_argument] unless positive. *)
+
+val speed : t -> float
+
 val cpu : t -> duration:float -> (unit -> unit) -> unit
 (** [cpu m ~duration k] enqueues [duration] seconds of CPU work and calls
     [k] when it completes. Zero-duration work still respects FIFO order. *)

@@ -3,6 +3,17 @@ module Dist = Bamboo_util.Dist
 
 type fluctuation = { from_t : float; until_t : float; lo : float; hi : float }
 
+type effect_kind =
+  | Extra_delay of { mu : float; sigma : float }
+  | Spike of { lo : float; hi : float }
+  | Drop of float
+  | Duplicate of float
+  | Reorder of { prob : float; jitter : float }
+
+type effect = { rng : Rng.t; kind : effect_kind }
+
+type link = { mutable blocked : int; mutable effects : effect list }
+
 type t = {
   rng : Rng.t;
   mu : float;
@@ -11,11 +22,25 @@ type t = {
   mutable extra_sigma : float;
   mutable fluctuation : fluctuation option;
   mutable loss : float;
+  links : (int * int, link) Hashtbl.t;
+  mutable n_blocked : int; (* pairs currently blocked (counting overlaps) *)
+  mutable n_effects : int; (* attached effects across all pairs *)
 }
 
 let create ~rng ~mu ~sigma ?(extra_mu = 0.0) ?(extra_sigma = 0.0) () =
   if mu < 0.0 || sigma < 0.0 then invalid_arg "Netmodel.create: negative parameter";
-  { rng; mu; sigma; extra_mu; extra_sigma; fluctuation = None; loss = 0.0 }
+  {
+    rng;
+    mu;
+    sigma;
+    extra_mu;
+    extra_sigma;
+    fluctuation = None;
+    loss = 0.0;
+    links = Hashtbl.create 64;
+    n_blocked = 0;
+    n_effects = 0;
+  }
 
 let set_loss t ~rate =
   if rate < 0.0 || rate >= 1.0 then
@@ -33,22 +58,115 @@ let set_fluctuation t ~from_t ~until_t ~lo ~hi =
 
 let clear_fluctuation t = t.fluctuation <- None
 
-let base_sample t =
-  let d = Dist.normal_pos t.rng ~mu:t.mu ~sigma:t.sigma in
+(* Base one-way delay: the normal base distribution, replaced by the
+   uniform draw inside a fluctuation window; the configured extra delay
+   (the paper's "slow" command) composes additively with either. *)
+let base_sample t ~now =
+  let base =
+    match t.fluctuation with
+    | Some f when now >= f.from_t && now < f.until_t ->
+        Dist.uniform t.rng ~lo:f.lo ~hi:f.hi
+    | Some _ | None -> Dist.normal_pos t.rng ~mu:t.mu ~sigma:t.sigma
+  in
   if t.extra_mu > 0.0 || t.extra_sigma > 0.0 then
-    d +. Dist.normal_pos t.rng ~mu:t.extra_mu ~sigma:t.extra_sigma
-  else d
+    base +. Dist.normal_pos t.rng ~mu:t.extra_mu ~sigma:t.extra_sigma
+  else base
 
-let one_way t ~now ~src:_ ~dst:_ =
-  match t.fluctuation with
-  | Some f when now >= f.from_t && now < f.until_t ->
-      Dist.uniform t.rng ~lo:f.lo ~hi:f.hi
-  | Some _ | None -> base_sample t
+(* --- per-(src,dst) fault plane ---
 
-let client_rtt t ~now =
-  match t.fluctuation with
-  | Some f when now >= f.from_t && now < f.until_t ->
-      2.0 *. Dist.uniform t.rng ~lo:f.lo ~hi:f.hi
-  | Some _ | None -> 2.0 *. base_sample t
+   Every stochastic effect carries its own RNG stream (supplied by the
+   fault engine), so attaching or sampling effects never advances [t.rng]:
+   the base delay/loss streams of a faulted run stay aligned with the
+   fault-free run, and a run with no effects attached is bit-identical to
+   one built before this machinery existed. *)
+
+let effect ~rng kind = { rng; kind }
+
+let link t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some l -> l
+  | None ->
+      let l = { blocked = 0; effects = [] } in
+      Hashtbl.add t.links (src, dst) l;
+      l
+
+let find_link t ~src ~dst =
+  if t.n_blocked = 0 && t.n_effects = 0 then None
+  else Hashtbl.find_opt t.links (src, dst)
+
+let attach t ~src ~dst e =
+  let l = link t ~src ~dst in
+  l.effects <- l.effects @ [ e ];
+  t.n_effects <- t.n_effects + 1
+
+let detach t ~src ~dst e =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | None -> ()
+  | Some l ->
+      let before = List.length l.effects in
+      l.effects <- List.filter (fun e' -> e' != e) l.effects;
+      t.n_effects <- t.n_effects - (before - List.length l.effects)
+
+let block t ~src ~dst =
+  let l = link t ~src ~dst in
+  l.blocked <- l.blocked + 1;
+  t.n_blocked <- t.n_blocked + 1
+
+let unblock t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some l when l.blocked > 0 ->
+      l.blocked <- l.blocked - 1;
+      t.n_blocked <- t.n_blocked - 1
+  | Some _ | None -> ()
+
+let blocked t ~src ~dst =
+  match find_link t ~src ~dst with Some l -> l.blocked > 0 | None -> false
+
+let one_way t ~now ~src ~dst =
+  let base = base_sample t ~now in
+  match find_link t ~src ~dst with
+  | None -> base
+  | Some l ->
+      List.fold_left
+        (fun acc e ->
+          match e.kind with
+          | Extra_delay { mu; sigma } ->
+              acc +. Dist.normal_pos e.rng ~mu ~sigma
+          | Spike { lo; hi } -> acc +. Dist.uniform e.rng ~lo ~hi
+          | Reorder { prob; jitter } ->
+              if Rng.float e.rng 1.0 < prob then acc +. Rng.float e.rng jitter
+              else acc
+          | Drop _ | Duplicate _ -> acc)
+        base l.effects
+
+let link_drops t ~src ~dst =
+  match find_link t ~src ~dst with
+  | None -> false
+  | Some l ->
+      (* Sample every active loss effect (composition of independent
+         drops), so overlapping faults keep their own streams aligned. *)
+      List.fold_left
+        (fun dropped e ->
+          match e.kind with
+          | Drop p -> Rng.float e.rng 1.0 < p || dropped
+          | Extra_delay _ | Spike _ | Duplicate _ | Reorder _ -> dropped)
+        false l.effects
+
+let link_copies t ~src ~dst =
+  match find_link t ~src ~dst with
+  | None -> []
+  | Some l ->
+      List.fold_left
+        (fun copies e ->
+          match e.kind with
+          | Duplicate p when Rng.float e.rng 1.0 < p ->
+              (* The copy's delay is an independent base-distribution
+                 sample from the duplicating fault's own stream. *)
+              Dist.normal_pos e.rng ~mu:t.mu ~sigma:t.sigma :: copies
+          | Duplicate _ | Extra_delay _ | Spike _ | Drop _ | Reorder _ ->
+              copies)
+        [] l.effects
+
+let client_rtt t ~now = 2.0 *. base_sample t ~now
 
 let mean_one_way t = t.mu +. t.extra_mu

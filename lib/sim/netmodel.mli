@@ -7,10 +7,17 @@
     supports:
 
     - a configurable *additional* delay (the [delay] parameter of Table I,
-      itself normally distributed, e.g. "5ms +- 1ms" in Fig. 11), and
-    - a run-time *fluctuation window* during which delays are drawn
-      uniformly from a given range (the responsiveness experiment of
-      Fig. 15 injects 10-100 ms fluctuation for 10 s).
+      itself normally distributed, e.g. "5ms +- 1ms" in Fig. 11),
+    - a run-time *fluctuation window* during which the base distribution is
+      replaced by a uniform draw from a given range (the responsiveness
+      experiment of Fig. 15 injects 10-100 ms fluctuation for 10 s); the
+      additional delay still {e composes additively} with the window's
+      draw, and
+    - a per-ordered-link fault plane: delay, spike, loss, duplication and
+      reordering {!effect}s attached to individual [(src, dst)] pairs, plus
+      partition-style blocking — the substrate of the [bamboo_faults]
+      subsystem. Effects sample from their own RNG streams, so a model with
+      no effects attached draws exactly the base stream.
 
     Client-to-replica round trips use {!client_rtt}. *)
 
@@ -31,25 +38,78 @@ val set_extra_delay : t -> mu:float -> sigma:float -> unit
     "slow" command). *)
 
 val set_fluctuation : t -> from_t:float -> until_t:float -> lo:float -> hi:float -> unit
-(** During virtual-time window [from_t, until_t), one-way delays are drawn
-    uniformly from [lo, hi), overriding the base distribution. *)
+(** During virtual-time window [from_t, until_t), the {e base} one-way
+    delay is drawn uniformly from [lo, hi) instead of the normal
+    distribution. The additional delay of {!set_extra_delay} still adds on
+    top (the window models the wire fluctuating, not the configured WAN
+    distance disappearing). *)
 
 val clear_fluctuation : t -> unit
 
 val set_loss : t -> rate:float -> unit
-(** Independent per-message drop probability in [0, 1). Default 0. *)
+(** Independent per-message drop probability in [0, 1), applied to every
+    link. Default 0. *)
 
 val drops : t -> now:float -> bool
-(** Samples whether one transmission is lost. *)
+(** Samples whether one transmission is lost to the run-wide loss rate. *)
 
 val one_way : t -> now:float -> src:int -> dst:int -> float
-(** Sampled one-way delay for a message sent at virtual time [now].
-    Always non-negative. [src]/[dst] are accepted for future topology
-    extensions; the base model is homogeneous. *)
+(** Sampled one-way delay for a message sent at virtual time [now] over
+    the ordered link [src -> dst]: the base (or fluctuation-window) draw,
+    the configured extra delay, plus every delay-shaped effect currently
+    attached to the pair. Always non-negative. *)
 
 val client_rtt : t -> now:float -> float
-(** Sampled client-replica round-trip time. *)
+(** Sampled client-replica round-trip time (clients are outside the
+    replica fault plane). *)
 
 val mean_one_way : t -> float
 (** Expected one-way delay under the base + extra distribution (ignoring
-    fluctuation windows); used by the analytic model. *)
+    fluctuation windows and link effects); used by the analytic model. *)
+
+(** {2 Per-link fault plane}
+
+    Ordered pairs: an effect attached to [src=0, dst=1] leaves [1 -> 0]
+    untouched, so asymmetric faults are expressed directly. All sampling
+    draws from the effect's own RNG stream, never from the model's base
+    stream. *)
+
+type effect_kind =
+  | Extra_delay of { mu : float; sigma : float }
+      (** Additive normally-distributed delay per message. *)
+  | Spike of { lo : float; hi : float }
+      (** Additive delay drawn uniformly from [lo, hi) per message. *)
+  | Drop of float  (** Independent drop probability, composed with the
+                       run-wide loss rate. *)
+  | Duplicate of float
+      (** Probability of delivering one extra copy; the copy's delay is an
+          independent base-distribution sample from the effect's stream,
+          so copies can overtake originals. *)
+  | Reorder of { prob : float; jitter : float }
+      (** With probability [prob], adds uniform delay in [0, jitter). *)
+
+type effect
+
+val effect : rng:Bamboo_util.Rng.t -> effect_kind -> effect
+(** A reusable effect handle; attaching one handle to several pairs shares
+    its RNG stream across them (one stream per fault source). *)
+
+val attach : t -> src:int -> dst:int -> effect -> unit
+
+val detach : t -> src:int -> dst:int -> effect -> unit
+(** Removes a previously attached handle (by identity); no-op if absent. *)
+
+val block : t -> src:int -> dst:int -> unit
+(** Blocks the ordered link entirely (partition). Nested blocks stack:
+    the link heals when every {!unblock} matched its {!block}. *)
+
+val unblock : t -> src:int -> dst:int -> unit
+
+val blocked : t -> src:int -> dst:int -> bool
+
+val link_drops : t -> src:int -> dst:int -> bool
+(** Samples every [Drop] effect on the pair; true if any fires. *)
+
+val link_copies : t -> src:int -> dst:int -> float list
+(** Samples every [Duplicate] effect on the pair; returns the one-way
+    delays of the extra copies to deliver. *)

@@ -1,0 +1,340 @@
+(* The bamboo_faults subsystem: schedule JSON contract, engine behaviour
+   under partitions / crash-recovery / slowdown / skew, and the
+   determinism guarantee (an inert schedule changes nothing). *)
+
+module Runtime = Bamboo.Runtime
+module Workload = Bamboo.Workload
+module Config = Bamboo.Config
+module Schedule = Bamboo_faults.Schedule
+module Trace = Bamboo_obs.Trace
+module Json = Bamboo_util.Json
+
+let base = { Config.default with runtime = 1.5; warmup = 0.3; seed = 5 }
+
+let run ?bucket config rate =
+  Runtime.run ~config ~workload:(Workload.open_loop ~rate ()) ?bucket ()
+
+let check_healthy name (r : Runtime.result) =
+  Alcotest.(check bool) (name ^ ": consistent") true r.consistent;
+  Alcotest.(check bool) (name ^ ": no violation") false r.any_violation
+
+(* --- schedule JSON contract --- *)
+
+let test_schedule_json_round_trip () =
+  let schedule =
+    [
+      {
+        Schedule.at = 1.0;
+        until = Some 2.0;
+        spec = Schedule.Partition { a = [ 0; 1 ]; b = [ 2; 3 ] };
+      };
+      { Schedule.at = 0.5; until = None; spec = Schedule.Crash { node = 2 } };
+      {
+        Schedule.at = 0.25;
+        until = Some 0.75;
+        spec =
+          Schedule.Link_loss
+            { src = Schedule.Nodes [ 0 ]; dst = Schedule.All; rate = 0.25 };
+      };
+      {
+        Schedule.at = 0.0;
+        until = Some 1.0;
+        spec = Schedule.Cpu_slow { node = 1; factor = 4.0 };
+      };
+    ]
+  in
+  match Schedule.of_json (Schedule.to_json schedule) with
+  | Ok parsed ->
+      Alcotest.(check bool) "round trips" true (parsed = schedule)
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+
+let test_schedule_json_units () =
+  (* Delay parameters are milliseconds in JSON, seconds in OCaml. *)
+  let json =
+    Json.of_string
+      {|[{"kind":"delay","at":2,"until":3,"src":[0],"dst":"all","mu":20,"sigma":2}]|}
+  in
+  match Schedule.of_json json with
+  | Ok [ { at; until; spec = Schedule.Link_delay { mu; sigma; src; dst } } ] ->
+      Alcotest.(check (float 1e-12)) "at in seconds" 2.0 at;
+      Alcotest.(check (option (float 1e-12))) "until" (Some 3.0) until;
+      Alcotest.(check (float 1e-12)) "mu ms->s" 0.020 mu;
+      Alcotest.(check (float 1e-12)) "sigma ms->s" 0.002 sigma;
+      Alcotest.(check bool) "src parsed" true (src = Schedule.Nodes [ 0 ]);
+      Alcotest.(check bool) "dst parsed" true (dst = Schedule.All)
+  | Ok _ -> Alcotest.fail "wrong parse shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let expect_error name json =
+  match Schedule.of_json (Json.of_string json) with
+  | Ok _ -> Alcotest.failf "%s: accepted" name
+  | Error _ -> ()
+
+let test_schedule_json_strict () =
+  expect_error "unknown kind" {|[{"kind":"meteor","at":1}]|};
+  (* A typo'd key must not silently disable part of a fault. *)
+  expect_error "unknown key" {|[{"kind":"crash","at":1,"node":0,"nodee":1}]|};
+  expect_error "key from another kind" {|[{"kind":"crash","at":1,"node":0,"rate":0.5}]|};
+  expect_error "missing kind" {|[{"at":1,"node":0}]|};
+  expect_error "not a list" {|{"kind":"crash","node":0}|}
+
+let test_schedule_validate () =
+  let entry spec = { Schedule.at = 1.0; until = None; spec } in
+  let bad name schedule =
+    match Schedule.validate ~n:4 schedule with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error _ -> ()
+  in
+  bad "node out of range" [ entry (Schedule.Crash { node = 7 }) ];
+  bad "rate out of range"
+    [
+      entry
+        (Schedule.Link_loss
+           { src = Schedule.All; dst = Schedule.All; rate = 1.5 });
+    ];
+  bad "overlapping partition"
+    [ entry (Schedule.Partition { a = [ 0; 1 ]; b = [ 1; 2 ] }) ];
+  bad "non-positive factor" [ entry (Schedule.Cpu_slow { node = 0; factor = 0.0 }) ];
+  bad "heal before inject"
+    [ { Schedule.at = 2.0; until = Some 1.0; spec = Schedule.Crash { node = 0 } } ];
+  match
+    Schedule.validate ~n:4
+      [ entry (Schedule.Partition { a = [ 0 ]; b = [] }) ]
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "complement partition rejected: %s" e
+
+let test_config_faults_section () =
+  let json =
+    Json.of_string
+      {|{"n": 4, "faults": [{"kind":"partition","at":0.5,"until":1.0,"a":[0,1],"b":[2,3]}]}|}
+  in
+  (match Config.of_json json with
+  | Ok c -> Alcotest.(check int) "one entry" 1 (List.length c.Config.faults)
+  | Error e -> Alcotest.failf "rejected: %s" e);
+  (* Config validation covers the schedule: replica 9 does not exist. *)
+  match
+    Config.of_json
+      (Json.of_string {|{"n": 4, "faults": [{"kind":"crash","at":1,"node":9}]}|})
+  with
+  | Ok _ -> Alcotest.fail "out-of-range fault accepted"
+  | Error _ -> ()
+
+(* --- determinism --- *)
+
+let test_inert_schedule_bit_identical () =
+  (* An empty schedule and one whose only fault lies beyond the horizon
+     must both be bit-identical to each other: the engine schedules no
+     observable work and fault RNG streams never touch the base ones. *)
+  let r0 = run { base with faults = [] } 8000.0 in
+  let beyond =
+    [
+      {
+        Schedule.at = base.Config.runtime +. 10.0;
+        until = None;
+        spec = Schedule.Crash { node = 0 };
+      };
+    ]
+  in
+  let r1 = run { base with faults = beyond } 8000.0 in
+  Alcotest.(check bool) "summaries bit-identical" true
+    (r0.Runtime.summary = r1.Runtime.summary);
+  Alcotest.(check bool) "series bit-identical" true
+    (r0.Runtime.series = r1.Runtime.series);
+  Alcotest.(check bool) "views bit-identical" true
+    (r0.Runtime.final_views = r1.Runtime.final_views);
+  Alcotest.(check int) "same event count" r0.Runtime.sim_events
+    r1.Runtime.sim_events
+
+(* --- scenarios --- *)
+
+let test_partition_heal_liveness () =
+  List.iter
+    (fun protocol ->
+      let name = Config.protocol_name protocol in
+      let config =
+        {
+          base with
+          protocol;
+          runtime = 4.0;
+          faults =
+            [
+              {
+                Schedule.at = 1.5;
+                until = Some 2.5;
+                spec = Schedule.Partition { a = [ 0; 1 ]; b = [] };
+              };
+            ];
+        }
+      in
+      let r = run ~bucket:0.25 config 4000.0 in
+      check_healthy name r;
+      (* No quorum of 3 exists on either side. Allow the first bucket for
+         commits still in flight at the cut. *)
+      let during =
+        List.filter (fun (t, thr) -> t >= 1.75 && t < 2.5 && thr > 0.0)
+          r.Runtime.series
+      in
+      Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+        (name ^ ": no commits during partition") [] during;
+      let after =
+        List.exists (fun (t, thr) -> t >= 2.5 && thr > 0.0) r.Runtime.series
+      in
+      Alcotest.(check bool) (name ^ ": commits resume after heal") true after)
+    [ Config.Hotstuff; Config.Twochain; Config.Streamlet ]
+
+let test_crash_recovery_catches_up () =
+  let config =
+    {
+      base with
+      runtime = 3.0;
+      faults =
+        [
+          { Schedule.at = 0.5; until = Some 1.5; spec = Schedule.Crash { node = 3 } };
+        ];
+    }
+  in
+  let r = run config 4000.0 in
+  check_healthy "crash-recovery" r;
+  Alcotest.(check bool) "cluster kept committing" true
+    (r.Runtime.summary.Bamboo.Metrics.committed_txs > 0);
+  (* The recovered replica must rejoin consensus: its view returns to the
+     cluster's and chain-sync brings its committed chain near the tip. *)
+  let max_view = Array.fold_left max 0 r.Runtime.final_views in
+  Alcotest.(check bool) "recovered view caught up" true
+    (max_view - r.Runtime.final_views.(3) <= 1);
+  let max_height = Array.fold_left max 0 r.Runtime.committed_heights in
+  Alcotest.(check bool) "recovered chain caught up" true
+    (max_height - r.Runtime.committed_heights.(3) <= 3)
+
+let test_cpu_slow_fault () =
+  let slowed =
+    {
+      base with
+      faults =
+        [
+          {
+            Schedule.at = 0.0;
+            until = None;
+            spec = Schedule.Cpu_slow { node = 0; factor = 5.0 };
+          };
+        ];
+    }
+  in
+  let r_slow = run slowed 4000.0 and r_base = run base 4000.0 in
+  check_healthy "cpu slow" r_slow;
+  Alcotest.(check bool) "commits" true
+    (r_slow.Runtime.summary.Bamboo.Metrics.committed_txs > 0);
+  (* 5x slower CPU work shows up as higher modelled utilization. *)
+  Alcotest.(check bool) "slowed node burns more cpu" true
+    (r_slow.Runtime.cpu_utilization.(0) > 2.0 *. r_base.Runtime.cpu_utilization.(0))
+
+let test_clock_skew_fault () =
+  let config =
+    {
+      base with
+      faults =
+        [
+          {
+            Schedule.at = 0.0;
+            until = Some 1.0;
+            spec = Schedule.Clock_skew { node = 1; factor = 2.0 };
+          };
+        ];
+    }
+  in
+  let r = run config 4000.0 in
+  check_healthy "clock skew" r;
+  Alcotest.(check bool) "commits" true
+    (r.Runtime.summary.Bamboo.Metrics.committed_txs > 0)
+
+let test_leader_delay_degrades () =
+  let delayed =
+    {
+      base with
+      faults =
+        [
+          {
+            Schedule.at = 0.0;
+            until = None;
+            spec =
+              Schedule.Link_delay
+                {
+                  src = Schedule.Nodes [ 0 ];
+                  dst = Schedule.All;
+                  mu = 0.150;
+                  sigma = 0.0;
+                };
+          };
+        ];
+    }
+  in
+  let r_del = run delayed 4000.0 and r_base = run base 4000.0 in
+  check_healthy "leader delay" r_del;
+  (* 150 ms > the 100 ms view timeout: whenever the slow replica must act
+     (lead, or relay the votes it aggregated), the view expires. View
+     progress collapses to the timeout cadence and latency balloons,
+     while consistency holds throughout. *)
+  Alcotest.(check bool) "latency degrades" true
+    (r_del.Runtime.summary.Bamboo.Metrics.latency_mean
+    > 3.0 *. r_base.Runtime.summary.Bamboo.Metrics.latency_mean);
+  Alcotest.(check bool) "view rate collapses" true
+    (r_del.Runtime.summary.Bamboo.Metrics.views * 3
+    < r_base.Runtime.summary.Bamboo.Metrics.views);
+  Alcotest.(check bool) "still live" true
+    (r_del.Runtime.summary.Bamboo.Metrics.committed_txs > 0)
+
+let test_fault_trace_events () =
+  (* Large enough that a full run cannot evict the two fault events. *)
+  let trace = Trace.ring ~capacity:1_000_000 in
+  let config =
+    {
+      base with
+      faults =
+        [
+          {
+            Schedule.at = 0.5;
+            until = Some 1.0;
+            spec = Schedule.Partition { a = [ 0; 1 ]; b = [ 2; 3 ] };
+          };
+        ];
+    }
+  in
+  let _r =
+    Runtime.run ~config ~workload:(Workload.open_loop ~rate:2000.0 ()) ~trace ()
+  in
+  let events = Trace.events trace in
+  let find kind =
+    List.find_opt (fun (e : Trace.event) -> e.kind = kind) events
+  in
+  (match find Trace.Fault_inject with
+  | Some e ->
+      Alcotest.(check (float 1e-9)) "inject at 0.5" 0.5 e.ts;
+      Alcotest.(check int) "cluster-level" (-1) e.node;
+      Alcotest.(check bool) "kind tagged" true
+        (List.assoc_opt "fault" e.args = Some (Json.String "partition"))
+  | None -> Alcotest.fail "no Fault_inject event");
+  match find Trace.Fault_heal with
+  | Some e -> Alcotest.(check (float 1e-9)) "heal at 1.0" 1.0 e.ts
+  | None -> Alcotest.fail "no Fault_heal event"
+
+let suite =
+  [
+    Alcotest.test_case "schedule JSON round trip" `Quick
+      test_schedule_json_round_trip;
+    Alcotest.test_case "schedule JSON units" `Quick test_schedule_json_units;
+    Alcotest.test_case "schedule JSON strictness" `Quick
+      test_schedule_json_strict;
+    Alcotest.test_case "schedule validation" `Quick test_schedule_validate;
+    Alcotest.test_case "config faults section" `Quick test_config_faults_section;
+    Alcotest.test_case "inert schedule bit-identical" `Quick
+      test_inert_schedule_bit_identical;
+    Alcotest.test_case "partition heal liveness" `Quick
+      test_partition_heal_liveness;
+    Alcotest.test_case "crash recovery catches up" `Quick
+      test_crash_recovery_catches_up;
+    Alcotest.test_case "cpu slowdown" `Quick test_cpu_slow_fault;
+    Alcotest.test_case "clock skew" `Quick test_clock_skew_fault;
+    Alcotest.test_case "targeted leader delay" `Quick test_leader_delay_degrades;
+    Alcotest.test_case "fault trace events" `Quick test_fault_trace_events;
+  ]

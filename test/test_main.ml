@@ -26,6 +26,7 @@ let () =
       ("model", Test_model.suite);
       ("node", Test_node.suite);
       ("runtime", Test_runtime.suite);
+      ("faults", Test_faults.suite);
       ("obs.trace", Test_trace.suite);
       ("kvstore", Test_kvstore.suite);
       ("transport", Test_transport.suite);

@@ -5,12 +5,13 @@
 module Runtime = Bamboo.Runtime
 module Workload = Bamboo.Workload
 module Config = Bamboo.Config
+module Schedule = Bamboo_faults.Schedule
 
 let base =
   { Config.default with runtime = 1.5; warmup = 0.3; seed = 5 }
 
-let run ?faults config rate =
-  Runtime.run ~config ~workload:(Workload.open_loop ~rate ()) ?faults ()
+let run config rate =
+  Runtime.run ~config ~workload:(Workload.open_loop ~rate ()) ()
 
 let check_healthy name (r : Runtime.result) =
   Alcotest.(check bool) (name ^ ": consistent") true r.consistent;
@@ -125,9 +126,15 @@ let test_silence_attack_streamlet_no_forks () =
   Alcotest.(check bool) "CGR stays 1" true (r.summary.cgr > 0.99)
 
 let test_crash_fault () =
-  let config = { base with runtime = 2.0 } in
-  let faults = { Runtime.fluctuation = None; crash = Some (3, 1.0) } in
-  let r = run ~faults config 4000.0 in
+  let config =
+    {
+      base with
+      runtime = 2.0;
+      faults =
+        [ { Schedule.at = 1.0; until = None; spec = Schedule.Crash { node = 3 } } ];
+    }
+  in
+  let r = run config 4000.0 in
   check_healthy "crash" r;
   (* One crashed replica of four: liveness retained via timeouts. *)
   Alcotest.(check bool) "still commits after crash" true
@@ -138,11 +145,22 @@ let test_crash_fault () =
     (Array.exists (fun v -> v > crashed_view) r.final_views)
 
 let test_fluctuation_recovers () =
-  let config = { base with runtime = 3.0; seed = 23 } in
-  let faults =
-    { Runtime.fluctuation = Some (1.0, 1.5, 0.01, 0.05); crash = None }
+  let config =
+    {
+      base with
+      runtime = 3.0;
+      seed = 23;
+      faults =
+        [
+          {
+            Schedule.at = 1.0;
+            until = Some 1.5;
+            spec = Schedule.Fluctuation { lo = 0.01; hi = 0.05 };
+          };
+        ];
+    }
   in
-  let r = run ~faults config 3000.0 in
+  let r = run config 3000.0 in
   check_healthy "fluctuation" r;
   (* Throughput in the last second must recover to arrival rate. *)
   let tail =

@@ -173,6 +173,104 @@ let test_client_rtt () =
   let net = Netmodel.create ~rng ~mu:0.002 ~sigma:0.0 () in
   Alcotest.(check (float 1e-9)) "2x one-way" 0.004 (Netmodel.client_rtt net ~now:0.0)
 
+(* Satellite regression: the fluctuation window replaces only the *base*
+   draw; the configured extra delay must still add on top. *)
+let test_netmodel_fluctuation_composes_with_extra () =
+  let rng = Rng.create ~seed:7 in
+  let net = Netmodel.create ~rng ~mu:0.001 ~sigma:0.0 () in
+  Netmodel.set_extra_delay net ~mu:0.010 ~sigma:0.0;
+  Netmodel.set_fluctuation net ~from_t:0.0 ~until_t:10.0 ~lo:0.05 ~hi:0.05;
+  (* lo = hi pins the uniform draw: window 50 ms + extra 10 ms. *)
+  let d = Netmodel.one_way net ~now:5.0 ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "window + extra" 0.060 d;
+  let outside = Netmodel.one_way net ~now:15.0 ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "base + extra outside" 0.011 outside
+
+let test_netmodel_per_link_effects () =
+  let rng = Rng.create ~seed:8 in
+  let net = Netmodel.create ~rng ~mu:0.001 ~sigma:0.0 () in
+  let erng = Rng.create ~seed:9 in
+  let eff =
+    Netmodel.effect ~rng:erng
+      (Netmodel.Extra_delay { mu = 0.020; sigma = 0.0 })
+  in
+  Netmodel.attach net ~src:0 ~dst:1 eff;
+  (* Only the ordered pair (0,1) is affected. *)
+  Alcotest.(check (float 1e-9)) "faulted link" 0.021
+    (Netmodel.one_way net ~now:0.0 ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "reverse direction clean" 0.001
+    (Netmodel.one_way net ~now:0.0 ~src:1 ~dst:0);
+  Alcotest.(check (float 1e-9)) "other link clean" 0.001
+    (Netmodel.one_way net ~now:0.0 ~src:2 ~dst:3);
+  Netmodel.detach net ~src:0 ~dst:1 eff;
+  Alcotest.(check (float 1e-9)) "detached" 0.001
+    (Netmodel.one_way net ~now:0.0 ~src:0 ~dst:1)
+
+let test_netmodel_block_counted () =
+  let rng = Rng.create ~seed:10 in
+  let net = Netmodel.create ~rng ~mu:0.001 ~sigma:0.0 () in
+  Alcotest.(check bool) "initially open" false (Netmodel.blocked net ~src:0 ~dst:1);
+  Netmodel.block net ~src:0 ~dst:1;
+  Netmodel.block net ~src:0 ~dst:1;
+  Alcotest.(check bool) "blocked" true (Netmodel.blocked net ~src:0 ~dst:1);
+  Netmodel.unblock net ~src:0 ~dst:1;
+  Alcotest.(check bool) "still blocked under overlap" true
+    (Netmodel.blocked net ~src:0 ~dst:1);
+  Netmodel.unblock net ~src:0 ~dst:1;
+  Alcotest.(check bool) "healed" false (Netmodel.blocked net ~src:0 ~dst:1);
+  (* One-directional: the reverse link was never blocked. *)
+  Netmodel.block net ~src:2 ~dst:3;
+  Alcotest.(check bool) "reverse open" false (Netmodel.blocked net ~src:3 ~dst:2)
+
+let test_netmodel_drop_and_duplicate () =
+  let rng = Rng.create ~seed:11 in
+  let net = Netmodel.create ~rng ~mu:0.001 ~sigma:0.0 () in
+  let drop = Netmodel.effect ~rng:(Rng.create ~seed:12) (Netmodel.Drop 0.5) in
+  Netmodel.attach net ~src:0 ~dst:1 drop;
+  let drops = ref 0 in
+  for _ = 1 to 1000 do
+    if Netmodel.link_drops net ~src:0 ~dst:1 then incr drops
+  done;
+  Alcotest.(check bool) "drop rate near 0.5" true
+    (!drops > 400 && !drops < 600);
+  Alcotest.(check bool) "other links lossless" false
+    (Netmodel.link_drops net ~src:1 ~dst:0);
+  let dup =
+    Netmodel.effect ~rng:(Rng.create ~seed:13) (Netmodel.Duplicate 0.5)
+  in
+  Netmodel.attach net ~src:2 ~dst:3 dup;
+  let copies = ref 0 in
+  for _ = 1 to 1000 do
+    copies := !copies + List.length (Netmodel.link_copies net ~src:2 ~dst:3)
+  done;
+  Alcotest.(check bool) "duplicate rate near 0.5" true
+    (!copies > 400 && !copies < 600)
+
+(* Effects carry their own RNG stream: sampling them must not advance the
+   model's base stream. *)
+let test_netmodel_effects_preserve_base_stream () =
+  let sample ~faulted =
+    let rng = Rng.create ~seed:14 in
+    let net = Netmodel.create ~rng ~mu:0.005 ~sigma:0.001 () in
+    if faulted then begin
+      let eff =
+        Netmodel.effect ~rng:(Rng.create ~seed:15)
+          (Netmodel.Spike { lo = 0.001; hi = 0.002 })
+      in
+      Netmodel.attach net ~src:0 ~dst:1 eff
+    end;
+    (* Draw on a *different* link, then on the faulted one. *)
+    let clean = Netmodel.one_way net ~now:0.0 ~src:2 ~dst:3 in
+    let faulted_draw = Netmodel.one_way net ~now:0.0 ~src:0 ~dst:1 in
+    let clean2 = Netmodel.one_way net ~now:0.0 ~src:3 ~dst:2 in
+    (clean, faulted_draw, clean2)
+  in
+  let c1, f1, c1' = sample ~faulted:false in
+  let c2, f2, c2' = sample ~faulted:true in
+  Alcotest.(check (float 0.0)) "clean link identical" c1 c2;
+  Alcotest.(check (float 0.0)) "clean link after faulted draw identical" c1' c2';
+  Alcotest.(check bool) "faulted link delayed" true (f2 > f1)
+
 let suite =
   [
     Alcotest.test_case "event ordering" `Quick test_event_ordering;
@@ -192,4 +290,12 @@ let suite =
     Alcotest.test_case "netmodel extra delay" `Quick test_netmodel_extra_delay;
     Alcotest.test_case "netmodel fluctuation" `Quick test_netmodel_fluctuation_window;
     Alcotest.test_case "client rtt" `Quick test_client_rtt;
+    Alcotest.test_case "fluctuation composes with extra delay" `Quick
+      test_netmodel_fluctuation_composes_with_extra;
+    Alcotest.test_case "per-link effects" `Quick test_netmodel_per_link_effects;
+    Alcotest.test_case "counted blocking" `Quick test_netmodel_block_counted;
+    Alcotest.test_case "link drop/duplicate" `Quick
+      test_netmodel_drop_and_duplicate;
+    Alcotest.test_case "effects preserve base stream" `Quick
+      test_netmodel_effects_preserve_base_stream;
   ]
