@@ -1,21 +1,29 @@
 (* Benchmark harness.
 
-   Two parts:
+   Three parts:
    1. Bechamel microbenchmarks of the hot data-structure and crypto paths
       (SHA-256 hashing, HMAC signing, block construction, forest insertion,
       mempool batching, QC aggregation, event-queue throughput, codec).
    2. The paper-reproduction experiments: one per table/figure (Table II,
       Figs. 8-15) plus the Section V-E ablations, printed as the same
-      rows/series the paper reports.
+      rows/series the paper reports. Wall-clock per experiment and the
+      simulator's events/second are measured along the way.
+   3. A parallel-driver anchor: the same reduced Table II sweep at
+      --jobs 1 and --jobs N, recording the speedup and checking the rows
+      are identical (the determinism contract of Bamboo_util.Pool).
 
    Usage:
      dune exec bench/main.exe                 -- micro + all experiments, quick scale
      dune exec bench/main.exe -- micro        -- microbenchmarks only
      dune exec bench/main.exe -- fig13 fig14  -- selected experiments
-     dune exec bench/main.exe -- --full all   -- paper-scale everything *)
+     dune exec bench/main.exe -- --full all   -- paper-scale everything
+     dune exec bench/main.exe -- --jobs 4 all -- 4 worker domains
+     dune exec bench/main.exe -- --json BENCH_ci.json --label ci micro
+                                              -- machine-readable results *)
 
 open Bechamel
 open Bamboo_types
+module Json = Bamboo_util.Json
 
 let reg = Bamboo_crypto.Sig.setup ~n:4 ~master:"bench"
 
@@ -88,6 +96,8 @@ let micro_tests =
              ())));
   ]
 
+(* Runs the microbenchmarks, printing as before; returns (name, ns/op)
+   pairs for the JSON report. *)
 let run_micro () =
   print_endline "=== Microbenchmarks (Bechamel) ===";
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -97,10 +107,11 @@ let run_micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      let acc = ref [] in
       Hashtbl.iter
         (fun name est ->
           match Analyze.OLS.estimates est with
@@ -109,33 +120,195 @@ let run_micro () =
                 Printf.printf "  %-32s %10.2f ms/op\n%!" name (ns /. 1e6)
               else if ns >= 1_000.0 then
                 Printf.printf "  %-32s %10.2f us/op\n%!" name (ns /. 1e3)
-              else Printf.printf "  %-32s %10.1f ns/op\n%!" name ns
+              else Printf.printf "  %-32s %10.1f ns/op\n%!" name ns;
+              acc := (name, ns) :: !acc
           | Some [] | None ->
               Printf.printf "  %-32s (no estimate)\n%!" name)
-        analyzed)
+        analyzed;
+      List.rev !acc)
     micro_tests
 
-let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let scale =
-    if full then Bamboo.Experiments.Full else Bamboo.Experiments.Quick
+(* Simulator throughput in real events/second: one virtual second of the
+   default HotStuff configuration near saturation, timed on the wall
+   clock. This is the headline number for the sim-core hot paths (event
+   queue, size-once broadcast, QC cache). *)
+let measure_events_per_sec () =
+  let config =
+    { Bamboo.Config.default with runtime = 1.0; warmup = 0.1 }
   in
-  let names = List.filter (fun a -> a <> "--full") args in
-  match names with
-  | [] ->
-      run_micro ();
-      Bamboo.Experiments.run_all ~scale
-  | [ "micro" ] -> run_micro ()
-  | [ "all" ] -> Bamboo.Experiments.run_all ~scale
-  | names ->
-      List.iter
-        (fun name ->
-          if name = "micro" then run_micro ()
-          else
-            match Bamboo.Experiments.run_one ~scale name with
-            | Ok () -> ()
-            | Error e ->
-                prerr_endline e;
-                exit 2)
-        names
+  let rate = 0.8 *. Bamboo.Model.((build ~config).saturation_rate) in
+  let workload = Bamboo.Workload.open_loop ~rate () in
+  ignore (Bamboo.Runtime.run ~config ~workload () : Bamboo.Runtime.result);
+  let t0 = Unix.gettimeofday () in
+  let r = Bamboo.Runtime.run ~config ~workload () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let eps = float_of_int r.Bamboo.Runtime.sim_events /. wall in
+  Printf.printf "\nsimulator: %d events in %.2f s wall = %.0f events/s\n%!"
+    r.Bamboo.Runtime.sim_events wall eps;
+  (r.Bamboo.Runtime.sim_events, wall, eps)
+
+(* The parallel anchor: a reduced Table II sweep at jobs=1 vs jobs=N.
+   [rows_match] must always be true (Pool.map returns results in
+   submission order); [speedup] approaches min(N, cores, cells) on
+   multicore hardware and ~1.0 on a single core. *)
+let measure_parallel_anchor ~jobs =
+  let base =
+    { Bamboo.Config.default with runtime = 1.5; warmup = 0.25 }
+  in
+  let timed j =
+    Bamboo.Experiments.set_jobs j;
+    let t0 = Unix.gettimeofday () in
+    let rows = Bamboo.Experiments.table2_rows ~base Bamboo.Experiments.Quick in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  let rows_seq, wall_seq = timed 1 in
+  let rows_par, wall_par = timed jobs in
+  Bamboo.Experiments.set_jobs jobs;
+  let cells = List.length rows_seq in
+  let speedup = wall_seq /. wall_par in
+  let rows_match = rows_seq = rows_par in
+  Printf.printf
+    "\nparallel anchor (reduced table2, %d cells): jobs=1 %.2f s, jobs=%d \
+     %.2f s, speedup %.2fx, rows %s\n%!"
+    cells wall_seq jobs wall_par speedup
+    (if rows_match then "identical" else "DIFFER");
+  (cells, wall_seq, wall_par, speedup, rows_match)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--full] [--jobs N] [--json PATH] [--label NAME] \
+     [micro|all|<experiment>...]";
+  exit 2
+
+type opts = {
+  mutable full : bool;
+  mutable jobs : int option;
+  mutable json : string option;
+  mutable label : string;
+  mutable names : string list;
+}
+
+let parse_args () =
+  let o =
+    { full = false; jobs = None; json = None; label = "local"; names = [] }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest -> o.full <- true; go rest
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> o.jobs <- Some j; go rest
+        | _ ->
+            Printf.eprintf "bench: --jobs must be an integer >= 1 (got %S)\n" v;
+            exit 2)
+    | "--json" :: path :: rest -> o.json <- Some path; go rest
+    | "--label" :: l :: rest -> o.label <- l; go rest
+    | ("--jobs" | "--json" | "--label") :: [] -> usage ()
+    | name :: _ when String.length name > 1 && name.[0] = '-' ->
+        Printf.eprintf "bench: unknown option %s\n" name;
+        usage ()
+    | name :: rest -> o.names <- o.names @ [ name ]; go rest
+  in
+  go (Array.to_list Sys.argv |> List.tl);
+  o
+
+let () =
+  let o = parse_args () in
+  let scale =
+    if o.full then Bamboo.Experiments.Full else Bamboo.Experiments.Quick
+  in
+  let jobs =
+    match o.jobs with
+    | Some j -> j
+    | None -> Bamboo_util.Pool.recommended_jobs ()
+  in
+  Bamboo.Experiments.set_jobs jobs;
+  let micro_results = ref [] in
+  let experiment_walls = ref [] in
+  let run_experiment name =
+    let t0 = Unix.gettimeofday () in
+    (match Bamboo.Experiments.run_one ~scale name with
+    | Ok () -> ()
+    | Error e ->
+        prerr_endline e;
+        exit 2);
+    experiment_walls := !experiment_walls @ [ (name, Unix.gettimeofday () -. t0) ]
+  in
+  let run_all_experiments () =
+    List.iter run_experiment Bamboo.Experiments.names
+  in
+  let want_micro, want_experiments =
+    match o.names with
+    | [] -> (true, `All)
+    | names ->
+        ( List.mem "micro" names,
+          match List.filter (fun n -> n <> "micro") names with
+          | [] -> `None
+          | [ "all" ] -> `All
+          | names -> `Some names )
+  in
+  if want_micro then micro_results := run_micro ();
+  (match want_experiments with
+  | `All -> run_all_experiments ()
+  | `Some names -> List.iter run_experiment names
+  | `None -> ());
+  (* The measurement sections only run when a JSON report is requested:
+     plain invocations keep the original fast path. *)
+  match o.json with
+  | None -> ()
+  | Some path ->
+      let sim_events, sim_wall, eps = measure_events_per_sec () in
+      let anchor_cells, wall_seq, wall_par, speedup, rows_match =
+        measure_parallel_anchor ~jobs
+      in
+      let json =
+        Json.Obj
+          [
+            ("label", Json.String o.label);
+            ("scale", Json.String (if o.full then "full" else "quick"));
+            ("jobs", Json.Int jobs);
+            ( "micro",
+              Json.List
+                (List.map
+                   (fun (name, ns) ->
+                     Json.Obj
+                       [
+                         ("name", Json.String name);
+                         ("ns_per_op", Json.Float ns);
+                       ])
+                   !micro_results) );
+            ( "experiments",
+              Json.List
+                (List.map
+                   (fun (name, wall) ->
+                     Json.Obj
+                       [
+                         ("name", Json.String name);
+                         ("wall_s", Json.Float wall);
+                       ])
+                   !experiment_walls) );
+            ( "simulator",
+              Json.Obj
+                [
+                  ("events", Json.Int sim_events);
+                  ("wall_s", Json.Float sim_wall);
+                  ("events_per_sec", Json.Float eps);
+                ] );
+            ( "parallel",
+              Json.Obj
+                [
+                  ("cells", Json.Int anchor_cells);
+                  ("jobs", Json.Int jobs);
+                  ("wall_s_jobs1", Json.Float wall_seq);
+                  ("wall_s_jobsN", Json.Float wall_par);
+                  ("speedup", Json.Float speedup);
+                  ("rows_match", Json.Bool rows_match);
+                ] );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string ~indent:true json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path;
+      if not rows_match then exit 1

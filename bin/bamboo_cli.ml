@@ -66,6 +66,17 @@ let backoff_t = Arg.(value & opt (some float) None & info [ "backoff" ] ~docv:"F
 let runtime_t = Arg.(value & opt (some float) None & info [ "runtime" ] ~docv:"SECONDS")
 let seed_t = Arg.(value & opt (some int) None & info [ "seed" ])
 
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulation cells (default: the \
+           configuration's $(b,jobs) key, itself defaulting to the \
+           machine's recommended domain count). Changes wall-clock time \
+           only; experiment output is identical at any value.")
+
 let trace_format_conv =
   let parse s =
     match Bamboo.Config.trace_format_of_name s with
@@ -125,7 +136,7 @@ let load_faults path =
       exit 2
 
 let override config protocol n byz strategy bsize psize delay timeout backoff
-    runtime seed trace trace_format probe_interval faults =
+    runtime seed jobs trace trace_format probe_interval faults =
   let set v f config = match v with None -> config | Some v -> f config v in
   config
   |> set protocol (fun c protocol -> { c with Bamboo.Config.protocol })
@@ -139,6 +150,7 @@ let override config protocol n byz strategy bsize psize delay timeout backoff
   |> set backoff (fun c backoff -> { c with Bamboo.Config.backoff })
   |> set runtime (fun c runtime -> { c with Bamboo.Config.runtime })
   |> set seed (fun c seed -> { c with Bamboo.Config.seed })
+  |> set jobs (fun c jobs -> { c with Bamboo.Config.jobs })
   |> set trace (fun c f -> { c with Bamboo.Config.trace_file = Some f })
   |> set trace_format (fun c trace_format -> { c with Bamboo.Config.trace_format })
   |> set probe_interval (fun c p ->
@@ -150,7 +162,7 @@ let common_t =
   Term.(
     const override $ Term.(const load_config $ config_file) $ protocol_t $ n_t
     $ byz_t $ strategy_t $ bsize_t $ psize_t $ delay_t $ timeout_t $ backoff_t
-    $ runtime_t $ seed_t $ trace_t $ trace_format_t $ probe_interval_t
+    $ runtime_t $ seed_t $ jobs_t $ trace_t $ trace_format_t $ probe_interval_t
     $ faults_t)
 
 (* --- run --- *)
@@ -294,11 +306,24 @@ let experiment_cmd =
   let full_t =
     Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale run durations.")
   in
-  let run name full =
+  let run name full config_path jobs =
     let scale =
       if full then Bamboo.Experiments.Full else Bamboo.Experiments.Quick
     in
-    if name = "all" then Bamboo.Experiments.run_all ~scale
+    (* Flag beats the configuration file's [jobs] key beats the default. *)
+    let jobs =
+      match jobs with
+      | Some j -> j
+      | None -> (load_config config_path).Bamboo.Config.jobs
+    in
+    if jobs < 1 then begin
+      Printf.eprintf
+        "bamboo: --jobs must be >= 1 (got %d); it counts worker domains\n"
+        jobs;
+      exit 2
+    end;
+    Bamboo.Experiments.set_jobs jobs;
+    if name = "all" then Bamboo.Experiments.run_all ~scale ()
     else
       match Bamboo.Experiments.run_one ~scale name with
       | Ok () -> ()
@@ -308,7 +333,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure.")
-    Term.(const run $ name_t $ full_t)
+    Term.(const run $ name_t $ full_t $ config_file $ jobs_t)
 
 (* --- config --- *)
 

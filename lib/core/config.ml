@@ -35,6 +35,7 @@ type t = {
   cpu_op : float;
   cpu_per_tx : float;
   seed : int;
+  jobs : int;
   trace_file : string option;
   trace_format : trace_format;
   probe_interval : float; (* seconds; 0 = probing disabled *)
@@ -67,6 +68,7 @@ let default =
     cpu_op = 0.00015 (* 150 us per sign/verify, a secp256k1 op in Go *);
     cpu_per_tx = 0.0000005 (* 0.5 us per tx *);
     seed = 42;
+    jobs = Domain.recommended_domain_count ();
     trace_file = None;
     trace_format = Jsonl;
     probe_interval = 0.0;
@@ -124,6 +126,8 @@ let validate t =
   else if t.bandwidth <= 0.0 then Error "bandwidth must be positive"
   else if t.cpu_op < 0.0 || t.cpu_per_tx < 0.0 then Error "CPU costs must be non-negative"
   else if t.probe_interval < 0.0 then Error "probe interval must be non-negative"
+  else if t.jobs < 1 then
+    Error "jobs must be >= 1 (number of parallel experiment workers)"
   else
     match t.election with
     | Static i when i < 0 || i >= t.n -> Error "static leader out of range"
@@ -170,6 +174,7 @@ let to_json t =
       ("cpuOp", Json.Float (t.cpu_op *. 1e6));
       ("cpuPerTx", Json.Float (t.cpu_per_tx *. 1e6));
       ("seed", Json.Int t.seed);
+      ("jobs", Json.Int t.jobs);
       ( "trace",
         match t.trace_file with None -> Json.Null | Some f -> Json.String f );
       ("traceFormat", Json.String (trace_format_name t.trace_format));
@@ -183,7 +188,7 @@ let known_fields =
     "psize"; "timeout"; "backoff"; "proposePolicy"; "tcAdoptQc"; "echo"; "runtime";
     "warmup";
     "mu"; "sigma"; "delay"; "delaySigma"; "loss"; "bandwidth"; "cpuOp"; "cpuPerTx";
-    "seed"; "trace"; "traceFormat"; "probeInterval"; "faults";
+    "seed"; "jobs"; "trace"; "traceFormat"; "probeInterval"; "faults";
   ]
 
 let of_json json =
@@ -274,6 +279,7 @@ let of_json json =
                       get "cpuPerTx" (fun v -> Json.to_float v /. 1e6)
                         default.cpu_per_tx;
                     seed = get "seed" Json.to_int default.seed;
+                    jobs = get "jobs" Json.to_int default.jobs;
                     trace_file =
                       (match Json.member "trace" json with
                       | Json.Null -> default.trace_file

@@ -64,6 +64,12 @@ type t = {
   cpu_op : float;  (** Seconds per crypto op (sign or verify). *)
   cpu_per_tx : float;  (** Per-transaction hashing/validation seconds. *)
   seed : int;
+  jobs : int;
+      (** Worker domains for the parallel experiment driver (the [jobs]
+          JSON key / [--jobs] flag). Affects only how many independent
+          simulation cells run concurrently — never the simulation
+          itself, whose output is bit-identical at any job count. Default:
+          [Domain.recommended_domain_count ()]; must be [>= 1]. *)
   (* Observability (off by default; disabled instrumentation is free). *)
   trace_file : string option;  (** Write a structured trace here. *)
   trace_format : trace_format;

@@ -1,5 +1,6 @@
 module Table = Bamboo_util.Table
 module Stats = Bamboo_util.Stats
+module Pool = Bamboo_util.Pool
 module Schedule = Bamboo_faults.Schedule
 
 type scale = Quick | Full
@@ -18,13 +19,77 @@ let section title =
 let ms v = Table.fmt_float ~decimals:2 (v *. 1000.0)
 let ktx v = Table.fmt_float ~decimals:1 (v /. 1000.0)
 
+(* ------------------------------------------------------------------ *)
+(* The parallel cell driver.
+
+   Every experiment is a grid of independent simulation cells — one
+   [Runtime.run] with its own [Sim.t], RNG streams, machines and nodes —
+   whose parameters never depend on another cell's result. Each
+   experiment therefore splits into a plan phase (build the flat list of
+   cells), an execute phase (run them on a fixed-size domain pool) and a
+   render phase (format rows from the results). [Pool.map] returns
+   results in submission order, so the rendered tables are byte-identical
+   to a sequential run at any job count. *)
+
+let jobs_ref = ref (Pool.recommended_jobs ())
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Experiments.set_jobs: jobs must be >= 1";
+  jobs_ref := n
+
+let jobs () = !jobs_ref
+
+(* One independent simulation cell: configuration, workload, and the
+   optional metrics bucket width. *)
+type cell = Config.t * Workload.t * float option
+
+let run_cells (cells : cell list) : Runtime.result list =
+  Pool.map ~jobs:!jobs_ref
+    (fun (config, workload, bucket) ->
+      match bucket with
+      | None -> Runtime.run ~config ~workload ()
+      | Some bucket -> Runtime.run ~config ~workload ~bucket ())
+    cells
+
+(* Split [xs] into consecutive chunks whose sizes follow [counts]. *)
+let chunks counts xs =
+  let rec take n acc xs =
+    if n = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | x :: tl -> take (n - 1) (x :: acc) tl
+      | [] -> invalid_arg "Experiments.chunks: too few results"
+  in
+  let rec go counts xs =
+    match counts with
+    | [] -> ( match xs with [] -> [] | _ :: _ -> invalid_arg "Experiments.chunks: leftover results")
+    | c :: rest ->
+        let chunk, xs = take c [] xs in
+        chunk :: go rest xs
+  in
+  go counts xs
+
+(* Run one simulation per (config, rate) over all groups in a single
+   parallel batch; per-group summary lists come back in submission
+   order. *)
+let sweep_groups groups =
+  let cells =
+    List.concat_map
+      (fun (config, rates) ->
+        List.map
+          (fun rate -> (config, Workload.open_loop ~rate (), None))
+          rates)
+      groups
+  in
+  let results = run_cells cells in
+  chunks
+    (List.map (fun (_, rates) -> List.length rates) groups)
+    (List.map (fun (r : Runtime.result) -> r.Runtime.summary) results)
+
 let sweep ~config ~rates =
-  List.map
-    (fun rate ->
-      let workload = Workload.open_loop ~rate () in
-      let result = Runtime.run ~config ~workload () in
-      (rate, result.Runtime.summary))
-    rates
+  match sweep_groups [ (config, rates) ] with
+  | [ summaries ] -> List.combine rates summaries
+  | _ -> assert false
 
 (* True capacity of a configuration: the paper's Eq. 4 saturation bound
    capped by the implementation-aware estimate (leader NIC fan-out,
@@ -75,66 +140,83 @@ let saturation_sweep_rates ~config ~scale =
 (* Table II: arrival rate vs committed throughput (HotStuff, n=4,
    bsize=400).                                                         *)
 
+let table2_rows ?base scale =
+  let base = match base with Some b -> b | None -> base_config scale in
+  let config = { base with Config.protocol = Config.Hotstuff } in
+  let cap = capacity config in
+  let fractions = [ 0.15; 0.3; 0.45; 0.6; 0.75; 0.9; 0.98 ] in
+  let rates = List.map (fun f -> f *. cap) fractions in
+  List.map
+    (fun (rate, (s : Metrics.summary)) ->
+      [
+        Printf.sprintf "%.0f" rate;
+        Printf.sprintf "%.0f" s.Metrics.throughput;
+      ])
+    (sweep ~config ~rates)
+
 let table2 scale =
   section
     "Table II: transaction arrival rate vs transaction throughput \
      (HotStuff, bsize 400, 4 replicas)";
-  let config = { (base_config scale) with protocol = Config.Hotstuff } in
-  let cap = capacity config in
-  let fractions = [ 0.15; 0.3; 0.45; 0.6; 0.75; 0.9; 0.98 ] in
-  let rows =
-    List.map
-      (fun f ->
-        let rate = f *. cap in
-        let workload = Workload.open_loop ~rate () in
-        let result = Runtime.run ~config ~workload () in
-        [
-          Printf.sprintf "%.0f" rate;
-          Printf.sprintf "%.0f" result.Runtime.summary.Metrics.throughput;
-        ])
-      fractions
-  in
-  Table.print ~header:[ "Arrival rate (Tx/s)"; "Throughput (Tx/s)" ] ~rows
+  Table.print
+    ~header:[ "Arrival rate (Tx/s)"; "Throughput (Tx/s)" ]
+    ~rows:(table2_rows scale)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: model vs implementation, four (n, bsize) panels.            *)
+
+let fig8_group_rows ~config ~rates summaries =
+  let m = Model.build ~config in
+  List.map2
+    (fun rate (s : Metrics.summary) ->
+      let model_lat =
+        match Model.latency m ~rate with
+        | Some l -> ms l
+        | None -> "sat"
+      in
+      [ ktx rate; ktx s.throughput; ms s.latency_mean; model_lat ])
+    rates summaries
+
+let fig8_panel_groups ~base ~scale ~panels =
+  List.concat_map
+    (fun (n, bsize) ->
+      List.map
+        (fun protocol ->
+          let config = { base with Config.protocol; n; bsize } in
+          ((n, bsize, protocol, config), saturation_sweep_rates ~config ~scale))
+        protocols)
+    panels
+
+let fig8_panel_rows ?base ~n ~bsize scale =
+  let base = match base with Some b -> b | None -> base_config scale in
+  let groups = fig8_panel_groups ~base ~scale ~panels:[ (n, bsize) ] in
+  let summaries =
+    sweep_groups
+      (List.map (fun ((_, _, _, config), rates) -> (config, rates)) groups)
+  in
+  List.map2
+    (fun ((_, _, protocol, config), rates) s ->
+      (Config.protocol_name protocol, fig8_group_rows ~config ~rates s))
+    groups summaries
 
 let fig8 scale =
   section
     "Fig. 8: model vs implementation, throughput (k tx/s) vs latency (ms)";
   let panels = [ (4, 100); (8, 100); (4, 400); (8, 400) ] in
-  List.iter
-    (fun (n, bsize) ->
-      Printf.printf "\n-- panel n=%d, bsize=%d --\n" n bsize;
-      List.iter
-        (fun protocol ->
-          let config = { (base_config scale) with protocol; n; bsize } in
-          let m = Model.build ~config in
-          let rates = saturation_sweep_rates ~config ~scale in
-          let sim = sweep ~config ~rates in
-          let rows =
-            List.map
-              (fun (rate, (s : Metrics.summary)) ->
-                let model_lat =
-                  match Model.latency m ~rate with
-                  | Some l -> ms l
-                  | None -> "sat"
-                in
-                [
-                  ktx rate;
-                  ktx s.throughput;
-                  ms s.latency_mean;
-                  model_lat;
-                ])
-              sim
-          in
-          Printf.printf "%s:\n" (Config.protocol_name protocol);
-          Table.print
-            ~header:
-              [ "rate(k)"; "thr(k)"; "sim lat(ms)"; "model lat(ms)" ]
-            ~rows)
-        protocols)
-    panels
+  let groups = fig8_panel_groups ~base:(base_config scale) ~scale ~panels in
+  let summaries =
+    sweep_groups
+      (List.map (fun ((_, _, _, config), rates) -> (config, rates)) groups)
+  in
+  List.iter2
+    (fun ((n, bsize, protocol, config), rates) s ->
+      if protocol = List.hd protocols then
+        Printf.printf "\n-- panel n=%d, bsize=%d --\n" n bsize;
+      Printf.printf "%s:\n" (Config.protocol_name protocol);
+      Table.print
+        ~header:[ "rate(k)"; "thr(k)"; "sim lat(ms)"; "model lat(ms)" ]
+        ~rows:(fig8_group_rows ~config ~rates s))
+    groups summaries
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: block sizes 100/400/800 plus the OHS-like baseline.         *)
@@ -147,65 +229,87 @@ let ohs_like (config : Config.t) =
 
 let fig9 scale =
   section "Fig. 9: throughput vs latency with block sizes 100, 400, 800";
-  let run_curve name config =
-    let rates = saturation_sweep_rates ~config ~scale in
-    let sim = sweep ~config ~rates in
-    let rows =
-      List.map
-        (fun (_, (s : Metrics.summary)) ->
-          [ name; ktx s.throughput; ms s.latency_mean; ms s.latency_p99 ])
-        sim
-    in
-    rows
-  in
-  let rows =
+  let series =
     List.concat_map
       (fun bsize ->
-        List.concat_map
+        List.map
           (fun protocol ->
             let config = { (base_config scale) with protocol; bsize } in
-            run_curve
-              (Printf.sprintf "%s-b%d" (Config.protocol_name protocol) bsize)
-              config)
+            ( Printf.sprintf "%s-b%d" (Config.protocol_name protocol) bsize,
+              config ))
           protocols)
       [ 100; 400; 800 ]
-    @ List.concat_map
+    @ List.map
         (fun bsize ->
           let config =
             ohs_like
               { (base_config scale) with protocol = Config.Hotstuff; bsize }
           in
-          run_curve (Printf.sprintf "OHS-b%d" bsize) config)
+          (Printf.sprintf "OHS-b%d" bsize, config))
         [ 100; 800 ]
+  in
+  let with_rates =
+    List.map
+      (fun (name, config) ->
+        (name, config, saturation_sweep_rates ~config ~scale))
+      series
+  in
+  let summaries =
+    sweep_groups (List.map (fun (_, config, rates) -> (config, rates)) with_rates)
+  in
+  let rows =
+    List.concat
+      (List.map2
+         (fun (name, _, _) sums ->
+           List.map
+             (fun (s : Metrics.summary) ->
+               [ name; ktx s.throughput; ms s.latency_mean; ms s.latency_p99 ])
+             sums)
+         with_rates summaries)
   in
   Table.print ~header:[ "series"; "thr(k)"; "lat(ms)"; "p99(ms)" ] ~rows
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: payload sizes 0/128/1024 bytes.                            *)
 
+let labelled_saturation_table ~scale ~header series =
+  let with_rates =
+    List.map
+      (fun (name, config) ->
+        (name, config, saturation_sweep_rates ~config ~scale))
+      series
+  in
+  let summaries =
+    sweep_groups (List.map (fun (_, config, rates) -> (config, rates)) with_rates)
+  in
+  let rows =
+    List.concat
+      (List.map2
+         (fun (name, _, _) sums ->
+           List.map
+             (fun (s : Metrics.summary) ->
+               [ name; ktx s.throughput; ms s.latency_mean ])
+             sums)
+         with_rates summaries)
+  in
+  Table.print ~header ~rows
+
 let fig10 scale =
   section
     "Fig. 10: throughput vs latency with payload sizes 0, 128, 1024 bytes";
-  let rows =
+  let series =
     List.concat_map
       (fun psize ->
-        List.concat_map
+        List.map
           (fun protocol ->
-            let config = { (base_config scale) with protocol; psize } in
-            let rates = saturation_sweep_rates ~config ~scale in
-            let sim = sweep ~config ~rates in
-            List.map
-              (fun (_, (s : Metrics.summary)) ->
-                [
-                  Printf.sprintf "%s-p%d" (Config.protocol_name protocol) psize;
-                  ktx s.throughput;
-                  ms s.latency_mean;
-                ])
-              sim)
+            ( Printf.sprintf "%s-p%d" (Config.protocol_name protocol) psize,
+              { (base_config scale) with protocol; psize } ))
           protocols)
       [ 0; 128; 1024 ]
   in
-  Table.print ~header:[ "series"; "thr(k)"; "lat(ms)" ] ~rows
+  labelled_saturation_table ~scale
+    ~header:[ "series"; "thr(k)"; "lat(ms)" ]
+    series
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: added network delays 0 / 5+-1 / 10+-2 ms.                  *)
@@ -215,35 +319,26 @@ let fig11 scale =
     "Fig. 11: throughput vs latency with added network delay 0, 5(+-1), \
      10(+-2) ms";
   let delays = [ (0.0, 0.0); (0.005, 0.001); (0.010, 0.002) ] in
-  let rows =
+  let series =
     List.concat_map
       (fun (d_mu, d_sigma) ->
-        List.concat_map
+        List.map
           (fun protocol ->
-            let config =
+            ( Printf.sprintf "%s-d%.0f" (Config.protocol_name protocol)
+                (d_mu *. 1000.0),
               {
                 (base_config scale) with
                 protocol;
                 psize = 128;
                 extra_delay_mu = d_mu;
                 extra_delay_sigma = d_sigma;
-              }
-            in
-            let rates = saturation_sweep_rates ~config ~scale in
-            let sim = sweep ~config ~rates in
-            List.map
-              (fun (_, (s : Metrics.summary)) ->
-                [
-                  Printf.sprintf "%s-d%.0f" (Config.protocol_name protocol)
-                    (d_mu *. 1000.0);
-                  ktx s.throughput;
-                  ms s.latency_mean;
-                ])
-              sim)
+              } ))
           protocols)
       delays
   in
-  Table.print ~header:[ "series"; "thr(k)"; "lat(ms)" ] ~rows
+  labelled_saturation_table ~scale
+    ~header:[ "series"; "thr(k)"; "lat(ms)" ]
+    series
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 12: scalability.                                               *)
@@ -258,7 +353,7 @@ let fig12 scale =
     | Full -> ([ 4; 8; 16; 32; 64; 128 ], [ 42; 43; 44 ])
   in
   let sl_cap = match scale with Quick -> 16 | Full -> 32 in
-  let rows =
+  let combos =
     List.concat_map
       (fun protocol ->
         List.filter_map
@@ -270,28 +365,50 @@ let fig12 scale =
                   { (base_config scale) with protocol; n; psize = 128 }
               in
               let rate = 0.8 *. capacity config in
-              let thrs, lats =
-                List.fold_left
-                  (fun (thrs, lats) seed ->
-                    let config = { config with seed } in
-                    let workload = Workload.open_loop ~rate () in
-                    let r = Runtime.run ~config ~workload () in
-                    ( r.Runtime.summary.Metrics.throughput :: thrs,
-                      r.Runtime.summary.Metrics.latency_mean :: lats ))
-                  ([], []) seeds
-              in
-              Some
-                [
-                  Config.protocol_name protocol;
-                  string_of_int n;
-                  ktx (Stats.mean_of thrs);
-                  ktx (Stats.stddev_of thrs);
-                  ms (Stats.mean_of lats);
-                  ms (Stats.stddev_of lats);
-                ]
+              Some (protocol, n, config, rate)
             end)
           sizes)
       protocols
+  in
+  let cells =
+    List.concat_map
+      (fun (_, _, config, rate) ->
+        List.map
+          (fun seed ->
+            (({ config with Config.seed } : Config.t),
+             Workload.open_loop ~rate (),
+             None))
+          seeds)
+      combos
+  in
+  let grouped =
+    chunks (List.map (fun _ -> List.length seeds) combos) (run_cells cells)
+  in
+  let rows =
+    List.map2
+      (fun (protocol, n, _, _) results ->
+        (* Reverse order matches the sequential driver's fold, which
+           prepended each seed's result: statistics are computed over the
+           identical float list, so stddev rounding is unchanged. *)
+        let thrs =
+          List.rev_map
+            (fun (r : Runtime.result) -> r.Runtime.summary.Metrics.throughput)
+            results
+        in
+        let lats =
+          List.rev_map
+            (fun (r : Runtime.result) -> r.Runtime.summary.Metrics.latency_mean)
+            results
+        in
+        [
+          Config.protocol_name protocol;
+          string_of_int n;
+          ktx (Stats.mean_of thrs);
+          ktx (Stats.stddev_of thrs);
+          ms (Stats.mean_of lats);
+          ms (Stats.stddev_of lats);
+        ])
+      combos grouped
   in
   Table.print
     ~header:
@@ -305,7 +422,7 @@ let byzantine_experiment scale ~strategy ~timeout ~title =
   section title;
   let byz_counts = [ 0; 1; 2; 4; 8 ] in
   let n = 32 in
-  let rows =
+  let combos =
     List.concat_map
       (fun protocol ->
         List.map
@@ -323,20 +440,31 @@ let byzantine_experiment scale ~strategy ~timeout ~title =
                 }
             in
             let rate = 0.4 *. capacity config in
-            let workload = Workload.open_loop ~rate () in
-            let r = Runtime.run ~config ~workload () in
-            let s = r.Runtime.summary in
-            [
-              Config.protocol_name protocol;
-              string_of_int byz_no;
-              ktx s.Metrics.throughput;
-              ms s.Metrics.latency_mean;
-              Table.fmt_float ~decimals:3 s.Metrics.cgr;
-              Table.fmt_float ~decimals:2 s.Metrics.block_interval;
-              string_of_int s.Metrics.forked_blocks;
-            ])
+            (protocol, byz_no, config, rate))
           byz_counts)
       protocols
+  in
+  let results =
+    run_cells
+      (List.map
+         (fun (_, _, config, rate) ->
+           (config, Workload.open_loop ~rate (), None))
+         combos)
+  in
+  let rows =
+    List.map2
+      (fun (protocol, byz_no, _, _) (r : Runtime.result) ->
+        let s = r.Runtime.summary in
+        [
+          Config.protocol_name protocol;
+          string_of_int byz_no;
+          ktx s.Metrics.throughput;
+          ms s.Metrics.latency_mean;
+          Table.fmt_float ~decimals:3 s.Metrics.cgr;
+          Table.fmt_float ~decimals:2 s.Metrics.block_interval;
+          string_of_int s.Metrics.forked_blocks;
+        ])
+      combos results
   in
   Table.print
     ~header:[ "protocol"; "byz"; "thr(k)"; "lat(ms)"; "CGR"; "BI"; "forked" ]
@@ -370,41 +498,50 @@ let fig15 scale =
       ("t100", 0.100, Config.Wait_timeout);
     ]
   in
-  List.iter
-    (fun (label, timeout, propose_policy) ->
+  let setting_cells (_, timeout, propose_policy) =
+    List.map
+      (fun protocol ->
+        let config =
+          {
+            (base_config Quick) with
+            protocol;
+            n = 4;
+            timeout;
+            propose_policy;
+            runtime;
+            warmup = 1.0;
+            faults =
+              [
+                {
+                  Schedule.at = 5.0;
+                  until = Some 15.0;
+                  spec = Schedule.Fluctuation { lo = 0.010; hi = 0.100 };
+                };
+                {
+                  Schedule.at = 17.0;
+                  until = None;
+                  spec = Schedule.Crash { node = 3 };
+                };
+              ];
+          }
+        in
+        let rate = 0.7 *. capacity config in
+        (config, Workload.open_loop ~rate (), Some 1.0))
+      protocols
+  in
+  let grouped =
+    chunks
+      (List.map (fun _ -> List.length protocols) settings)
+      (run_cells (List.concat_map setting_cells settings))
+  in
+  List.iter2
+    (fun (label, _, _) results ->
       Printf.printf "\n-- setting %s --\n" label;
       let series_per_protocol =
-        List.map
-          (fun protocol ->
-            let config =
-              {
-                (base_config Quick) with
-                protocol;
-                n = 4;
-                timeout;
-                propose_policy;
-                runtime;
-                warmup = 1.0;
-                faults =
-                  [
-                    {
-                      Schedule.at = 5.0;
-                      until = Some 15.0;
-                      spec = Schedule.Fluctuation { lo = 0.010; hi = 0.100 };
-                    };
-                    {
-                      Schedule.at = 17.0;
-                      until = None;
-                      spec = Schedule.Crash { node = 3 };
-                    };
-                  ];
-              }
-            in
-            let rate = 0.7 *. capacity config in
-            let workload = Workload.open_loop ~rate () in
-            let r = Runtime.run ~config ~workload ~bucket:1.0 () in
+        List.map2
+          (fun protocol (r : Runtime.result) ->
             (Config.protocol_name protocol, r.Runtime.series))
-          protocols
+          protocols results
       in
       let buckets =
         match series_per_protocol with
@@ -428,7 +565,7 @@ let fig15 scale =
           ("t(s)"
           :: List.map (fun (name, _) -> name) series_per_protocol)
         ~rows)
-    settings
+    settings grouped
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (Section V-E design choices).                             *)
@@ -439,25 +576,30 @@ let ablation_broadcast scale =
      to one (HotStuff, n=4)";
   let config = base_config scale in
   let cap = capacity config in
-  let rows =
+  let combos =
     List.concat_map
-      (fun frac ->
-        List.map
-          (fun broadcast ->
-            let workload =
-              Workload.open_loop ~broadcast ~rate:(frac *. cap) ()
-            in
-            let r = Runtime.run ~config ~workload () in
-            let s = r.Runtime.summary in
-            [
-              Printf.sprintf "%.0f%% load" (100.0 *. frac);
-              (if broadcast then "broadcast" else "single");
-              ktx s.Metrics.throughput;
-              ms s.Metrics.latency_mean;
-              ms s.Metrics.latency_p95;
-            ])
-          [ false; true ])
+      (fun frac -> List.map (fun broadcast -> (frac, broadcast)) [ false; true ])
       [ 0.3; 0.8 ]
+  in
+  let results =
+    run_cells
+      (List.map
+         (fun (frac, broadcast) ->
+           (config, Workload.open_loop ~broadcast ~rate:(frac *. cap) (), None))
+         combos)
+  in
+  let rows =
+    List.map2
+      (fun (frac, broadcast) (r : Runtime.result) ->
+        let s = r.Runtime.summary in
+        [
+          Printf.sprintf "%.0f%% load" (100.0 *. frac);
+          (if broadcast then "broadcast" else "single");
+          ktx s.Metrics.throughput;
+          ms s.Metrics.latency_mean;
+          ms s.Metrics.latency_p95;
+        ])
+      combos results
   in
   Table.print ~header:[ "load"; "mode"; "thr(k)"; "lat(ms)"; "p95(ms)" ] ~rows;
   print_endline
@@ -471,19 +613,26 @@ let ablation_election scale =
      hash-based vs static leader";
   let config = base_config scale in
   let rate = 0.5 *. capacity config in
+  let schemes =
+    [
+      ("rotation", Config.Rotation);
+      ("hashed", Config.Hashed);
+      ("static(0)", Config.Static 0);
+    ]
+  in
+  let results =
+    run_cells
+      (List.map
+         (fun (_, election) ->
+           ({ config with Config.election }, Workload.open_loop ~rate (), None))
+         schemes)
+  in
   let rows =
-    List.map
-      (fun (name, election) ->
-        let config = { config with election } in
-        let workload = Workload.open_loop ~rate () in
-        let r = Runtime.run ~config ~workload () in
+    List.map2
+      (fun (name, _) (r : Runtime.result) ->
         let s = r.Runtime.summary in
         [ name; ktx s.Metrics.throughput; ms s.Metrics.latency_mean ])
-      [
-        ("rotation", Config.Rotation);
-        ("hashed", Config.Hashed);
-        ("static(0)", Config.Static 0);
-      ]
+      schemes results
   in
   Table.print ~header:[ "election"; "thr(k)"; "lat(ms)" ] ~rows;
   print_endline
@@ -499,19 +648,26 @@ let ablation_echo scale =
     { (base_config scale) with protocol = Config.Streamlet; n = 8 }
   in
   let rate = 0.5 *. capacity config in
+  let modes = [ true; false ] in
+  let results =
+    run_cells
+      (List.map
+         (fun echo ->
+           ( { config with Config.echo = Some echo },
+             Workload.open_loop ~rate (),
+             None ))
+         modes)
+  in
   let rows =
-    List.map
-      (fun echo ->
-        let config = { config with echo = Some echo } in
-        let workload = Workload.open_loop ~rate () in
-        let r = Runtime.run ~config ~workload () in
+    List.map2
+      (fun echo (r : Runtime.result) ->
         let s = r.Runtime.summary in
         [
           (if echo then "echo on" else "echo off");
           ktx s.Metrics.throughput;
           ms s.Metrics.latency_mean;
         ])
-      [ true; false ]
+      modes results
   in
   Table.print ~header:[ "mode"; "thr(k)"; "lat(ms)" ] ~rows
 
@@ -522,7 +678,7 @@ let ablation_fhs scale =
   let variants =
     [ Config.Hotstuff; Config.Twochain; Config.Fasthotstuff ]
   in
-  let rows =
+  let combos =
     List.concat_map
       (fun (label, byz_no, strategy, timeout) ->
         List.map
@@ -539,21 +695,32 @@ let ablation_fhs scale =
               }
             in
             let rate = 0.4 *. capacity config in
-            let workload = Workload.open_loop ~rate () in
-            let r = Runtime.run ~config ~workload () in
-            let s = r.Runtime.summary in
-            [
-              label;
-              Config.protocol_name protocol;
-              ktx s.Metrics.throughput;
-              ms s.Metrics.latency_mean;
-              Table.fmt_float ~decimals:2 s.Metrics.block_interval;
-            ])
+            (label, protocol, config, rate))
           variants)
       [
         ("happy", 0, Config.Honest, 0.1);
         ("silence-2", 2, Config.Silence, 0.05);
       ]
+  in
+  let results =
+    run_cells
+      (List.map
+         (fun (_, _, config, rate) ->
+           (config, Workload.open_loop ~rate (), None))
+         combos)
+  in
+  let rows =
+    List.map2
+      (fun (label, protocol, _, _) (r : Runtime.result) ->
+        let s = r.Runtime.summary in
+        [
+          label;
+          Config.protocol_name protocol;
+          ktx s.Metrics.throughput;
+          ms s.Metrics.latency_mean;
+          Table.fmt_float ~decimals:2 s.Metrics.block_interval;
+        ])
+      combos results
   in
   Table.print
     ~header:[ "scenario"; "protocol"; "thr(k)"; "lat(ms)"; "BI" ]
@@ -571,12 +738,17 @@ let ablation_backoff scale =
     }
   in
   let rate = 0.1 *. capacity config in
+  let backoffs = [ 1.0; 1.5; 2.0 ] in
+  let results =
+    run_cells
+      (List.map
+         (fun backoff ->
+           ({ config with Config.backoff }, Workload.open_loop ~rate (), None))
+         backoffs)
+  in
   let rows =
-    List.map
-      (fun backoff ->
-        let config = { config with backoff } in
-        let workload = Workload.open_loop ~rate () in
-        let r = Runtime.run ~config ~workload () in
+    List.map2
+      (fun backoff (r : Runtime.result) ->
         let s = r.Runtime.summary in
         [
           Printf.sprintf "backoff x%.1f" backoff;
@@ -585,7 +757,7 @@ let ablation_backoff scale =
           Table.fmt_float ~decimals:3 s.Metrics.cgr;
           string_of_int s.Metrics.views;
         ])
-      [ 1.0; 1.5; 2.0 ]
+      backoffs results
   in
   Table.print ~header:[ "pacemaker"; "thr(k)"; "lat(ms)"; "CGR"; "views" ] ~rows;
   print_endline
@@ -606,7 +778,7 @@ let chaos_leader_delay scale =
     "Chaos: extra delay on replica 0's outbound links only; rotating \
      leadership meets a slow leader every n-th view (timeout 100 ms)";
   let delays = [ 0.0; 0.020; 0.150 ] in
-  let rows =
+  let combos =
     List.concat_map
       (fun protocol ->
         List.map
@@ -631,27 +803,38 @@ let chaos_leader_delay scale =
             in
             let config = { (base_config scale) with protocol; faults } in
             let rate = 0.5 *. capacity config in
-            let workload = Workload.open_loop ~rate () in
-            let r = Runtime.run ~config ~workload () in
-            let s = r.Runtime.summary in
-            (* A saturated run commits only backlog issued during warmup, so
-               no latency sample exists: the latency is divergent, not zero. *)
-            let lat x =
-              if s.Metrics.latency_mean = 0.0 && s.Metrics.throughput > 0.0 then
-                "div."
-              else ms x
-            in
-            [
-              Config.protocol_name protocol;
-              Printf.sprintf "%.0f" (d *. 1000.0);
-              ktx s.Metrics.throughput;
-              lat s.Metrics.latency_mean;
-              lat s.Metrics.latency_p95;
-              Table.fmt_float ~decimals:3 s.Metrics.cgr;
-              string_of_int s.Metrics.views;
-            ])
+            (protocol, d, config, rate))
           delays)
       protocols
+  in
+  let results =
+    run_cells
+      (List.map
+         (fun (_, _, config, rate) ->
+           (config, Workload.open_loop ~rate (), None))
+         combos)
+  in
+  let rows =
+    List.map2
+      (fun (protocol, d, _, _) (r : Runtime.result) ->
+        let s = r.Runtime.summary in
+        (* A saturated run commits only backlog issued during warmup, so
+           no latency sample exists: the latency is divergent, not zero. *)
+        let lat x =
+          if s.Metrics.latency_mean = 0.0 && s.Metrics.throughput > 0.0 then
+            "div."
+          else ms x
+        in
+        [
+          Config.protocol_name protocol;
+          Printf.sprintf "%.0f" (d *. 1000.0);
+          ktx s.Metrics.throughput;
+          lat s.Metrics.latency_mean;
+          lat s.Metrics.latency_p95;
+          Table.fmt_float ~decimals:3 s.Metrics.cgr;
+          string_of_int s.Metrics.views;
+        ])
+      combos results
   in
   Table.print
     ~header:
@@ -673,28 +856,30 @@ let chaos_partition_heal scale =
   ignore scale;
   let t0 = 3.0 and t1 = 6.0 in
   let bucket = 0.25 in
+  let cell_of protocol =
+    let config =
+      {
+        (base_config Quick) with
+        protocol;
+        runtime = 10.0;
+        warmup = 0.5;
+        faults =
+          [
+            {
+              Schedule.at = t0;
+              until = Some t1;
+              spec = Schedule.Partition { a = [ 0; 1 ]; b = [ 2; 3 ] };
+            };
+          ];
+      }
+    in
+    let rate = 0.5 *. capacity config in
+    (config, Workload.open_loop ~rate (), Some bucket)
+  in
+  let results = run_cells (List.map cell_of protocols) in
   let rows =
-    List.map
-      (fun protocol ->
-        let config =
-          {
-            (base_config Quick) with
-            protocol;
-            runtime = 10.0;
-            warmup = 0.5;
-            faults =
-              [
-                {
-                  Schedule.at = t0;
-                  until = Some t1;
-                  spec = Schedule.Partition { a = [ 0; 1 ]; b = [ 2; 3 ] };
-                };
-              ];
-          }
-        in
-        let rate = 0.5 *. capacity config in
-        let workload = Workload.open_loop ~rate () in
-        let r = Runtime.run ~config ~workload ~bucket () in
+    List.map2
+      (fun protocol (r : Runtime.result) ->
         (* Messages already on the wire when the links go down can still
            complete a commit; they all land in the first bucket after the
            cut, so report that drain separately from the steady state. *)
@@ -735,7 +920,7 @@ let chaos_partition_heal scale =
           ttfc;
           ktx tail_mean;
         ])
-      protocols
+      protocols results
   in
   Table.print
     ~header:
@@ -773,7 +958,8 @@ let registry =
 
 let names = List.map fst registry
 
-let run_one ~scale name =
+let run_one ?jobs ~scale name =
+  (match jobs with Some j -> set_jobs j | None -> ());
   match List.assoc_opt name registry with
   | Some f ->
       f scale;
@@ -783,4 +969,6 @@ let run_one ~scale name =
         (Printf.sprintf "unknown experiment %S (known: %s)" name
            (String.concat ", " names))
 
-let run_all ~scale = List.iter (fun (_, f) -> f scale) registry
+let run_all ?jobs ~scale () =
+  (match jobs with Some j -> set_jobs j | None -> ());
+  List.iter (fun (_, f) -> f scale) registry

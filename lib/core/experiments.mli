@@ -5,7 +5,13 @@
     modules, EXPERIMENTS.md records paper-vs-measured shape agreement.
 
     [Quick] (the default) uses short virtual runs so the full suite
-    finishes in minutes; [Full] uses paper-scale view counts. *)
+    finishes in minutes; [Full] uses paper-scale view counts.
+
+    Every experiment is a grid of independent simulation cells whose
+    parameters never depend on another cell's result, so the driver runs
+    cells on a fixed-size pool of worker domains ({!Bamboo_util.Pool}) and
+    renders results in submission order: the printed tables are
+    byte-identical at any job count. *)
 
 type scale = Quick | Full
 
@@ -18,10 +24,22 @@ val names : string list
     ["chaos_partition_heal"] (quorum-blocking partition, then
     time-to-first-commit after the heal). *)
 
-val run_one : scale:scale -> string -> (unit, string) result
-(** Runs one experiment by name, printing its tables to stdout. *)
+val run_one : ?jobs:int -> scale:scale -> string -> (unit, string) result
+(** Runs one experiment by name, printing its tables to stdout. [jobs]
+    (if given) sets the worker-domain count first, as {!set_jobs}. *)
 
-val run_all : scale:scale -> unit
+val run_all : ?jobs:int -> scale:scale -> unit -> unit
+
+(** {2 Parallelism} *)
+
+val set_jobs : int -> unit
+(** Sets the number of worker domains used for subsequent experiment
+    cells. Affects wall-clock time only, never output. Raises
+    [Invalid_argument] if the count is [< 1]. *)
+
+val jobs : unit -> int
+(** Current worker-domain count (initially
+    [Domain.recommended_domain_count ()]). *)
 
 (** {2 Exposed pieces, for the CLI and tests} *)
 
@@ -29,7 +47,22 @@ val sweep :
   config:Config.t ->
   rates:float list ->
   (float * Metrics.summary) list
-(** One simulator run per arrival rate. *)
+(** One simulator run per arrival rate (cells run on the pool). *)
 
 val saturation_sweep_rates : config:Config.t -> scale:scale -> float list
 (** Rate grid up to (and slightly beyond) the model's saturation point. *)
+
+val table2_rows : ?base:Config.t -> scale -> string list list
+(** The formatted rows of Table II (arrival rate, throughput), without
+    printing — the determinism tests compare these across job counts.
+    [base] overrides the scale's base configuration (e.g. a shorter
+    runtime). *)
+
+val fig8_panel_rows :
+  ?base:Config.t ->
+  n:int ->
+  bsize:int ->
+  scale ->
+  (string * string list list) list
+(** One Fig. 8 panel's formatted rows, per protocol (protocol name, rows),
+    without printing. *)

@@ -35,6 +35,12 @@ type t = {
   election : Election.t;
   safety : Safety.t;
   certified : (Ids.hash, Qc.t) Hashtbl.t;
+  verified_qcs : (string, unit) Hashtbl.t;
+      (* successful [Qc.verify] results, keyed by {!Qc.cache_key} (full
+         content, not view): the same certificate arrives many times —
+         embedded in proposals, timeout messages and vote quorums — and
+         each verification is a whole HMAC batch. Failures are never
+         cached, and a tampered copy has a different key. *)
   pending_blocks : (Ids.hash, (Block.t * Tcert.t option) list) Hashtbl.t;
       (* children waiting for a missing parent, keyed by parent hash *)
   pending_qcs : (Ids.hash, Qc.t) Hashtbl.t; (* QCs for not-yet-seen blocks *)
@@ -106,6 +112,7 @@ let create ~config ~self ~registry ?(verify_sigs = true) ?(root = `Merkle) () =
     election = Election.create config.Config.election ~n:config.Config.n;
     safety;
     certified;
+    verified_qcs = Hashtbl.create 64;
     pending_blocks = Hashtbl.create 16;
     pending_qcs = Hashtbl.create 16;
     seen = Hashtbl.create 1024;
@@ -124,6 +131,23 @@ let first_seen t key =
     Hashtbl.add t.seen key ();
     true
   end
+
+(* Cached certificate verification. Byzantine-forged QCs still fail: only
+   successful verifications enter the cache, under a key covering the
+   certificate's full content, so a tampered QC (same block and view,
+   different signatures) always reaches [Qc.verify] and is rejected. *)
+let verify_qc t qc =
+  (not t.verify_sigs)
+  || Qc.is_genesis qc
+  ||
+  let key = Qc.cache_key qc in
+  Hashtbl.mem t.verified_qcs key
+  ||
+  if Qc.verify t.registry ~quorum:(Quorum.quorum_size t.quorum) qc then begin
+    Hashtbl.add t.verified_qcs key ();
+    true
+  end
+  else false
 
 let do_commit t out target ~trigger_view =
   match Forest.commit t.forest target with
@@ -214,8 +238,7 @@ and try_advance t out ~to_view ~reason =
 
 and register_qc t out (qc : Qc.t) =
   if not (Hashtbl.mem t.certified qc.block) then begin
-    if t.verify_sigs && not (Qc.verify t.registry ~quorum:(Quorum.quorum_size t.quorum) qc)
-    then ()
+    if not (verify_qc t qc) then ()
     else if Forest.mem t.forest qc.block then begin
       Hashtbl.add t.certified qc.block qc;
       (match t.safety.Safety.on_qc qc with

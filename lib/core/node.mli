@@ -72,6 +72,15 @@ val seen_before : t -> Bamboo_types.Message.t -> bool
     copies). Read-only; used by runtimes to charge a hash-lookup cost
     instead of full verification for duplicates. *)
 
+val verify_qc : t -> Qc.t -> bool
+(** The node's cached certificate check: true if the QC is
+    cryptographically valid (or [verify_sigs] is off / the QC is
+    genesis). Successful verifications are memoized under the QC's full
+    content key ({!Bamboo_types.Qc.cache_key}), so re-presenting a
+    verified certificate skips the HMAC batch while any tampered variant
+    — same view, different content — is still verified and rejected.
+    Exposed for the cache's unit tests. *)
+
 (** {2 Introspection} *)
 
 val self : t -> Ids.replica

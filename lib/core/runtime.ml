@@ -132,9 +132,12 @@ let trace_sent st ~src msg =
   | Message.Request_block _ ->
       () (* original proposals are traced via the Proposed output *)
 
-let rec transmit st ~src ~dst msg =
+(* [bytes] is the precomputed wire size of [msg]: a broadcast serializes
+   the same message to every peer, so the caller sizes it once and shares
+   the result across all n-1 transmissions instead of re-walking the
+   transaction list per recipient. *)
+let rec transmit st ~src ~dst ~bytes msg =
   if not (crashed st src) then begin
-    let bytes = Message.wire_size msg in
     Machine.nic_out st.machines.(src) ~bytes (fun () ->
         let now = Sim.now st.sim in
         (* Partitioned links eat the message after the sender has paid its
@@ -224,12 +227,14 @@ and process_outputs st id outs =
       match out with
       | Node.Send { dst; msg } ->
           creation := !creation +. output_cost st.config ~self:id msg;
-          sends := (dst, msg) :: !sends;
+          sends := (dst, msg, Message.wire_size msg) :: !sends;
           if tracing then trace_sent st ~src:id msg
       | Node.Broadcast msg ->
           creation := !creation +. output_cost st.config ~self:id msg;
+          (* Encode/size once, share across all n-1 recipients. *)
+          let bytes = Message.wire_size msg in
           for dst = 0 to st.config.n - 1 do
-            if dst <> id then sends := (dst, msg) :: !sends
+            if dst <> id then sends := (dst, msg, bytes) :: !sends
           done;
           if tracing then trace_sent st ~src:id msg
       | Node.Set_timer { timer; after } ->
@@ -357,7 +362,7 @@ and process_outputs st id outs =
           Float.max (Sim.now st.sim)
             (Machine.nic_out_busy_until st.machines.(id))
         in
-        List.iter (fun (dst, msg) -> transmit st ~src:id ~dst msg) sends;
+        List.iter (fun (dst, msg, bytes) -> transmit st ~src:id ~dst ~bytes msg) sends;
         (if !proposed <> [] then
            let ser =
              Float.max 0.0

@@ -1,54 +1,152 @@
-module Heap = Bamboo_util.Heap
-
-type event = { at : float; fn : unit -> unit }
-
-type t = { mutable clock : float; events : event Heap.t; mutable fired : int }
-
-let create () =
-  {
-    clock = 0.0;
-    events = Heap.create ~cmp:(fun a b -> compare a.at b.at) ();
-    fired = 0;
+(* The event queue is the hottest structure in the simulator: every
+   message hop, CPU charge and timer is a push/pop pair. Instead of the
+   generic polymorphic [Bamboo_util.Heap] (closure-based comparator,
+   polymorphic [compare] on boxed floats, one heap-allocated entry per
+   event), the queue is a monomorphic binary min-heap in
+   structure-of-arrays layout: timestamps live in a flat unboxed [float
+   array], insertion sequence numbers (the FIFO tie-break that keeps
+   replay deterministic) in an [int array], and callbacks in a separate
+   array whose vacated slots are reset to a shared no-op so fired
+   closures are collectable immediately. Comparisons are primitive float
+   and int operations — no [cmp] closure, no polymorphic dispatch. *)
+module Eq = struct
+  type t = {
+    mutable at : float array; (* flat, unboxed *)
+    mutable seq : int array;
+    mutable fn : (unit -> unit) array;
+    mutable len : int;
+    mutable next_seq : int;
   }
+
+  let nop () = ()
+
+  let initial = 256
+
+  let create () =
+    {
+      at = Array.make initial 0.0;
+      seq = Array.make initial 0;
+      fn = Array.make initial nop;
+      len = 0;
+      next_seq = 0;
+    }
+
+  let length q = q.len
+
+  (* Strict (key, seq) lexicographic order. Keys are never NaN: the
+     scheduler clamps them against the monotone clock. *)
+  let less q i j =
+    let ai = Array.unsafe_get q.at i and aj = Array.unsafe_get q.at j in
+    ai < aj
+    || (ai = aj && Array.unsafe_get q.seq i < Array.unsafe_get q.seq j)
+
+  let swap q i j =
+    let a = q.at.(i) in
+    q.at.(i) <- q.at.(j);
+    q.at.(j) <- a;
+    let s = q.seq.(i) in
+    q.seq.(i) <- q.seq.(j);
+    q.seq.(j) <- s;
+    let f = q.fn.(i) in
+    q.fn.(i) <- q.fn.(j);
+    q.fn.(j) <- f
+
+  let rec sift_up q i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less q i parent then begin
+        swap q i parent;
+        sift_up q parent
+      end
+    end
+
+  let rec sift_down q i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < q.len && less q l !smallest then smallest := l;
+    if r < q.len && less q r !smallest then smallest := r;
+    if !smallest <> i then begin
+      swap q i !smallest;
+      sift_down q !smallest
+    end
+
+  let grow q =
+    let cap = Array.length q.at in
+    let at = Array.make (2 * cap) 0.0 in
+    Array.blit q.at 0 at 0 cap;
+    q.at <- at;
+    let seq = Array.make (2 * cap) 0 in
+    Array.blit q.seq 0 seq 0 cap;
+    q.seq <- seq;
+    let fn = Array.make (2 * cap) nop in
+    Array.blit q.fn 0 fn 0 cap;
+    q.fn <- fn
+
+  let push q ~at fn =
+    if q.len = Array.length q.at then grow q;
+    let i = q.len in
+    q.at.(i) <- at;
+    q.seq.(i) <- q.next_seq;
+    q.fn.(i) <- fn;
+    q.next_seq <- q.next_seq + 1;
+    q.len <- q.len + 1;
+    sift_up q i
+
+  (* Only meaningful when [length q > 0]. *)
+  let min_at q = q.at.(0)
+
+  (* Removes the root and returns its callback; callers must have checked
+     [length q > 0]. *)
+  let take q =
+    let fn = q.fn.(0) in
+    let last = q.len - 1 in
+    q.len <- last;
+    q.at.(0) <- q.at.(last);
+    q.seq.(0) <- q.seq.(last);
+    q.fn.(0) <- q.fn.(last);
+    q.fn.(last) <- nop;
+    if last > 0 then sift_down q 0;
+    fn
+end
+
+type t = { mutable clock : float; events : Eq.t; mutable fired : int }
+
+let create () = { clock = 0.0; events = Eq.create (); fired = 0 }
 
 let now t = t.clock
 
 let schedule_at t ~at fn =
   let at = Float.max at t.clock in
-  Heap.push t.events { at; fn }
+  Eq.push t.events ~at fn
 
 let schedule t ~delay fn = schedule_at t ~at:(t.clock +. Float.max 0.0 delay) fn
 
 let run_until t horizon =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.events with
-    | Some ev when ev.at <= horizon ->
-        (match Heap.pop t.events with
-        | Some ev ->
-            t.clock <- Float.max t.clock ev.at;
-            t.fired <- t.fired + 1;
-            ev.fn ()
-        | None -> assert false)
-    | Some _ | None -> continue := false
+    if Eq.length t.events > 0 && Eq.min_at t.events <= horizon then begin
+      let at = Eq.min_at t.events in
+      let fn = Eq.take t.events in
+      t.clock <- Float.max t.clock at;
+      t.fired <- t.fired + 1;
+      fn ()
+    end
+    else continue := false
   done;
   t.clock <- Float.max t.clock horizon
 
 let run_to_completion ?(max_events = 100_000_000) t =
   let count = ref 0 in
-  let rec loop () =
-    match Heap.pop t.events with
-    | None -> ()
-    | Some ev ->
-        incr count;
-        if !count > max_events then
-          failwith "Sim.run_to_completion: event budget exhausted";
-        t.clock <- Float.max t.clock ev.at;
-        t.fired <- t.fired + 1;
-        ev.fn ();
-        loop ()
-  in
-  loop ()
+  while Eq.length t.events > 0 do
+    incr count;
+    if !count > max_events then
+      failwith "Sim.run_to_completion: event budget exhausted";
+    let at = Eq.min_at t.events in
+    let fn = Eq.take t.events in
+    t.clock <- Float.max t.clock at;
+    t.fired <- t.fired + 1;
+    fn ()
+  done
 
-let pending t = Heap.length t.events
+let pending t = Eq.length t.events
 let fired t = t.fired

@@ -2,7 +2,13 @@
 
     A virtual clock plus an event heap of timestamped callbacks. Events
     scheduled for the same instant fire in scheduling order, which makes
-    runs bit-reproducible for a fixed seed. Time is in seconds. *)
+    runs bit-reproducible for a fixed seed. Time is in seconds.
+
+    The event queue is a monomorphic float-keyed binary heap in
+    structure-of-arrays layout (unboxed timestamps, primitive
+    comparisons, FIFO sequence tie-break), specialized away from the
+    generic [Bamboo_util.Heap] because every simulated message hop, CPU
+    charge and timer passes through it. *)
 
 type t
 

@@ -18,6 +18,27 @@ let wire_size qc =
 
 let signed_payload ~block ~view = Printf.sprintf "vote|%d|%s" view block
 
+(* A key that pins down the certificate's entire content — block, view,
+   height and every (signer, tag) pair — so a verification cache keyed on
+   it can never confuse a tampered certificate with a previously verified
+   one. Plain string equality, no lossy hashing: no collision can launder
+   a forged QC through the cache. *)
+let cache_key qc =
+  let b = Buffer.create (64 + (List.length qc.sigs * 80)) in
+  Buffer.add_string b qc.block;
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int qc.view);
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int qc.height);
+  List.iter
+    (fun (s : Bamboo_crypto.Sig.t) ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (string_of_int s.signer);
+      Buffer.add_char b ':';
+      Buffer.add_string b s.tag)
+    qc.sigs;
+  Buffer.contents b
+
 let verify reg ~quorum qc =
   if is_genesis qc then true
   else begin

@@ -30,6 +30,13 @@ val signed_payload : block:Ids.hash -> view:Ids.view -> string
 (** The byte string replicas sign when voting for a block; shared between
     vote creation and QC verification. *)
 
+val cache_key : t -> string
+(** A key capturing the certificate's entire content (block, view, height
+    and every signer/tag pair), for verification caches. Two QCs share a
+    key iff they are byte-identical, so a cache keyed on it cannot accept
+    a tampered certificate on the strength of a previously verified
+    one. *)
+
 val verify : Bamboo_crypto.Sig.registry -> quorum:int -> t -> bool
 (** [verify reg ~quorum qc] checks that [qc] carries at least [quorum]
     valid signatures from distinct replicas over {!signed_payload}.

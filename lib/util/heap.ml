@@ -1,27 +1,32 @@
 (* Entries carry an insertion sequence number so that equal keys pop in FIFO
-   order: the simulator depends on this for deterministic replay. *)
+   order: the simulator depends on this for deterministic replay.
+
+   Entries are stored directly (no per-slot [option] box): slots at indices
+   [>= len] are blanked with a retained filler entry so that popped values
+   become collectable immediately. The filler is the first entry ever
+   pushed; it is the only value the heap may keep alive beyond its logical
+   contents. *)
 type 'a entry = { value : 'a; seq : int }
 
 type 'a t = {
-  mutable buf : 'a entry option array;
+  mutable buf : 'a entry array; (* [||] until the first push *)
+  mutable filler : 'a entry option; (* blank for vacated slots *)
   mutable len : int;
   mutable next_seq : int;
+  capacity : int; (* initial physical size, applied at first push *)
   cmp : 'a -> 'a -> int;
 }
 
 let create ?(capacity = 64) ~cmp () =
   if capacity <= 0 then invalid_arg "Heap.create: capacity must be positive";
-  { buf = Array.make capacity None; len = 0; next_seq = 0; cmp }
+  { buf = [||]; filler = None; len = 0; next_seq = 0; capacity; cmp }
 
 let length h = h.len
 let is_empty h = h.len = 0
 
 let entry_cmp h a b =
   let c = h.cmp a.value b.value in
-  if c <> 0 then c else compare a.seq b.seq
-
-let get h i =
-  match h.buf.(i) with Some e -> e | None -> assert false
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let swap h i j =
   let tmp = h.buf.(i) in
@@ -31,7 +36,7 @@ let swap h i j =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_cmp h (get h i) (get h parent) < 0 then begin
+    if entry_cmp h h.buf.(i) h.buf.(parent) < 0 then begin
       swap h i parent;
       sift_up h parent
     end
@@ -40,37 +45,47 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && entry_cmp h (get h l) (get h !smallest) < 0 then smallest := l;
-  if r < h.len && entry_cmp h (get h r) (get h !smallest) < 0 then smallest := r;
+  if l < h.len && entry_cmp h h.buf.(l) h.buf.(!smallest) < 0 then smallest := l;
+  if r < h.len && entry_cmp h h.buf.(r) h.buf.(!smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
   end
 
+let blank h =
+  match h.filler with Some e -> e | None -> assert false (* len was > 0 *)
+
 let push h x =
-  if h.len = Array.length h.buf then begin
-    let buf = Array.make (2 * h.len) None in
-    Array.blit h.buf 0 buf 0 h.len;
-    h.buf <- buf
-  end;
-  h.buf.(h.len) <- Some { value = x; seq = h.next_seq };
+  let e = { value = x; seq = h.next_seq } in
   h.next_seq <- h.next_seq + 1;
+  (if Array.length h.buf = 0 then begin
+     h.buf <- Array.make h.capacity e;
+     h.filler <- Some e
+   end
+   else if h.len = Array.length h.buf then begin
+     let buf = Array.make (2 * h.len) (blank h) in
+     Array.blit h.buf 0 buf 0 h.len;
+     h.buf <- buf
+   end);
+  h.buf.(h.len) <- e;
   h.len <- h.len + 1;
   sift_up h (h.len - 1)
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = get h 0 in
+    let top = h.buf.(0) in
     h.len <- h.len - 1;
     h.buf.(0) <- h.buf.(h.len);
-    h.buf.(h.len) <- None;
+    h.buf.(h.len) <- blank h;
     if h.len > 0 then sift_down h 0;
     Some top.value
   end
 
-let peek h = if h.len = 0 then None else Some (get h 0).value
+let peek h = if h.len = 0 then None else Some h.buf.(0).value
 
 let clear h =
-  Array.fill h.buf 0 (Array.length h.buf) None;
+  (match h.filler with
+  | Some e -> Array.fill h.buf 0 (Array.length h.buf) e
+  | None -> ());
   h.len <- 0

@@ -1,8 +1,15 @@
 (** Mutable binary min-heap, ordered by a user-supplied comparison.
 
-    Backs the discrete-event simulator's event queue. Ties are broken by
-    insertion order (FIFO among equal keys), which the simulator relies on
-    for deterministic replay. *)
+    Ties are broken by insertion order (FIFO among equal keys), which
+    deterministic-replay users rely on. Entries are stored directly in a
+    flat array (no per-slot [option] box); vacated slots are blanked so
+    popped values are collectable immediately. The only value the heap may
+    retain beyond its logical contents is the first entry ever pushed,
+    which serves as the blanking filler.
+
+    The simulator's own event queue is a monomorphic float-keyed
+    specialization living in [Bamboo_sim.Sim]; this polymorphic heap
+    remains for general use. *)
 
 type 'a t
 

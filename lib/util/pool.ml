@@ -1,0 +1,42 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Work-stealing by atomic index: workers repeatedly claim the next
+   unclaimed input slot, so long tasks do not hold up short ones and the
+   result array is filled in input order regardless of completion order. *)
+let map_parallel ~jobs f inputs =
+  let n = Array.length inputs in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let failed = Atomic.make None in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n && Atomic.get failed = None then begin
+      (match f inputs.(i) with
+      | r -> results.(i) <- Some r
+      | exception e ->
+          (* Keep the first failure; once set, workers drain out. *)
+          ignore (Atomic.compare_and_set failed None (Some e) : bool));
+      worker ()
+    end
+  in
+  let spawned =
+    (* The calling domain is worker number [jobs], so spawn one fewer. *)
+    List.init
+      (min jobs n - 1)
+      (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join spawned;
+  (match Atomic.get failed with Some e -> raise e | None -> ());
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> assert false (* no failure: all set *))
+       results)
+
+let map ~jobs f xs =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when jobs = 1 -> List.map f xs
+  | xs -> map_parallel ~jobs f (Array.of_list xs)

@@ -120,9 +120,25 @@ let test_json_ms_units () =
       Alcotest.(check (float 1e-9)) "delay s" 0.005 c.extra_delay_mu
   | Error e -> Alcotest.fail e
 
+let test_jobs_field () =
+  (match Config.validate { Config.default with jobs = 0 } with
+  | Error e ->
+      Alcotest.(check bool) "mentions jobs" true
+        (String.length e >= 4 && String.sub e 0 4 = "jobs")
+  | Ok _ -> Alcotest.fail "jobs = 0 accepted");
+  Alcotest.(check bool) "default >= 1" true (Config.default.jobs >= 1);
+  let c = { Config.default with jobs = 3 } in
+  (match Config.of_json (Config.to_json c) with
+  | Ok c' -> Alcotest.(check int) "round trip" 3 c'.Config.jobs
+  | Error e -> Alcotest.fail e);
+  match Config.of_json (Json.of_string {|{"jobs": 0}|}) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "jobs = 0 from JSON accepted"
+
 let suite =
   [
     Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "jobs field" `Quick test_jobs_field;
     Alcotest.test_case "quorum size" `Quick test_quorum_size;
     Alcotest.test_case "protocol names" `Quick test_protocol_names;
     Alcotest.test_case "validation errors" `Quick test_validation_errors;

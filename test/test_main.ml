@@ -3,6 +3,7 @@ let () =
     [
       ("util.deque", Test_deque.suite);
       ("util.heap", Test_heap.suite);
+      ("util.pool", Test_pool.suite);
       ("util.rng", Test_rng.suite);
       ("util.dist", Test_dist.suite);
       ("util.stats", Test_stats.suite);
@@ -26,6 +27,7 @@ let () =
       ("model", Test_model.suite);
       ("node", Test_node.suite);
       ("runtime", Test_runtime.suite);
+      ("experiments.parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
       ("obs.trace", Test_trace.suite);
       ("kvstore", Test_kvstore.suite);

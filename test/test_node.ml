@@ -407,6 +407,35 @@ let test_invalid_create () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "invalid config accepted"
 
+(* The QC-verification cache must key on the certificate's full content:
+   a verified QC is a cache hit, while any tampered variant — same view,
+   different block or borrowed signatures — misses the cache and is
+   verified (and rejected) from scratch. *)
+let test_qc_cache_rejects_tampered () =
+  let registry = Helpers.registry () in
+  let node = Node.create ~config:Config.default ~self:0 ~registry () in
+  let b = Helpers.child ~reg:registry ~view:1 Block.genesis in
+  let qc = Helpers.qc_for registry b in
+  Alcotest.(check bool) "valid QC verifies" true (Node.verify_qc node qc);
+  Alcotest.(check bool) "cached QC verifies" true (Node.verify_qc node qc);
+  let other = Helpers.child ~reg:registry ~proposer:1 ~view:1 Block.genesis in
+  let forged = { qc with Bamboo_types.Qc.block = other.Block.hash } in
+  Alcotest.(check bool) "same view, swapped block rejected" false
+    (Node.verify_qc node forged);
+  let borrowed =
+    { (Helpers.qc_for registry other) with Bamboo_types.Qc.sigs = qc.sigs }
+  in
+  Alcotest.(check bool) "borrowed signatures rejected" false
+    (Node.verify_qc node borrowed);
+  Alcotest.(check bool) "original still verifies" true (Node.verify_qc node qc);
+  Alcotest.(check bool) "genesis always verifies" true
+    (Node.verify_qc node (Qc.genesis ~block:Block.genesis_hash));
+  let unchecked =
+    Node.create ~config:Config.default ~self:1 ~registry ~verify_sigs:false ()
+  in
+  Alcotest.(check bool) "verification disabled accepts" true
+    (Node.verify_qc unchecked forged)
+
 let suite =
   [
     Alcotest.test_case "start: leader proposes" `Quick test_start_leader_proposes;
@@ -433,4 +462,6 @@ let suite =
     Alcotest.test_case "blind QC defers proposal" `Quick
       test_blind_qc_defers_proposal;
     Alcotest.test_case "invalid create" `Quick test_invalid_create;
+    Alcotest.test_case "QC cache rejects tampered certificates" `Quick
+      test_qc_cache_rejects_tampered;
   ]

@@ -271,9 +271,32 @@ let test_netmodel_effects_preserve_base_stream () =
   Alcotest.(check (float 0.0)) "clean link after faulted draw identical" c1' c2';
   Alcotest.(check bool) "faulted link delayed" true (f2 > f1)
 
+(* The monomorphic event queue against a sorted-list oracle: random delays
+   drawn from a coarse grid (so equal timestamps are common) must fire in
+   (time, insertion order), i.e. a stable sort by time. *)
+let firing_order_prop =
+  let open QCheck in
+  Test.make ~name:"events fire in stable (time, insertion) order" ~count:300
+    (list_of_size (Gen.int_range 0 120) (int_range 0 15))
+    (fun grid ->
+      let delays = List.map (fun g -> float_of_int g /. 4.0) grid in
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i d -> Sim.schedule sim ~delay:d (fun () -> fired := i :: !fired))
+        delays;
+      Sim.run_to_completion sim;
+      let oracle =
+        List.mapi (fun i d -> (i, d)) delays
+        |> List.stable_sort (fun (_, a) (_, b) -> Float.compare a b)
+        |> List.map fst
+      in
+      List.rev !fired = oracle)
+
 let suite =
   [
     Alcotest.test_case "event ordering" `Quick test_event_ordering;
+    QCheck_alcotest.to_alcotest firing_order_prop;
     Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
     Alcotest.test_case "clock advances" `Quick test_clock_advances;
     Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
