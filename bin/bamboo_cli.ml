@@ -5,8 +5,15 @@
      model       - print the analytic model's building blocks and curve
      experiment  - regenerate one paper table/figure (or "all")
      config      - print the default configuration as JSON
+     check       - invariant fuzzer: "check fuzz" and "check replay"
    A JSON configuration file (--config) seeds any subcommand's settings;
-   individual flags override it. *)
+   individual flags override it.
+
+   Exit codes are uniform across subcommands: 0 = success and all
+   invariants held; 1 = an invariant was violated (safety violation or
+   inconsistent prefixes in "run", a failing scenario in "check",
+   diverged rows in the bench harness); 2 = usage or configuration
+   error. *)
 
 open Cmdliner
 
@@ -40,14 +47,27 @@ let config_file =
     & opt (some file) None
     & info [ "config" ] ~docv:"FILE" ~doc:"JSON configuration file (Table I parameters).")
 
-let load_config = function
-  | None -> Bamboo.Config.default
-  | Some path -> (
-      let ic = open_in path in
+let read_file path =
+  match open_in path with
+  | exception Sys_error e ->
+      Printf.eprintf "bamboo: %s\n" e;
+      exit 2
+  | ic ->
       let len = in_channel_length ic in
       let raw = really_input_string ic len in
       close_in ic;
-      match Bamboo.Config.of_json (Bamboo_util.Json.of_string raw) with
+      raw
+
+let parse_json ~path raw =
+  try Bamboo_util.Json.of_string raw
+  with Bamboo_util.Json.Parse_error e ->
+    Printf.eprintf "error in %s: invalid JSON: %s\n" path e;
+    exit 2
+
+let load_config = function
+  | None -> Bamboo.Config.default
+  | Some path -> (
+      match Bamboo.Config.of_json (parse_json ~path (read_file path)) with
       | Ok c -> c
       | Error e ->
           Printf.eprintf "error in %s: %s\n" path e;
@@ -125,11 +145,7 @@ let faults_t =
            from --config. See README \"Fault injection\".")
 
 let load_faults path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let raw = really_input_string ic len in
-  close_in ic;
-  match Bamboo_faults.Schedule.of_json (Bamboo_util.Json.of_string raw) with
+  match Bamboo_faults.Schedule.of_json (parse_json ~path (read_file path)) with
   | Ok s -> s
   | Error e ->
       Printf.eprintf "error in %s: %s\n" path e;
@@ -260,7 +276,8 @@ let run_cmd =
         if series then
           List.iter
             (fun (t, thr) -> Format.printf "  t=%5.1fs  %8.0f tx/s@." t thr)
-            r.series
+            r.series;
+        if r.any_violation || not r.consistent then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one configuration and print metrics.")
     Term.(const run $ common_t $ rate_t $ clients_t $ series_t)
@@ -346,7 +363,212 @@ let config_cmd =
     (Cmd.info "config" ~doc:"Print the effective configuration as JSON.")
     Term.(const run $ common_t)
 
+(* --- check --- *)
+
+let protocols_t =
+  let all =
+    [
+      Bamboo.Config.Hotstuff;
+      Bamboo.Config.Twochain;
+      Bamboo.Config.Streamlet;
+      Bamboo.Config.Fasthotstuff;
+    ]
+  in
+  Arg.(
+    value
+    & opt (list protocol_conv) all
+    & info [ "protocols" ] ~docv:"NAMES"
+        ~doc:"Comma-separated protocols to sample scenarios from.")
+
+let recover_views_t =
+  Arg.(
+    value
+    & opt int Bamboo_check.Monitor.default_opts.Bamboo_check.Monitor.recover_views
+    & info [ "recover-views" ] ~docv:"VIEWS"
+        ~doc:
+          "Bounded-liveness budget: after the last fault heals, a commit \
+           must land within $(docv) view timeouts.")
+
+let break_voting_t =
+  Arg.(
+    value & flag
+    & info [ "plant-broken-voting" ]
+        ~doc:
+          "Self-test of the oracle: plant a deliberately unsafe voting \
+           rule (ignores the lock) in every replica so the agreement \
+           monitor has a real violation to catch. Never use for \
+           protocol measurements.")
+
+let check_wrap break_voting =
+  if break_voting then Some Bamboo_check.Fuzz.broken_voting_rule else None
+
+let check_opts recover_views =
+  if recover_views < 1 then begin
+    Printf.eprintf "bamboo: --recover-views must be >= 1 (got %d)\n"
+      recover_views;
+    exit 2
+  end;
+  { Bamboo_check.Monitor.recover_views }
+
+let print_report label (r : Bamboo_check.Monitor.report) =
+  List.iter
+    (fun ((inv : Bamboo_check.Monitor.invariant), reason) ->
+      Printf.printf "  skip %s: %s\n"
+        (Bamboo_check.Monitor.invariant_name inv)
+        reason)
+    r.Bamboo_check.Monitor.skipped;
+  List.iter
+    (fun (v : Bamboo_check.Monitor.violation) ->
+      Printf.printf "  FAIL %s: %s\n"
+        (Bamboo_check.Monitor.invariant_name v.Bamboo_check.Monitor.invariant)
+        v.Bamboo_check.Monitor.detail)
+    r.Bamboo_check.Monitor.violations;
+  if Bamboo_check.Monitor.pass r then Printf.printf "  pass %s\n" label
+
+let fuzz_cmd =
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Root seed.")
+  in
+  let budget_t =
+    Arg.(
+      value & opt int 50
+      & info [ "budget" ] ~docv:"N" ~doc:"Number of scenarios to run.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt string "bamboo-reproducer.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the shrunk reproducer on failure.")
+  in
+  let run seed budget jobs protocols recover_views break_voting out =
+    if budget < 0 then begin
+      Printf.eprintf "bamboo: --budget must be >= 0 (got %d)\n" budget;
+      exit 2
+    end;
+    let jobs = match jobs with Some j -> j | None -> 1 in
+    if jobs < 1 then begin
+      Printf.eprintf "bamboo: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 2
+    end;
+    if protocols = [] then begin
+      Printf.eprintf "bamboo: --protocols must name at least one protocol\n";
+      exit 2
+    end;
+    let opts = check_opts recover_views in
+    let wrap = check_wrap break_voting in
+    let verdicts =
+      Bamboo_check.Fuzz.fuzz ?wrap ~opts ~root_seed:seed ~budget ~jobs
+        ~protocols ()
+    in
+    let failures = List.filter Bamboo_check.Fuzz.failed verdicts in
+    List.iter
+      (fun (v : Bamboo_check.Fuzz.verdict) ->
+        let s = v.Bamboo_check.Fuzz.scenario in
+        Printf.printf "%s\n" (Bamboo_check.Scenario.describe s);
+        print_report s.Bamboo_check.Scenario.label v.Bamboo_check.Fuzz.report)
+      verdicts;
+    Printf.printf "fuzz: seed=%d budget=%d -> %d passed, %d failed\n" seed
+      budget
+      (List.length verdicts - List.length failures)
+      (List.length failures);
+    match failures with
+    | [] -> ()
+    | first :: _ ->
+        let m = Bamboo_check.Fuzz.shrink ?wrap ~opts first in
+        let s = m.Bamboo_check.Fuzz.scenario in
+        Printf.printf
+          "shrunk %s to %d fault event(s), n=%d, runtime=%.2fs (%d runs): %s\n"
+          s.Bamboo_check.Scenario.label
+          (List.length
+             s.Bamboo_check.Scenario.config.Bamboo.Config.faults)
+          s.Bamboo_check.Scenario.config.Bamboo.Config.n
+          s.Bamboo_check.Scenario.config.Bamboo.Config.runtime
+          m.Bamboo_check.Fuzz.runs m.Bamboo_check.Fuzz.detail;
+        let oc =
+          try open_out out
+          with Sys_error e ->
+            Printf.eprintf "bamboo: cannot write reproducer: %s\n" e;
+            exit 2
+        in
+        output_string oc
+          (Bamboo_util.Json.to_string ~indent:true
+             (Bamboo_check.Fuzz.artifact_to_json m));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "reproducer written to %s\n" out;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Sample chaos scenarios deterministically from a root seed, run \
+          them against the invariant oracle, shrink any failure to a \
+          minimal reproducer. Output is byte-identical for the same seed, \
+          budget and protocols at any --jobs value.")
+    Term.(
+      const run $ seed_t $ budget_t $ jobs_t $ protocols_t $ recover_views_t
+      $ break_voting_t $ out_t)
+
+let replay_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Reproducer JSON written by check fuzz.")
+  in
+  let run file recover_views break_voting =
+    let opts = check_opts recover_views in
+    let wrap = check_wrap break_voting in
+    let scenario, invariant =
+      match
+        Bamboo_check.Fuzz.artifact_of_json (parse_json ~path:file (read_file file))
+      with
+      | Ok v -> v
+      | Error e ->
+          Printf.eprintf "error in %s: %s\n" file e;
+          exit 2
+    in
+    Printf.printf "%s\n" (Bamboo_check.Scenario.describe scenario);
+    let v = Bamboo_check.Fuzz.run_scenario ?wrap ~opts scenario in
+    print_report scenario.Bamboo_check.Scenario.label v.Bamboo_check.Fuzz.report;
+    let reproduced =
+      List.exists
+        (fun (viol : Bamboo_check.Monitor.violation) ->
+          viol.Bamboo_check.Monitor.invariant = invariant)
+        v.Bamboo_check.Fuzz.report.Bamboo_check.Monitor.violations
+    in
+    if reproduced then begin
+      Printf.printf "reproduced: %s violation confirmed\n"
+        (Bamboo_check.Monitor.invariant_name invariant);
+      exit 1
+    end
+    else begin
+      Printf.printf "did not reproduce the recorded %s violation\n"
+        (Bamboo_check.Monitor.invariant_name invariant);
+      if not (Bamboo_check.Monitor.pass v.Bamboo_check.Fuzz.report) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run a shrunk reproducer and report whether the recorded \
+          invariant violation occurs again (exit 1 if it does).")
+    Term.(const run $ file_t $ recover_views_t $ break_voting_t)
+
+let check_cmd =
+  let info =
+    Cmd.info "check"
+      ~doc:
+        "Invariant oracle and deterministic chaos fuzzer (agreement, \
+         certification uniqueness, vote safety, bounded liveness)."
+  in
+  Cmd.group info [ fuzz_cmd; replay_cmd ]
+
 let () =
   let doc = "Bamboo: prototyping and evaluation of chained-BFT protocols" in
   let info = Cmd.info "bamboo" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; model_cmd; experiment_cmd; config_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; model_cmd; experiment_cmd; config_cmd; check_cmd ]))

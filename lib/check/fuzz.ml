@@ -1,0 +1,222 @@
+module Config = Bamboo.Config
+module Runtime = Bamboo.Runtime
+module Workload = Bamboo.Workload
+module Schedule = Bamboo_faults.Schedule
+module Trace = Bamboo_obs.Trace
+module Pool = Bamboo_util.Pool
+module Json = Bamboo_util.Json
+
+type verdict = { scenario : Scenario.t; report : Monitor.report }
+
+let failed v = not (Monitor.pass v.report)
+
+(* Generous enough that a fuzz-sized run never wraps: protocol events for
+   a few virtual seconds at n <= 7 are well under a million. *)
+let trace_capacity = 1 lsl 20
+
+let run_scenario ?wrap ?opts (s : Scenario.t) =
+  let trace = Trace.ring ~capacity:trace_capacity in
+  let result =
+    Runtime.run ~config:s.Scenario.config
+      ~workload:(Workload.open_loop ~rate:s.Scenario.rate ())
+      ~trace ?wrap_safety:wrap ()
+  in
+  let events = Trace.events trace in
+  let report =
+    Monitor.evaluate ?opts ~config:s.Scenario.config ~result ~events ()
+  in
+  { scenario = s; report }
+
+let fuzz ?wrap ?opts ~root_seed ~budget ~jobs ~protocols () =
+  if budget < 0 then invalid_arg "Fuzz.fuzz: budget must be non-negative";
+  Pool.map ~jobs
+    (fun index ->
+      run_scenario ?wrap ?opts
+        (Scenario.generate ~root_seed ~index ~protocols))
+    (List.init budget Fun.id)
+
+(* A voting rule that forgets the lock: it keeps only the once-per-view
+   restriction, so a replica happily votes for a fork branch it should be
+   locked against. Exists purely to prove the oracle catches real safety
+   violations; never part of any measured protocol. *)
+let broken_voting_rule _self (base : Bamboo.Safety.t) =
+  {
+    base with
+    Bamboo.Safety.should_vote =
+      (fun ~block ~tc:_ ->
+        block.Bamboo_types.Block.view > base.Bamboo.Safety.last_voted_view ());
+  }
+
+(* --- shrinking --- *)
+
+type minimized = {
+  scenario : Scenario.t;
+  invariant : Monitor.invariant;
+  detail : string;
+  runs : int;
+}
+
+(* The largest replica id an entry references; -1 for cluster-wide
+   faults. Used to decide whether the entry survives an [n] reduction. *)
+let max_node_ref (e : Schedule.entry) =
+  let of_set = function
+    | Schedule.All -> -1
+    | Schedule.Nodes ids -> List.fold_left max (-1) ids
+  in
+  match e.spec with
+  | Schedule.Partition { a; b } ->
+      List.fold_left max (-1) (a @ b)
+  | Schedule.Crash { node }
+  | Schedule.Cpu_slow { node; _ }
+  | Schedule.Clock_skew { node; _ } ->
+      node
+  | Schedule.Link_delay { src; dst; _ }
+  | Schedule.Link_spike { src; dst; _ }
+  | Schedule.Link_loss { src; dst; _ }
+  | Schedule.Link_dup { src; dst; _ }
+  | Schedule.Link_reorder { src; dst; _ } ->
+      max (of_set src) (of_set dst)
+  | Schedule.Fluctuation _ -> -1
+
+let with_config (s : Scenario.t) config = { s with Scenario.config }
+
+let shrink ?wrap ?opts (v : verdict) =
+  let target =
+    match v.report.Monitor.violations with
+    | [] -> invalid_arg "Fuzz.shrink: verdict has no violation"
+    | viol :: _ -> viol.Monitor.invariant
+  in
+  let runs = ref 0 in
+  (* [fails s] re-runs [s] and keeps it only if the target invariant is
+     still violated; returns the matching detail. *)
+  let fails s =
+    incr runs;
+    let v = run_scenario ?wrap ?opts s in
+    List.find_opt
+      (fun (viol : Monitor.violation) -> viol.Monitor.invariant = target)
+      v.report.Monitor.violations
+  in
+  let valid (s : Scenario.t) =
+    match Config.validate s.Scenario.config with Ok _ -> true | Error _ -> false
+  in
+  let try_candidate cand =
+    if valid cand then
+      match fails cand with Some _ -> Some cand | None -> None
+    else None
+  in
+  let keep_if_fails s cand =
+    match try_candidate cand with Some c -> c | None -> s
+  in
+  (* Pass 1: drop fault entries one at a time, greedily to a fixpoint. *)
+  let drop_entries s =
+    let rec go i (s : Scenario.t) =
+      let faults = s.Scenario.config.Config.faults in
+      if i >= List.length faults then s
+      else
+        let cand =
+          with_config s
+            {
+              s.Scenario.config with
+              Config.faults = List.filteri (fun j _ -> j <> i) faults;
+            }
+        in
+        match try_candidate cand with
+        | Some c -> go i c (* entry i is gone; index i is now the next one *)
+        | None -> go (i + 1) s
+    in
+    go 0 s
+  in
+  (* Pass 2: shorten the horizon. *)
+  let shorten s =
+    let rec go (s : Scenario.t) =
+      let c = s.Scenario.config in
+      let floor = c.Config.warmup +. 0.5 in
+      let runtime = Float.max floor (c.Config.runtime *. 0.6) in
+      if runtime >= c.Config.runtime then s
+      else
+        match
+          try_candidate (with_config s { c with Config.runtime = runtime })
+        with
+        | Some c -> go c
+        | None -> s
+    in
+    go s
+  in
+  (* Pass 3: step the cluster size down the generator's ladder, when no
+     fault entry references a dropped replica. *)
+  let reduce_n s =
+    List.fold_left
+      (fun (s : Scenario.t) n' ->
+        let c = s.Scenario.config in
+        if n' >= c.Config.n then s
+        else if
+          List.exists (fun e -> max_node_ref e >= n') c.Config.faults
+        then s
+        else
+          let f' = (n' - 1) / 3 in
+          let cand =
+            with_config s
+              {
+                c with
+                Config.n = n';
+                byz_no = min c.Config.byz_no f';
+              }
+          in
+          keep_if_fails s cand)
+      s [ 7; 5; 4 ]
+  in
+  (* Pass 4: fewer Byzantine replicas. *)
+  let reduce_byz s =
+    let rec go (s : Scenario.t) =
+      let c = s.Scenario.config in
+      if c.Config.byz_no = 0 then s
+      else
+        match
+          try_candidate
+            (with_config s { c with Config.byz_no = c.Config.byz_no - 1 })
+        with
+        | Some c -> go c
+        | None -> s
+    in
+    go s
+  in
+  let round s = reduce_byz (reduce_n (shorten (drop_entries s))) in
+  let rec fixpoint i s =
+    let s' = round s in
+    if i >= 3 || s' = s then s' else fixpoint (i + 1) s'
+  in
+  let minimized = fixpoint 0 v.scenario in
+  (* One final run pins the detail reported by the minimized scenario. *)
+  let detail =
+    match fails minimized with
+    | Some viol -> viol.Monitor.detail
+    | None -> assert false (* every kept candidate fails by construction *)
+  in
+  { scenario = minimized; invariant = target; detail; runs = !runs }
+
+(* --- reproducer artifacts --- *)
+
+let artifact_to_json (m : minimized) =
+  Json.Obj
+    [
+      ("invariant", Json.String (Monitor.invariant_name m.invariant));
+      ("detail", Json.String m.detail);
+      ("scenario", Scenario.to_json m.scenario);
+    ]
+
+let artifact_of_json json =
+  match json with
+  | Json.Obj _ -> (
+      let invariant =
+        match Json.member "invariant" json with
+        | Json.String s -> Monitor.invariant_of_name s
+        | Json.Null -> Error "reproducer: missing \"invariant\""
+        | _ -> Error "reproducer: \"invariant\" must be a string"
+      in
+      match invariant with
+      | Error e -> Error e
+      | Ok invariant -> (
+          match Scenario.of_json (Json.member "scenario" json) with
+          | Error e -> Error e
+          | Ok scenario -> Ok (scenario, invariant)))
+  | _ -> Error "reproducer must be a JSON object"

@@ -1,0 +1,69 @@
+(** The deterministic chaos fuzzer: samples {!Scenario}s from a root seed,
+    runs them on the worker-domain pool, evaluates every {!Monitor}
+    invariant, and shrinks failures to minimal reproducers.
+
+    Determinism contract: [fuzz] with the same [root_seed], [budget] and
+    [protocols] produces the same verdict list — structurally equal, in
+    the same order — at any [jobs] value and across repeated runs.
+    Shrinking and replay are single-threaded and equally deterministic, so
+    a dumped reproducer re-runs to the same verdict anywhere. *)
+
+type verdict = { scenario : Scenario.t; report : Monitor.report }
+
+val failed : verdict -> bool
+
+val run_scenario :
+  ?wrap:(Bamboo_types.Ids.replica -> Bamboo.Safety.t -> Bamboo.Safety.t) ->
+  ?opts:Monitor.opts ->
+  Scenario.t ->
+  verdict
+(** One simulation with a ring trace attached, evaluated against all
+    monitors. [wrap] (test-only) plants broken protocol rules via
+    {!Bamboo.Runtime.run}'s [wrap_safety]. *)
+
+val fuzz :
+  ?wrap:(Bamboo_types.Ids.replica -> Bamboo.Safety.t -> Bamboo.Safety.t) ->
+  ?opts:Monitor.opts ->
+  root_seed:int ->
+  budget:int ->
+  jobs:int ->
+  protocols:Bamboo.Config.protocol list ->
+  unit ->
+  verdict list
+(** [budget] scenarios, indices [0 .. budget-1], run on up to [jobs]
+    worker domains; verdicts are returned in index order. *)
+
+val broken_voting_rule :
+  Bamboo_types.Ids.replica -> Bamboo.Safety.t -> Bamboo.Safety.t
+(** A deliberately unsafe voting rule — it drops the lock check and keeps
+    only once-per-view — used as [wrap] to validate that the oracle
+    catches genuine safety violations (the agreement monitor must flag
+    runs where a fork attacker exploits it). Test/self-check only. *)
+
+type minimized = {
+  scenario : Scenario.t;  (** The shrunk scenario; still fails. *)
+  invariant : Monitor.invariant;  (** The invariant it still violates. *)
+  detail : string;  (** The violation detail of the minimized run. *)
+  runs : int;  (** Simulations spent shrinking. *)
+}
+
+val shrink :
+  ?wrap:(Bamboo_types.Ids.replica -> Bamboo.Safety.t -> Bamboo.Safety.t) ->
+  ?opts:Monitor.opts ->
+  verdict ->
+  minimized
+(** Greedy deterministic minimization of a failing verdict, preserving the
+    first violated invariant: drops fault-schedule entries one by one,
+    shortens the horizon, steps the cluster size down and reduces the
+    Byzantine count, keeping each reduction only if the scenario still
+    violates the same invariant. Raises [Invalid_argument] on a passing
+    verdict. *)
+
+(** {2 Reproducer artifacts} *)
+
+val artifact_to_json : minimized -> Bamboo_util.Json.t
+(** Self-contained reproducer: the scenario (whose [config.faults] section
+    is [--faults]-compatible) plus the violated invariant and detail. *)
+
+val artifact_of_json :
+  Bamboo_util.Json.t -> (Scenario.t * Monitor.invariant, string) result

@@ -1,0 +1,274 @@
+module Trace = Bamboo_obs.Trace
+module Schedule = Bamboo_faults.Schedule
+module Runtime = Bamboo.Runtime
+module Config = Bamboo.Config
+module Ids = Bamboo_types.Ids
+module Tx = Bamboo_types.Tx
+
+type invariant = Agreement | Cert_unique | Vote_safety | Liveness
+
+let invariant_name = function
+  | Agreement -> "agreement"
+  | Cert_unique -> "cert_unique"
+  | Vote_safety -> "vote_safety"
+  | Liveness -> "liveness"
+
+let invariant_of_name = function
+  | "agreement" -> Ok Agreement
+  | "cert_unique" -> Ok Cert_unique
+  | "vote_safety" -> Ok Vote_safety
+  | "liveness" -> Ok Liveness
+  | s -> Error (Printf.sprintf "unknown invariant %S" s)
+
+type violation = { invariant : invariant; detail : string }
+
+type report = {
+  violations : violation list;
+  skipped : (invariant * string) list;
+}
+
+let pass r = r.violations = []
+
+type opts = { recover_views : int }
+
+let default_opts = { recover_views = 10 }
+
+(* --- agreement --- *)
+
+let check_agreement ~(ledgers : Runtime.ledger array) ~local_conflicts =
+  let out = ref [] in
+  let add detail = out := { invariant = Agreement; detail } :: !out in
+  Array.iteri
+    (fun i conflicted ->
+      if conflicted then
+        add
+          (Printf.sprintf
+             "replica %d saw a commit conflict with its finalized prefix" i))
+    local_conflicts;
+  let n = Array.length ledgers in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let li = ledgers.(i) and lj = ledgers.(j) in
+      let common = min (Array.length li) (Array.length lj) in
+      (* First height where the committed chains disagree, if any. *)
+      let divergence = ref None in
+      (try
+         for h = 0 to common - 1 do
+           if not (String.equal li.(h).Runtime.l_hash lj.(h).Runtime.l_hash)
+           then begin
+             divergence := Some h;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      match !divergence with
+      | Some h ->
+          add
+            (Printf.sprintf
+               "replicas %d and %d committed different blocks at height %d \
+                (%s vs %s)"
+               i j (h + 1)
+               (Ids.short li.(h).Runtime.l_hash)
+               (Ids.short lj.(h).Runtime.l_hash))
+      | None ->
+          (* Hashes agree on the whole common prefix; the committed tx
+             order must then be identical too (independent of hashing). *)
+          let txs_of (l : Runtime.ledger) =
+            List.concat_map
+              (fun (b : Runtime.ledger_block) -> b.Runtime.l_txs)
+              (Array.to_list (Array.sub l 0 common))
+          in
+          if txs_of li <> txs_of lj then
+            add
+              (Printf.sprintf
+                 "replicas %d and %d agree on block hashes but diverge in \
+                  committed tx order over heights 1..%d"
+                 i j common)
+    done
+  done;
+  List.rev !out
+
+(* --- certification uniqueness --- *)
+
+let check_certification events =
+  let by_view : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let out = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.kind = Trace.Qc_formed && e.span <> 0 then
+        match Hashtbl.find_opt by_view e.view with
+        | None -> Hashtbl.add by_view e.view e.span
+        | Some span when span = e.span -> ()
+        | Some span ->
+            Hashtbl.replace by_view e.view e.span;
+            out :=
+              {
+                invariant = Cert_unique;
+                detail =
+                  Printf.sprintf
+                    "two different blocks certified in view %d (spans %d \
+                     and %d)"
+                    e.view span e.span;
+              }
+              :: !out)
+    events;
+  List.rev !out
+
+(* --- vote safety --- *)
+
+let check_vote_safety ~byz_no events =
+  let voted : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let abandoned : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  let add detail = out := { invariant = Vote_safety; detail } :: !out in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.node >= byz_no then
+        match e.kind with
+        | Trace.Timeout_fired ->
+            let prev =
+              match Hashtbl.find_opt abandoned e.node with
+              | None -> 0
+              | Some v -> v
+            in
+            Hashtbl.replace abandoned e.node (max prev e.view)
+        | Trace.Vote_sent ->
+            (match Hashtbl.find_opt abandoned e.node with
+            | Some av when e.view <= av ->
+                add
+                  (Printf.sprintf
+                     "replica %d voted in view %d after abandoning view %d"
+                     e.node e.view av)
+            | Some _ | None -> ());
+            if Hashtbl.mem voted (e.node, e.view) then
+              add
+                (Printf.sprintf "replica %d voted twice in view %d" e.node
+                   e.view)
+            else Hashtbl.add voted (e.node, e.view) ()
+        | _ -> ())
+    events;
+  List.rev !out
+
+(* --- bounded liveness --- *)
+
+(* Whether the scenario leaves the bounded-liveness guarantee meaningful:
+   partial synchrony only promises progress once at most f replicas are
+   faulty and message delays fall back under the timeout. Each disqualifier
+   returns a reason so reports say why the check was vacuous. *)
+let liveness_applicability ~(config : Config.t) =
+  let n = config.Config.n in
+  let f = (n - 1) / 3 in
+  let runtime = config.Config.runtime in
+  let timeout = config.Config.timeout in
+  (* A fault that never heals inside the horizon is permanent for this
+     run's purposes. *)
+  let permanent (e : Schedule.entry) =
+    match e.until with Some u -> u >= runtime | None -> true
+  in
+  let heal_of (e : Schedule.entry) =
+    match e.until with Some u when u < runtime -> u | _ -> e.at
+  in
+  let crashed_forever =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Schedule.entry) ->
+           match e.spec with
+           | Schedule.Crash { node } when permanent e -> Some node
+           | _ -> None)
+         config.Config.faults)
+  in
+  let rec scan = function
+    | [] -> Ok ()
+    | (e : Schedule.entry) :: rest ->
+        let bad reason = Error reason in
+        if not (permanent e) then scan rest
+        else begin
+          match e.spec with
+          | Schedule.Partition _ -> bad "permanent partition"
+          | Schedule.Fluctuation { hi; _ } when hi >= 0.5 *. timeout ->
+              bad "permanent delay fluctuation at the timeout scale"
+          | Schedule.Link_delay { mu; _ } when mu >= 0.5 *. timeout ->
+              bad "permanent link delay at the timeout scale"
+          | Schedule.Link_spike { hi; _ } when hi >= 0.5 *. timeout ->
+              bad "permanent delay spikes at the timeout scale"
+          | Schedule.Link_loss { rate; _ } when rate > 0.3 ->
+              bad "permanent heavy link loss"
+          | _ -> scan rest
+        end
+  in
+  if config.Config.byz_no + List.length crashed_forever > f then
+    Error
+      (Printf.sprintf "more than f=%d replicas permanently faulty (%d)" f
+         (config.Config.byz_no + List.length crashed_forever))
+  else if config.Config.backoff > 1.0 && config.Config.faults <> [] then
+    Error "backoff timers make the view budget unbounded under faults"
+  else
+    match scan config.Config.faults with
+    | Error _ as e -> e
+    | Ok () ->
+        let heal =
+          List.fold_left
+            (fun acc e -> Float.max acc (heal_of e))
+            0.0 config.Config.faults
+        in
+        (* Clock skew stretches one replica's timers; scale the budget by
+           the largest factor so a slow clock cannot fake a violation. *)
+        let skew =
+          List.fold_left
+            (fun acc (e : Schedule.entry) ->
+              match e.spec with
+              | Schedule.Clock_skew { factor; _ } -> Float.max acc factor
+              | _ -> acc)
+            1.0 config.Config.faults
+        in
+        Ok (heal, skew)
+
+let check_liveness ?(opts = default_opts) ~(config : Config.t) events =
+  match liveness_applicability ~config with
+  | Error reason -> Error reason
+  | Ok (heal, skew) ->
+      let budget =
+        float_of_int opts.recover_views *. config.Config.timeout *. skew
+      in
+      let deadline = heal +. budget in
+      if deadline > config.Config.runtime then
+        Error
+          (Printf.sprintf
+             "horizon too short: last heal at %.2fs + %d-view budget ends \
+              at %.2fs, past the %.2fs runtime"
+             heal opts.recover_views deadline config.Config.runtime)
+      else if
+        List.exists
+          (fun (e : Trace.event) ->
+            e.kind = Trace.Commit && e.ts > heal && e.ts <= deadline)
+          events
+      then Ok []
+      else
+        Ok
+          [
+            {
+              invariant = Liveness;
+              detail =
+                Printf.sprintf
+                  "no commit within %d views (%.2fs) of the last heal at \
+                   %.2fs"
+                  opts.recover_views budget heal;
+            };
+          ]
+
+(* --- full evaluation --- *)
+
+let evaluate ?(opts = default_opts) ~config ~(result : Runtime.result) ~events
+    () =
+  let agreement =
+    check_agreement ~ledgers:result.Runtime.ledgers
+      ~local_conflicts:result.Runtime.violations
+  in
+  let certification = check_certification events in
+  let votes = check_vote_safety ~byz_no:config.Config.byz_no events in
+  let liveness, skipped =
+    match check_liveness ~opts ~config events with
+    | Ok v -> (v, [])
+    | Error reason -> ([], [ (Liveness, reason) ])
+  in
+  { violations = agreement @ certification @ votes @ liveness; skipped }

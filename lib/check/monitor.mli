@@ -1,0 +1,91 @@
+(** The global invariant oracle (paper §III-C, checked rather than
+    assumed).
+
+    The paper's forking and silence attacks "degrade performance without
+    violating safety" — which is only meaningful if safety actually holds
+    in the implementation. These monitors verify it after a run, consuming
+    two zero-cost-when-disabled sources: the {!Bamboo_obs.Trace} event
+    stream (a ring sink attached only when checking) and the per-replica
+    end-of-run ledgers that {!Bamboo.Runtime} extracts from the block
+    forests. Nothing here runs inside the simulation, so an unchecked run
+    is bit-identical to a checked one.
+
+    Four invariants:
+    - {e agreement}: every pair of replicas' committed chains are
+      prefix-compatible (same block hash at every common height) and the
+      committed transaction order over the common prefix is identical; no
+      replica ever saw a commit conflict with its finalized prefix.
+    - {e certification uniqueness}: at most one block is certified per
+      view — two QCs for different blocks in one view require an honest
+      quorum overlap to have double-voted.
+    - {e vote safety}: no honest replica votes twice in a view, and no
+      honest replica votes in a view it abandoned by broadcasting a
+      timeout.
+    - {e bounded liveness}: with at most [f] permanently faulty or
+      Byzantine replicas and a healed network, commits resume within a
+      configurable number of views of the last heal. *)
+
+type invariant = Agreement | Cert_unique | Vote_safety | Liveness
+
+val invariant_name : invariant -> string
+(** ["agreement"], ["cert_unique"], ["vote_safety"], ["liveness"]. *)
+
+val invariant_of_name : string -> (invariant, string) result
+
+type violation = { invariant : invariant; detail : string }
+
+type report = {
+  violations : violation list;
+  skipped : (invariant * string) list;
+      (** Checks that were not applicable to this scenario (e.g. liveness
+          under a permanent partition), with the reason. *)
+}
+
+val pass : report -> bool
+
+type opts = {
+  recover_views : int;
+      (** Bounded-liveness budget: commits must resume within this many
+          view-timeout periods of the last fault heal. *)
+}
+
+val default_opts : opts
+(** [recover_views = 10]. *)
+
+(** {2 Individual monitors} *)
+
+val check_agreement :
+  ledgers:Bamboo.Runtime.ledger array ->
+  local_conflicts:bool array ->
+  violation list
+(** Pairwise prefix compatibility and committed-tx-order identity across
+    all replica ledgers, plus any replica's local commit-conflict flag. *)
+
+val check_certification : Bamboo_obs.Trace.event list -> violation list
+(** At most one certified block (trace span) per view across all
+    [Qc_formed] events. *)
+
+val check_vote_safety :
+  byz_no:int -> Bamboo_obs.Trace.event list -> violation list
+(** Double votes and votes in abandoned views, from [Vote_sent] /
+    [Timeout_fired] events of honest replicas (ids [>= byz_no]). *)
+
+val check_liveness :
+  ?opts:opts ->
+  config:Bamboo.Config.t ->
+  Bamboo_obs.Trace.event list ->
+  (violation list, string) result
+(** [Ok violations] when the bounded-liveness check applies; [Error
+    reason] when the scenario makes it vacuous (more than [f] replicas
+    permanently faulty, a never-healed partition, permanent delays at the
+    timeout scale, backoff timers under faults, or a horizon too short to
+    contain the recovery budget). *)
+
+val evaluate :
+  ?opts:opts ->
+  config:Bamboo.Config.t ->
+  result:Bamboo.Runtime.result ->
+  events:Bamboo_obs.Trace.event list ->
+  unit ->
+  report
+(** Runs all four monitors over one finished run. *)

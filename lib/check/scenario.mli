@@ -1,0 +1,35 @@
+(** Deterministic chaos scenarios for the fuzzer.
+
+    A scenario is one complete, self-contained simulation cell: a full
+    {!Bamboo.Config.t} (protocol, cluster size, Byzantine strategy, network
+    parameters, seed and a generated {!Bamboo_faults.Schedule}) plus the
+    open-loop arrival rate. [generate ~root_seed ~index] is a pure function
+    of its arguments — scenario [i] never depends on scenarios [< i], so a
+    fuzz sweep explores the same scenarios whatever the job count or
+    execution order.
+
+    Scenarios round-trip through JSON (the [config] member is the ordinary
+    configuration-file schema, so its [faults] section can also be fed
+    straight back to [--faults]). *)
+
+type t = {
+  label : string;  (** ["s<index>"], stable across runs. *)
+  rate : float;  (** Open-loop arrival rate, tx/s. *)
+  config : Bamboo.Config.t;
+}
+
+val generate :
+  root_seed:int -> index:int -> protocols:Bamboo.Config.protocol list -> t
+(** Samples protocol, cluster size, Byzantine count/strategy, timeout,
+    network delay parameters and a random fault schedule, all from an RNG
+    stream derived from [(root_seed, index)] alone. The generated
+    configuration always validates, keeps at most [f] replicas permanently
+    faulty, and sizes the runtime so the bounded-liveness monitor has its
+    full recovery budget after the last heal. *)
+
+val describe : t -> string
+(** One deterministic summary line (protocol, n, byz, faults, rate). *)
+
+val to_json : t -> Bamboo_util.Json.t
+
+val of_json : Bamboo_util.Json.t -> (t, string) result

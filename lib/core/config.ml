@@ -121,6 +121,11 @@ let validate t =
   else if t.backoff < 1.0 then Error "backoff must be >= 1"
   else if t.runtime <= 0.0 then Error "runtime must be positive"
   else if t.warmup < 0.0 then Error "warmup must be non-negative"
+  else if t.runtime <= t.warmup then
+    Error
+      (Printf.sprintf
+         "runtime %gs must exceed the warmup %gs (no measurement window)"
+         t.runtime t.warmup)
   else if t.mu < 0.0 || t.sigma < 0.0 then Error "network delay must be non-negative"
   else if t.loss < 0.0 || t.loss >= 1.0 then Error "loss must be in [0, 1)"
   else if t.bandwidth <= 0.0 then Error "bandwidth must be positive"

@@ -57,7 +57,8 @@ let src = Logs.Src.create "bamboo.node" ~doc:"Bamboo replica engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let create ~config ~self ~registry ?(verify_sigs = true) ?(root = `Merkle) () =
+let create ~config ~self ~registry ?(verify_sigs = true) ?(root = `Merkle)
+    ?wrap_safety () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Node.create: " ^ e));
@@ -95,6 +96,9 @@ let create ~config ~self ~registry ?(verify_sigs = true) ?(root = `Merkle) () =
     if byzantine then
       Byzantine.apply config.Config.strategy config.Config.protocol ~chain base
     else base
+  in
+  let safety =
+    match wrap_safety with None -> safety | Some wrap -> wrap safety
   in
   {
     config;

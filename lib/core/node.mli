@@ -52,6 +52,7 @@ val create :
   registry:Bamboo_crypto.Sig.registry ->
   ?verify_sigs:bool ->
   ?root:[ `Merkle | `Flat ] ->
+  ?wrap_safety:(Safety.t -> Safety.t) ->
   unit ->
   t
 (** [verify_sigs] (default true) controls cryptographic verification of
@@ -59,7 +60,13 @@ val create :
     cost virtually; the transport runtimes keep it on. [root] is passed to
     {!Bamboo_types.Block.create}. The node's protocol and Byzantine
     wrapping are taken from [config] ([self < config.byz_no] makes this
-    node Byzantine). *)
+    node Byzantine).
+
+    [wrap_safety] (test-only) post-processes the assembled Safety module —
+    after any Byzantine wrapping — so the test suite can install
+    deliberately broken rules (e.g. a voting rule that votes across a
+    lock) and verify that the [bamboo_check] invariant oracle catches the
+    resulting divergence. Production paths never pass it. *)
 
 val start : t -> output list
 (** Enter view 1: arms the first view timer and, if this node leads view 1,

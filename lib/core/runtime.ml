@@ -11,6 +11,30 @@ module Probe = Bamboo_obs.Probe
 module Latency = Bamboo_obs.Latency
 module Fault_engine = Bamboo_faults.Engine
 
+type ledger_block = {
+  l_height : int;
+  l_hash : Ids.hash;
+  l_view : int;
+  l_txs : Tx.id list;
+}
+
+type ledger = ledger_block array
+
+(* The committed chain as a flat, genesis-free array: one entry per height
+   1..committed_height, lowest first. The committed prefix is contiguous
+   by construction (prefix finalization), so every height is present. *)
+let ledger_of_forest forest =
+  Array.init (Forest.committed_height forest) (fun i ->
+      match Forest.committed_at forest (i + 1) with
+      | Some (b : Block.t) ->
+          {
+            l_height = b.height;
+            l_hash = b.hash;
+            l_view = b.view;
+            l_txs = List.map (fun (tx : Tx.t) -> tx.Tx.id) b.txs;
+          }
+      | None -> assert false)
+
 type result = {
   summary : Metrics.summary;
   series : (float * float) list;
@@ -19,6 +43,8 @@ type result = {
   cpu_utilization : float array;
   consistent : bool;
   any_violation : bool;
+  violations : bool array;
+  ledgers : ledger array;
   decomposition : Latency.summary;
   probe : Probe.summary list;
   sim_events : int;
@@ -543,7 +569,8 @@ let install_probe ~config ~sim ~machines ~trace =
     Some p
   end
 
-let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null) () =
+let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null)
+    ?wrap_safety () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Runtime.run: " ^ e));
@@ -586,7 +613,12 @@ let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null) () =
   let probe = install_probe ~config ~sim ~machines ~trace in
   let nodes =
     Array.init config.Config.n (fun self ->
-        Node.create ~config ~self ~registry ~verify_sigs:false ~root:`Flat ())
+        Node.create ~config ~self ~registry ~verify_sigs:false ~root:`Flat
+          ?wrap_safety:
+            (match wrap_safety with
+            | None -> None
+            | Some wrap -> Some (wrap self))
+          ())
   in
   let metrics =
     Metrics.create ~warmup:config.Config.warmup ~horizon:config.Config.runtime
@@ -654,25 +686,23 @@ let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null) () =
       machines
   in
   (* Cross-replica consistency: all committed chains must agree on the
-     common prefix, checked hash-by-hash at each height (paper §III-A). *)
-  let min_height = Array.fold_left min max_int committed_heights in
+     common prefix, checked hash-by-hash at each height (paper §III-A).
+     The per-replica ledgers double as the [bamboo_check] oracle's input
+     for the full agreement check (prefix compatibility + tx order). *)
+  let ledgers = Array.map (fun n -> ledger_of_forest (Node.forest n)) nodes in
+  let min_height =
+    Array.fold_left (fun acc l -> min acc (Array.length l)) max_int ledgers
+  in
   let consistent = ref true in
-  for h = 0 to min_height do
-    let hash_at i =
-      match Forest.committed_at (Node.forest nodes.(i)) h with
-      | Some b -> Some b.Block.hash
-      | None -> None
-    in
-    match hash_at 0 with
-    | None -> consistent := false
-    | Some reference ->
-        for i = 1 to config.Config.n - 1 do
-          match hash_at i with
-          | Some h when String.equal h reference -> ()
-          | Some _ | None -> consistent := false
-        done
+  for h = 0 to min_height - 1 do
+    let reference = ledgers.(0).(h).l_hash in
+    for i = 1 to config.Config.n - 1 do
+      if not (String.equal ledgers.(i).(h).l_hash reference) then
+        consistent := false
+    done
   done;
-  let any_violation = Array.exists Node.safety_violation nodes in
+  let violations = Array.map Node.safety_violation nodes in
+  let any_violation = Array.exists Fun.id violations in
   {
     summary;
     series = Metrics.throughput_series metrics;
@@ -681,6 +711,8 @@ let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null) () =
     cpu_utilization;
     consistent = !consistent;
     any_violation;
+    violations;
+    ledgers;
     decomposition = Latency.summarize st.decomp;
     probe = (match probe with None -> [] | Some p -> Probe.summaries p);
     sim_events = Sim.fired sim;

@@ -8,6 +8,20 @@
     machines and wires are modelled. Runs are deterministic in
     [config.seed]. *)
 
+type ledger_block = {
+  l_height : int;
+  l_hash : Bamboo_types.Ids.hash;
+  l_view : int;
+  l_txs : Bamboo_types.Tx.id list;  (** Committed tx ids, proposal order. *)
+}
+(** One committed block as seen by one replica, stripped to what the
+    cross-replica agreement check needs. *)
+
+type ledger = ledger_block array
+(** A replica's committed chain, heights 1..committed (genesis excluded),
+    lowest first. Extracted once at the end of a run; the [bamboo_check]
+    oracle diffs these across replicas. *)
+
 type result = {
   summary : Metrics.summary;
   series : (float * float) list;  (** Committed-throughput time series. *)
@@ -20,6 +34,10 @@ type result = {
       (** Cross-replica consistency check of §III-A: the committed chains
           agree block-by-block on the common prefix. *)
   any_violation : bool;  (** Any replica's commit conflicted locally. *)
+  violations : bool array;
+      (** Per-replica local-conflict flags ({!Node.safety_violation});
+          [any_violation] is their disjunction. *)
+  ledgers : ledger array;  (** Per-replica committed chains. *)
   decomposition : Bamboo_obs.Latency.summary;
       (** Per-transaction end-to-end latency split into client wire, CPU
           queueing, CPU service, mempool residency, NIC serialization and
@@ -37,6 +55,7 @@ val run :
   ?bucket:float ->
   ?observer:int ->
   ?trace:Bamboo_obs.Trace.t ->
+  ?wrap_safety:(Bamboo_types.Ids.replica -> Safety.t -> Safety.t) ->
   unit ->
   result
 (** [run ~config ~workload ()] simulates [config.runtime] virtual seconds.
@@ -53,4 +72,8 @@ val run :
     delay/loss/duplication/reordering, CPU slowdown, clock skew, delay
     fluctuation — come from [config.faults] and are executed by the
     [bamboo_faults] engine on dedicated RNG streams: a run with an empty
-    schedule is bit-identical to one predating the fault subsystem. *)
+    schedule is bit-identical to one predating the fault subsystem.
+
+    [wrap_safety] (test-only) is handed to every {!Node.create} with the
+    replica id applied, letting the test suite plant deliberately broken
+    protocol rules that the [bamboo_check] oracle must catch. *)

@@ -182,7 +182,13 @@ exception Bad of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
 
-let parse_set name json =
+(* Compact rendering of the offending value for error messages, truncated
+   so a pasted megabyte of JSON cannot flood the terminal. *)
+let show json =
+  let s = Json.to_string json in
+  if String.length s <= 40 then s else String.sub s 0 37 ^ "..."
+
+let parse_set ~path name json =
   match json with
   | Json.Null -> All
   | Json.String "all" -> All
@@ -191,26 +197,39 @@ let parse_set name json =
         (List.map
            (function
              | Json.Int i -> i
-             | _ -> fail "%s: node set must list replica ids" name)
+             | v ->
+                 fail "%s.%s: node set must list replica ids, got %s" path
+                   name (show v))
            l)
-  | _ -> fail "%s: node set must be \"all\" or a list of ids" name
+  | v ->
+      fail "%s.%s: node set must be \"all\" or a list of ids, got %s" path
+        name (show v)
 
-let parse_ids name json =
+let parse_ids ~path name json =
   match json with
   | Json.List l ->
       List.map
         (function
-          | Json.Int i -> i | _ -> fail "%s: must list replica ids" name)
+          | Json.Int i -> i
+          | v ->
+              fail "%s.%s: must list replica ids, got %s" path name (show v))
         l
-  | _ -> fail "%s: must be a list of replica ids" name
+  | v -> fail "%s.%s: must be a list of replica ids, got %s" path name (show v)
 
-let parse_ms name json =
+let parse_num ~path ?unit name json =
   match json with
-  | Json.Null -> fail "missing field %S" name
-  | v -> Json.to_float v /. 1000.0
+  | Json.Null -> fail "%s: missing required key %S" path name
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | v ->
+      fail "%s.%s: expected a number%s, got %s" path name
+        (match unit with None -> "" | Some u -> " (" ^ u ^ ")")
+        (show v)
 
-let parse_ms_default name default json =
-  match json with Json.Null -> default | _ -> parse_ms name json
+let parse_ms ~path name json = parse_num ~path ~unit:"milliseconds" name json /. 1000.0
+
+let parse_ms_default ~path name default json =
+  match json with Json.Null -> default | _ -> parse_ms ~path name json
 
 (* Keys common to every entry; [kind] selects the per-kind extras. *)
 let base_keys = [ "kind"; "at"; "until" ]
@@ -228,46 +247,59 @@ let keys_of_kind = function
   | "fluctuation" -> Some [ "lo"; "hi" ]
   | _ -> None
 
-let entry_of_json json =
+let entry_of_json ~path json =
   match json with
   | Json.Obj fields -> (
       let kind =
         match Json.member "kind" json with
         | Json.String k -> k
-        | Json.Null -> fail "fault entry is missing \"kind\""
-        | _ -> fail "fault \"kind\" must be a string"
+        | Json.Null ->
+            fail "%s: missing required key \"kind\" (one of delay, spike, \
+                  loss, duplicate, reorder, partition, crash, slow, \
+                  clock_skew, fluctuation)"
+              path
+        | v -> fail "%s.kind: expected a string, got %s" path (show v)
       in
       let allowed =
         match keys_of_kind kind with
         | Some keys -> base_keys @ keys
-        | None -> fail "unknown fault kind %S" kind
+        | None ->
+            fail "%s.kind: unknown fault kind %S (expected one of delay, \
+                  spike, loss, duplicate, reorder, partition, crash, slow, \
+                  clock_skew, fluctuation)"
+              path kind
       in
       (match
          List.find_opt (fun (k, _) -> not (List.mem k allowed)) fields
        with
-      | Some (k, _) -> fail "fault %S: unknown key %S" kind k
+      | Some (k, v) ->
+          fail "%s: unknown key %S (value %s) for fault kind %S; valid keys \
+                are %s"
+            path k (show v) kind
+            (String.concat ", " allowed)
       | None -> ());
       let mem k = Json.member k json in
       let at =
         match mem "at" with
         | Json.Null -> 0.0
-        | v -> Json.to_float v
+        | v -> parse_num ~path ~unit:"seconds" "at" v
       in
       let until =
-        match mem "until" with Json.Null -> None | v -> Some (Json.to_float v)
+        match mem "until" with
+        | Json.Null -> None
+        | v -> Some (parse_num ~path ~unit:"seconds" "until" v)
       in
       let node () =
         match mem "node" with
         | Json.Int i -> i
-        | _ -> fail "fault %S: missing replica \"node\"" kind
+        | Json.Null -> fail "%s: missing required key \"node\"" path
+        | v -> fail "%s.node: expected a replica id, got %s" path (show v)
       in
-      let factor () =
-        match mem "factor" with
-        | Json.Null -> fail "fault %S: missing \"factor\"" kind
-        | v -> Json.to_float v
-      in
-      let src = parse_set "src" (mem "src") in
-      let dst = parse_set "dst" (mem "dst") in
+      let factor () = parse_num ~path "factor" (mem "factor") in
+      let src = parse_set ~path "src" (mem "src") in
+      let dst = parse_set ~path "dst" (mem "dst") in
+      let num name = parse_num ~path name (mem name) in
+      let ms name = parse_ms ~path name (mem name) in
       let spec =
         match kind with
         | "delay" ->
@@ -275,73 +307,46 @@ let entry_of_json json =
               {
                 src;
                 dst;
-                mu = parse_ms "mu" (mem "mu");
-                sigma = parse_ms_default "sigma" 0.0 (mem "sigma");
+                mu = ms "mu";
+                sigma = parse_ms_default ~path "sigma" 0.0 (mem "sigma");
               }
-        | "spike" ->
-            Link_spike
-              {
-                src;
-                dst;
-                lo = parse_ms "lo" (mem "lo");
-                hi = parse_ms "hi" (mem "hi");
-              }
-        | "loss" ->
-            Link_loss
-              {
-                src;
-                dst;
-                rate =
-                  (match mem "rate" with
-                  | Json.Null -> fail "fault \"loss\": missing \"rate\""
-                  | v -> Json.to_float v);
-              }
-        | "duplicate" ->
-            Link_dup
-              {
-                src;
-                dst;
-                prob =
-                  (match mem "prob" with
-                  | Json.Null -> fail "fault \"duplicate\": missing \"prob\""
-                  | v -> Json.to_float v);
-              }
+        | "spike" -> Link_spike { src; dst; lo = ms "lo"; hi = ms "hi" }
+        | "loss" -> Link_loss { src; dst; rate = num "rate" }
+        | "duplicate" -> Link_dup { src; dst; prob = num "prob" }
         | "reorder" ->
-            Link_reorder
-              {
-                src;
-                dst;
-                prob =
-                  (match mem "prob" with
-                  | Json.Null -> fail "fault \"reorder\": missing \"prob\""
-                  | v -> Json.to_float v);
-                jitter = parse_ms "jitter" (mem "jitter");
-              }
+            Link_reorder { src; dst; prob = num "prob"; jitter = ms "jitter" }
         | "partition" ->
             Partition
               {
-                a = parse_ids "partition a" (mem "a");
+                a = parse_ids ~path "a" (mem "a");
                 b =
                   (match mem "b" with
                   | Json.Null -> []
-                  | v -> parse_ids "partition b" v);
+                  | v -> parse_ids ~path "b" v);
               }
         | "crash" -> Crash { node = node () }
         | "slow" -> Cpu_slow { node = node (); factor = factor () }
         | "clock_skew" -> Clock_skew { node = node (); factor = factor () }
-        | "fluctuation" ->
-            Fluctuation
-              { lo = parse_ms "lo" (mem "lo"); hi = parse_ms "hi" (mem "hi") }
+        | "fluctuation" -> Fluctuation { lo = ms "lo"; hi = ms "hi" }
         | _ -> assert false (* keys_of_kind already filtered *)
       in
       { at; until; spec })
-  | _ -> fail "fault entry must be a JSON object"
+  | v -> fail "%s: fault entry must be a JSON object, got %s" path (show v)
 
 let of_json json =
   match json with
   | Json.List entries -> (
-      try Ok (List.map entry_of_json entries) with
+      try
+        Ok
+          (List.mapi
+             (fun i e ->
+               entry_of_json ~path:(Printf.sprintf "faults[%d]" i) e)
+             entries)
+      with
       | Bad msg -> Error msg
       | Invalid_argument msg -> Error msg)
   | Json.Null -> Ok []
-  | _ -> Error "faults must be a JSON list of fault entries"
+  | v ->
+      Error
+        (Printf.sprintf "faults must be a JSON list of fault entries, got %s"
+           (show v))

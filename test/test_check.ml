@@ -1,0 +1,360 @@
+(* The bamboo_check subsystem: invariant monitors over synthetic traces,
+   the end-to-end oracle on healthy and combined-adversary runs, and the
+   acceptance story for the fuzzer — a planted unsafe voting rule must be
+   caught by the agreement monitor, shrunk to a tiny reproducer and
+   confirmed by replay, deterministically at any job count. *)
+
+module Config = Bamboo.Config
+module Runtime = Bamboo.Runtime
+module Workload = Bamboo.Workload
+module Trace = Bamboo_obs.Trace
+module Schedule = Bamboo_faults.Schedule
+module Monitor = Bamboo_check.Monitor
+module Scenario = Bamboo_check.Scenario
+module Fuzz = Bamboo_check.Fuzz
+
+let all_protocols =
+  [ Config.Hotstuff; Config.Twochain; Config.Streamlet; Config.Fasthotstuff ]
+
+let ev ?(node = 0) ?(view = 0) ?(span = 0) ?(ts = 0.0) kind =
+  { Trace.seq = 0; ts; node; view; kind; span; args = [] }
+
+let names vs =
+  List.map
+    (fun (v : Monitor.violation) -> Monitor.invariant_name v.Monitor.invariant)
+    vs
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- certification uniqueness on synthetic traces --- *)
+
+let test_cert_unique () =
+  let ok =
+    Monitor.check_certification
+      [
+        ev ~view:1 ~span:7 Trace.Qc_formed;
+        ev ~view:1 ~span:7 Trace.Qc_formed;
+        (* duplicate QC observations of the same block are fine *)
+        ev ~view:2 ~span:9 Trace.Qc_formed;
+        ev ~view:3 ~span:0 Trace.Qc_formed;
+        (* span 0 = unknown block; ignored *)
+        ev ~view:3 ~span:0 Trace.Qc_formed;
+      ]
+  in
+  Alcotest.(check (list string)) "unique certs pass" [] (names ok);
+  let bad =
+    Monitor.check_certification
+      [
+        ev ~view:4 ~span:7 Trace.Qc_formed;
+        ev ~view:4 ~span:8 Trace.Qc_formed;
+      ]
+  in
+  Alcotest.(check (list string)) "conflicting certs flagged" [ "cert_unique" ]
+    (names bad)
+
+(* --- vote safety on synthetic traces --- *)
+
+let test_vote_safety () =
+  let ok =
+    Monitor.check_vote_safety ~byz_no:1
+      [
+        ev ~node:1 ~view:1 Trace.Vote_sent;
+        ev ~node:1 ~view:2 Trace.Vote_sent;
+        ev ~node:1 ~view:3 Trace.Timeout_fired;
+        ev ~node:1 ~view:4 Trace.Vote_sent;
+        (* the Byzantine replica (id < byz_no) may double-vote freely *)
+        ev ~node:0 ~view:5 Trace.Vote_sent;
+        ev ~node:0 ~view:5 Trace.Vote_sent;
+      ]
+  in
+  Alcotest.(check (list string)) "clean votes pass" [] (names ok);
+  let double =
+    Monitor.check_vote_safety ~byz_no:0
+      [ ev ~node:2 ~view:7 Trace.Vote_sent; ev ~node:2 ~view:7 Trace.Vote_sent ]
+  in
+  Alcotest.(check (list string)) "double vote flagged" [ "vote_safety" ]
+    (names double);
+  let abandoned =
+    Monitor.check_vote_safety ~byz_no:0
+      [ ev ~node:2 ~view:7 Trace.Timeout_fired; ev ~node:2 ~view:7 Trace.Vote_sent ]
+  in
+  Alcotest.(check (list string)) "vote in abandoned view flagged"
+    [ "vote_safety" ] (names abandoned)
+
+(* --- agreement on synthetic ledgers --- *)
+
+let block ?(txs = []) h hash =
+  { Runtime.l_height = h; l_hash = hash; l_view = h; l_txs = txs }
+
+let test_agreement () =
+  let a = [| block 1 "aa"; block 2 "bb" |] in
+  let matching = [| a; [| block 1 "aa" |] |] in
+  Alcotest.(check (list string)) "prefix-compatible ledgers pass" []
+    (names
+       (Monitor.check_agreement ~ledgers:matching
+          ~local_conflicts:[| false; false |]));
+  let diverged = [| a; [| block 1 "aa"; block 2 "cc" |] |] in
+  (match
+     Monitor.check_agreement ~ledgers:diverged
+       ~local_conflicts:[| false; false |]
+   with
+  | [ { Monitor.invariant = Monitor.Agreement; detail } ] ->
+      Alcotest.(check bool) "detail names the height" true
+        (contains detail "height 2")
+  | vs -> Alcotest.failf "expected one agreement violation, got %d" (List.length vs));
+  (* Same hashes but diverging committed tx order is still a violation. *)
+  let t c s = { Bamboo_types.Tx.client = c; seq = s } in
+  let diverging_txs =
+    [| [| block ~txs:[ t 1 1; t 1 2 ] 1 "aa" |];
+       [| block ~txs:[ t 1 2; t 1 1 ] 1 "aa" |] |]
+  in
+  Alcotest.(check (list string)) "tx order divergence flagged" [ "agreement" ]
+    (names
+       (Monitor.check_agreement ~ledgers:diverging_txs
+          ~local_conflicts:[| false; false |]));
+  (* A replica-local commit conflict is a violation on its own. *)
+  Alcotest.(check (list string)) "local conflict flagged" [ "agreement" ]
+    (names
+       (Monitor.check_agreement
+          ~ledgers:[| a; a |]
+          ~local_conflicts:[| false; true |]))
+
+(* --- bounded liveness gating and verdicts --- *)
+
+let crash_recovery = { Schedule.at = 0.3; until = Some 0.5; spec = Schedule.Crash { node = 2 } }
+
+let live_config faults =
+  { Config.default with n = 4; timeout = 0.05; runtime = 2.0; faults }
+
+let test_liveness () =
+  let config = live_config [ crash_recovery ] in
+  (match
+     Monitor.check_liveness ~config [ ev ~ts:0.7 Trace.Commit ]
+   with
+  | Ok [] -> ()
+  | Ok vs -> Alcotest.failf "expected pass, got %d violations" (List.length vs)
+  | Error e -> Alcotest.failf "expected applicable, skipped: %s" e);
+  (match Monitor.check_liveness ~config [ ev ~ts:0.2 Trace.Commit ] with
+  | Ok [ { Monitor.invariant = Monitor.Liveness; _ } ] -> ()
+  | Ok _ -> Alcotest.fail "commit before the heal must not satisfy liveness"
+  | Error e -> Alcotest.failf "expected applicable, skipped: %s" e);
+  (* A permanent partition makes the bound vacuous: skip, don't flag. *)
+  let partitioned =
+    live_config
+      [ { Schedule.at = 0.3; until = None; spec = Schedule.Partition { a = [ 0 ]; b = [] } } ]
+  in
+  (match Monitor.check_liveness ~config:partitioned [] with
+  | Error reason ->
+      Alcotest.(check bool) "reason mentions the partition" true
+        (contains reason "partition")
+  | Ok _ -> Alcotest.fail "permanent partition must disable the bound");
+  (* More than f permanently faulty likewise. *)
+  let overloaded =
+    {
+      (live_config [ { crash_recovery with until = None } ]) with
+      Config.byz_no = 1;
+      strategy = Config.Silence;
+    }
+  in
+  (match Monitor.check_liveness ~config:overloaded [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "byz + permanent crash > f must disable the bound")
+
+(* --- combined adversaries stay safe and live --- *)
+
+let run_combined name protocol ~strategy ~faults =
+  let timeout = 0.05 in
+  let config =
+    {
+      Config.default with
+      protocol;
+      n = 4;
+      byz_no = 1;
+      strategy;
+      timeout;
+      tc_adopt_qc = false;
+      runtime = 1.8;
+      warmup = 0.2;
+      seed = 42;
+      faults;
+    }
+  in
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: invalid config: %s" name e);
+  let v =
+    Fuzz.run_scenario { Scenario.label = name; rate = 800.0; config }
+  in
+  Alcotest.(check (list string)) (name ^ ": no violations") []
+    (names v.Fuzz.report.Monitor.violations);
+  Alcotest.(check bool) (name ^ ": liveness bound applied") true
+    (not
+       (List.exists
+          (fun (i, _) -> i = Monitor.Liveness)
+          v.Fuzz.report.Monitor.skipped))
+
+(* Fork attacker while its own outbound links lag: the leader's forked
+   proposals arrive late and honest locks must still prevent divergence. *)
+let fork_with_leader_delay protocol =
+  run_combined
+    (Config.protocol_name protocol ^ "+fork+delay")
+    protocol ~strategy:Config.Fork
+    ~faults:
+      [
+        {
+          Schedule.at = 0.3;
+          until = Some 0.8;
+          spec =
+            Schedule.Link_delay
+              { src = Schedule.Nodes [ 0 ]; dst = Schedule.All; mu = 0.02; sigma = 0.004 };
+        };
+      ]
+
+(* Silent Byzantine leader plus an honest replica crash-recovering: during
+   the overlap only 2 of 4 replicas are up, so progress stalls, but after
+   the heal commits must resume within the view budget. *)
+let silence_with_crash_recovery protocol =
+  run_combined
+    (Config.protocol_name protocol ^ "+silence+crash")
+    protocol ~strategy:Config.Silence
+    ~faults:[ { Schedule.at = 0.4; until = Some 0.8; spec = Schedule.Crash { node = 2 } } ]
+
+let test_combined_adversaries () =
+  List.iter
+    (fun p ->
+      fork_with_leader_delay p;
+      silence_with_crash_recovery p)
+    [ Config.Hotstuff; Config.Twochain; Config.Streamlet ]
+
+(* --- the oracle sees nothing on a healthy generated scenario --- *)
+
+let test_generated_scenarios_healthy () =
+  List.iter
+    (fun index ->
+      let s = Scenario.generate ~root_seed:1 ~index ~protocols:all_protocols in
+      let v = Fuzz.run_scenario s in
+      Alcotest.(check (list string))
+        (Scenario.describe s ^ ": clean")
+        []
+        (names v.Fuzz.report.Monitor.violations))
+    [ 0; 5 ]
+
+(* Attaching the monitoring trace must not perturb the simulation: the
+   summary with a ring sink is identical to the one with the null trace. *)
+let test_monitoring_is_inert () =
+  let s = Scenario.generate ~root_seed:1 ~index:2 ~protocols:all_protocols in
+  let run trace =
+    Runtime.run ~config:s.Scenario.config
+      ~workload:(Workload.open_loop ~rate:s.Scenario.rate ())
+      ~trace ()
+  in
+  let observed = run (Trace.ring ~capacity:(1 lsl 20)) in
+  let blind = run Trace.null in
+  Alcotest.(check bool) "summaries identical" true
+    (observed.Runtime.summary = blind.Runtime.summary);
+  Alcotest.(check bool) "ledgers identical" true
+    (observed.Runtime.ledgers = blind.Runtime.ledgers)
+
+(* --- acceptance: planted unsafe voting rule caught, shrunk, replayed --- *)
+
+(* (root_seed, index) pairs where the fuzzer catches the planted rule;
+   found by scanning seeds with `check fuzz --plant-broken-voting`. *)
+let known_failures = [ (5, 17); (7, 7); (11, 1); (12, 25) ]
+
+let broken_verdict ~root_seed ~index =
+  let s = Scenario.generate ~root_seed ~index ~protocols:all_protocols in
+  Fuzz.run_scenario ~wrap:Fuzz.broken_voting_rule s
+
+let test_broken_voting_caught_and_shrunk () =
+  let v = broken_verdict ~root_seed:5 ~index:17 in
+  Alcotest.(check bool) "planted rule violates agreement" true
+    (List.exists
+       (fun (viol : Monitor.violation) -> viol.Monitor.invariant = Monitor.Agreement)
+       v.Fuzz.report.Monitor.violations);
+  let m = Fuzz.shrink ~wrap:Fuzz.broken_voting_rule v in
+  Alcotest.(check bool) "shrunk invariant is agreement" true
+    (m.Fuzz.invariant = Monitor.Agreement);
+  let shrunk_faults = List.length m.Fuzz.scenario.Scenario.config.Config.faults in
+  Alcotest.(check bool)
+    (Printf.sprintf "reproducer has <= 5 fault events (%d)" shrunk_faults)
+    true (shrunk_faults <= 5);
+  (* Replay: the minimized scenario re-runs to the same verdict, twice. *)
+  let r1 = Fuzz.run_scenario ~wrap:Fuzz.broken_voting_rule m.Fuzz.scenario in
+  let r2 = Fuzz.run_scenario ~wrap:Fuzz.broken_voting_rule m.Fuzz.scenario in
+  Alcotest.(check bool) "replay verdict stable" true
+    (r1.Fuzz.report = r2.Fuzz.report);
+  Alcotest.(check bool) "replay still violates agreement" true
+    (List.exists
+       (fun (viol : Monitor.violation) -> viol.Monitor.invariant = Monitor.Agreement)
+       r1.Fuzz.report.Monitor.violations);
+  (* Without the planted rule the same scenario is safe. *)
+  let honest = Fuzz.run_scenario m.Fuzz.scenario in
+  Alcotest.(check bool) "honest replay has no agreement violation" true
+    (not
+       (List.exists
+          (fun (viol : Monitor.violation) -> viol.Monitor.invariant = Monitor.Agreement)
+          honest.Fuzz.report.Monitor.violations));
+  (* The reproducer artifact round-trips. *)
+  match Fuzz.artifact_of_json (Fuzz.artifact_to_json m) with
+  | Ok (s, inv) ->
+      Alcotest.(check bool) "artifact scenario round-trips" true
+        (s = m.Fuzz.scenario);
+      Alcotest.(check bool) "artifact invariant round-trips" true
+        (inv = Monitor.Agreement)
+  | Error e -> Alcotest.failf "artifact does not round-trip: %s" e
+
+(* --- properties --- *)
+
+(* Shrinking preserves the violated invariant and never grows the fault
+   schedule, whatever failure the fuzzer starts from. *)
+let shrink_preserves_invariant =
+  QCheck.Test.make ~count:2 ~name:"shrink preserves the failing invariant"
+    (QCheck.make (QCheck.Gen.oneofl known_failures))
+    (fun (root_seed, index) ->
+      let v = broken_verdict ~root_seed ~index in
+      if not (Fuzz.failed v) then
+        QCheck.Test.fail_reportf "seed %d index %d no longer fails" root_seed
+          index;
+      let target =
+        (List.hd v.Fuzz.report.Monitor.violations).Monitor.invariant
+      in
+      let m = Fuzz.shrink ~wrap:Fuzz.broken_voting_rule v in
+      let replay =
+        Fuzz.run_scenario ~wrap:Fuzz.broken_voting_rule m.Fuzz.scenario
+      in
+      m.Fuzz.invariant = target
+      && List.exists
+           (fun (viol : Monitor.violation) -> viol.Monitor.invariant = target)
+           replay.Fuzz.report.Monitor.violations
+      && List.length m.Fuzz.scenario.Scenario.config.Config.faults
+         <= List.length v.Fuzz.scenario.Scenario.config.Config.faults)
+
+(* The fuzz verdict list is a pure function of (root_seed, budget,
+   protocols): the job count must not leak into the results. *)
+let fuzz_jobs_invariant =
+  QCheck.Test.make ~count:2 ~name:"fuzz verdicts identical at jobs=1 and jobs=4"
+    QCheck.(make Gen.(int_range 1 1000))
+    (fun root_seed ->
+      let run jobs =
+        Fuzz.fuzz ~root_seed ~budget:3 ~jobs ~protocols:all_protocols ()
+      in
+      run 1 = run 4)
+
+let suite =
+  [
+    Alcotest.test_case "cert-unique monitor" `Quick test_cert_unique;
+    Alcotest.test_case "vote-safety monitor" `Quick test_vote_safety;
+    Alcotest.test_case "agreement monitor" `Quick test_agreement;
+    Alcotest.test_case "liveness monitor" `Quick test_liveness;
+    Alcotest.test_case "combined adversaries" `Slow test_combined_adversaries;
+    Alcotest.test_case "generated scenarios healthy" `Slow
+      test_generated_scenarios_healthy;
+    Alcotest.test_case "monitoring is inert" `Slow test_monitoring_is_inert;
+    Alcotest.test_case "broken voting rule caught, shrunk, replayed" `Slow
+      test_broken_voting_caught_and_shrunk;
+    QCheck_alcotest.to_alcotest shrink_preserves_invariant;
+    QCheck_alcotest.to_alcotest fuzz_jobs_invariant;
+  ]

@@ -78,6 +78,54 @@ let test_schedule_json_strict () =
   expect_error "missing kind" {|[{"at":1,"node":0}]|};
   expect_error "not a list" {|{"kind":"crash","node":0}|}
 
+(* Rejections must say where in the document and what value offended, so a
+   user can fix a hand-written schedule without bisecting it. *)
+let expect_message name json fragments =
+  match Schedule.of_json (Json.of_string json) with
+  | Ok _ -> Alcotest.failf "%s: accepted" name
+  | Error msg ->
+      List.iter
+        (fun fragment ->
+          let contains =
+            let ml = String.length msg and fl = String.length fragment in
+            let rec go i =
+              i + fl <= ml && (String.sub msg i fl = fragment || go (i + 1))
+            in
+            go 0
+          in
+          if not contains then
+            Alcotest.failf "%s: error %S does not mention %S" name msg fragment)
+        fragments
+
+let test_schedule_json_error_messages () =
+  expect_message "entry path"
+    {|[{"kind":"crash","node":0},{"kind":"crash"}]|}
+    [ "faults[1]"; "node" ];
+  expect_message "non-numeric field shows value"
+    {|[{"kind":"delay","mu":"fast"}]|}
+    [ "faults[0].mu"; "number"; "milliseconds"; {|"fast"|} ];
+  expect_message "unknown kind lists valid kinds"
+    {|[{"kind":"dealy","at":1}]|}
+    [ "faults[0].kind"; {|"dealy"|}; "delay"; "partition" ];
+  expect_message "unknown key shows key, value and valid keys"
+    {|[{"kind":"crash","at":1,"nod":2}]|}
+    [ "faults[0]"; {|"nod"|}; "2"; {|"crash"|}; "until" ];
+  expect_message "bad node set shows value"
+    {|[{"kind":"delay","mu":3,"src":"leader"}]|}
+    [ "faults[0].src"; {|"leader"|}; "all" ];
+  expect_message "bad partition ids show value"
+    {|[{"kind":"partition","a":[0,"x"]}]|}
+    [ "faults[0].a"; {|"x"|} ];
+  expect_message "non-object entry shows value"
+    {|[17]|}
+    [ "faults[0]"; "object"; "17" ];
+  expect_message "non-list schedule shows value"
+    {|{"kind":"crash","node":0}|}
+    [ "list"; "crash" ];
+  expect_message "bad at shows units"
+    {|[{"kind":"crash","node":0,"at":"soon"}]|}
+    [ "faults[0].at"; "seconds"; {|"soon"|} ]
+
 let test_schedule_validate () =
   let entry spec = { Schedule.at = 1.0; until = None; spec } in
   let bad name schedule =
@@ -325,6 +373,8 @@ let suite =
     Alcotest.test_case "schedule JSON units" `Quick test_schedule_json_units;
     Alcotest.test_case "schedule JSON strictness" `Quick
       test_schedule_json_strict;
+    Alcotest.test_case "schedule JSON error messages" `Quick
+      test_schedule_json_error_messages;
     Alcotest.test_case "schedule validation" `Quick test_schedule_validate;
     Alcotest.test_case "config faults section" `Quick test_config_faults_section;
     Alcotest.test_case "inert schedule bit-identical" `Quick

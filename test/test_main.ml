@@ -29,6 +29,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("experiments.parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
+      ("check", Test_check.suite);
       ("obs.trace", Test_trace.suite);
       ("kvstore", Test_kvstore.suite);
       ("transport", Test_transport.suite);
