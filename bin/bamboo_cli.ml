@@ -6,14 +6,15 @@
      experiment  - regenerate one paper table/figure (or "all")
      config      - print the default configuration as JSON
      check       - invariant fuzzer: "check fuzz" and "check replay"
+     lint        - AST-level determinism linter over the OCaml sources
    A JSON configuration file (--config) seeds any subcommand's settings;
    individual flags override it.
 
    Exit codes are uniform across subcommands: 0 = success and all
    invariants held; 1 = an invariant was violated (safety violation or
    inconsistent prefixes in "run", a failing scenario in "check",
-   diverged rows in the bench harness); 2 = usage or configuration
-   error. *)
+   diverged rows in the bench harness, an error-severity lint finding);
+   2 = usage or configuration error. *)
 
 open Cmdliner
 
@@ -568,7 +569,11 @@ let check_cmd =
 let () =
   let doc = "Bamboo: prototyping and evaluation of chained-BFT protocols" in
   let info = Cmd.info "bamboo" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ run_cmd; model_cmd; experiment_cmd; config_cmd; check_cmd ]))
+  match
+    Cmd.eval_value
+      (Cmd.group info
+         [ run_cmd; model_cmd; experiment_cmd; config_cmd; check_cmd;
+           Lint_cli.cmd ])
+  with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error _ -> exit 2

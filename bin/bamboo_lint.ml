@@ -1,0 +1,5 @@
+(* Standalone linter driver: [bamboo_lint [PATH...]]. The same
+   functionality is reachable as [bamboo lint]; this binary exists so CI
+   and editors can run the linter without linking the full node. *)
+
+let () = exit (Lint_cli.main ())

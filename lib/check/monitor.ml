@@ -145,7 +145,14 @@ let check_vote_safety ~byz_no events =
                 (Printf.sprintf "replica %d voted twice in view %d" e.node
                    e.view)
             else Hashtbl.add voted (e.node, e.view) ()
-        | _ -> ())
+        (* Enumerated so that adding a Trace.kind forces a decision about
+           whether vote safety must observe it. *)
+        | Trace.Proposal_sent | Trace.Proposal_received | Trace.Vote_received
+        | Trace.Qc_formed | Trace.Timeout_received | Trace.View_change
+        | Trace.Commit | Trace.Fork_prune | Trace.Tx_enqueue
+        | Trace.Tx_dequeue | Trace.Service | Trace.Gauge | Trace.Fault_inject
+        | Trace.Fault_heal ->
+            ())
     events;
   List.rev !out
 
@@ -169,7 +176,7 @@ let liveness_applicability ~(config : Config.t) =
     match e.until with Some u when u < runtime -> u | _ -> e.at
   in
   let crashed_forever =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       (List.filter_map
          (fun (e : Schedule.entry) ->
            match e.spec with

@@ -31,7 +31,9 @@ let ktx v = Table.fmt_float ~decimals:1 (v /. 1000.0)
    results in submission order, so the rendered tables are byte-identical
    to a sequential run at any job count. *)
 
-let jobs_ref = ref (Pool.recommended_jobs ())
+(* Written only by [set_jobs] on the main domain before any Pool worker
+   starts; workers never touch it, so the shared ref cannot race. *)
+let[@lint.allow "domain-safety"] jobs_ref = ref (Pool.recommended_jobs ())
 
 let set_jobs n =
   if n < 1 then invalid_arg "Experiments.set_jobs: jobs must be >= 1";

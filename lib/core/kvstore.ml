@@ -65,8 +65,7 @@ let size = Hashtbl.length
 let get t key = Hashtbl.find_opt t key
 
 let state_hash t =
-  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] in
-  let entries = List.sort compare entries in
+  let entries = Bamboo_util.Tbl.sorted_bindings ~compare:String.compare t in
   let ctx = Bamboo_crypto.Sha256.init () in
   List.iter
     (fun (k, v) ->

@@ -179,7 +179,9 @@ let rec do_propose t out view =
      small and overtake the block broadcast), proposing now would build on
      a stale parent and fork the chain; wait for the block — its arrival
      re-triggers the proposal, and the view timer backstops the wait. *)
-  let blind_qc =
+  (* Bucket order is irrelevant here: the fold computes a commutative OR
+     over the pending QCs, so any visit order yields the same boolean. *)
+  let[@lint.allow "no-order-leak"] blind_qc =
     Hashtbl.fold
       (fun _ (qc : Qc.t) acc -> acc || qc.view >= view - 1)
       t.pending_qcs false
@@ -440,9 +442,11 @@ let handle_timer t out = function
                  after = Pacemaker.timer_duration t.pacemaker;
                });
           (* Retry outstanding block fetches against the next peer — the
-             earlier request or its reply may have been lost. *)
-          Hashtbl.iter
-            (fun hash last_dst ->
+             earlier request or its reply may have been lost. The snapshot
+             is sorted by hash so the emitted Send sequence (and hence the
+             trace) does not depend on bucket order. *)
+          List.iter
+            (fun (hash, last_dst) ->
               if not (Forest.mem t.forest hash) then begin
                 let dst = ref ((last_dst + 1) mod t.config.Config.n) in
                 if !dst = t.self then
@@ -458,7 +462,8 @@ let handle_timer t out = function
                        })
                 end
               end)
-            (Hashtbl.copy t.requested);
+            (Bamboo_util.Tbl.sorted_bindings ~compare:String.compare
+               t.requested);
           handle_timeout_msg t out tm)
   | Propose_at view ->
       if Pacemaker.current_view t.pacemaker = view then do_propose t out view

@@ -500,8 +500,16 @@ let start_open_loop st ~rate ~broadcast =
             in
             Hashtbl.replace by_target target (tx :: prev)
           done;
+          (* Walk targets in replica order rather than folding the table:
+             the batch list's order reaches the trace sink via issue_txs,
+             so it must not depend on bucket layout. *)
           issue_txs st ~client:0
-            (Hashtbl.fold (fun tgt txs acc -> (tgt, txs) :: acc) by_target [])
+            (List.filter_map
+               (fun tgt ->
+                 Option.map
+                   (fun txs -> (tgt, txs))
+                   (Hashtbl.find_opt by_target tgt))
+               (List.init st.config.n Fun.id))
         end
       end;
       Sim.schedule st.sim ~delay:tick tick_fn

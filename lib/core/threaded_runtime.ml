@@ -1,6 +1,11 @@
 open Bamboo_types
 module Forest = Bamboo_forest.Forest
 
+(* This runtime drives real system threads over real sockets/channels, so
+   wall-clock reads are its time base by design; reproducibility is the
+   simulator's job (lib/sim + runtime.ml), not this deployment path's. *)
+[@@@lint.allow "no-ambient-nondeterminism"]
+
 type report = {
   duration : float;
   committed_txs : int;
@@ -15,7 +20,7 @@ type report = {
 
 type shared = {
   mutex : Mutex.t;
-  issue_times : (Tx.id, float) Hashtbl.t;
+  issue_times : float Tx.Id_tbl.t;
   mutable latency_total : float;
   mutable latency_count : int;
   mutable committed : Tx.Id_set.t;
@@ -72,7 +77,7 @@ module Make (T : Bamboo_network.Transport.S) = struct
                   (fun (tx : Tx.t) ->
                     if not (Tx.Id_set.mem tx.id shared.committed) then begin
                       shared.committed <- Tx.Id_set.add tx.id shared.committed;
-                      match Hashtbl.find_opt shared.issue_times tx.id with
+                      match Tx.Id_tbl.find_opt shared.issue_times tx.id with
                       | Some t0 ->
                           shared.latency_total <-
                             shared.latency_total +. (now -. t0);
@@ -124,7 +129,7 @@ module Make (T : Bamboo_network.Transport.S) = struct
     let shared =
       {
         mutex = Mutex.create ();
-        issue_times = Hashtbl.create 1024;
+        issue_times = Tx.Id_tbl.create 1024;
         latency_total = 0.0;
         latency_count = 0;
         committed = Tx.Id_set.empty;
@@ -162,7 +167,7 @@ module Make (T : Bamboo_network.Transport.S) = struct
     Mutex.lock cluster.shared.mutex;
     List.iter
       (fun (tx : Tx.t) ->
-        Hashtbl.replace cluster.shared.issue_times tx.id now)
+        Tx.Id_tbl.replace cluster.shared.issue_times tx.id now)
       txs;
     Mutex.unlock cluster.shared.mutex;
     let ctx = cluster.replicas.(replica) in

@@ -1,4 +1,5 @@
 open Bamboo_types
+module Tbl = Bamboo_util.Tbl
 
 type t = {
   blocks : (Ids.hash, Block.t) Hashtbl.t; (* uncommitted vertices *)
@@ -141,30 +142,43 @@ let commit t target =
             in
             walk b.Block.hash
           in
+          (* Snapshot in hash order, then stable-sort by height: the
+             pruned-block list reaches the Fork_prune trace events, so
+             equal-height ties must not fall back to bucket order. *)
           let dead =
-            Hashtbl.fold
-              (fun _ b acc -> if descends_from_head b then acc else b :: acc)
-              t.blocks []
+            List.filter_map
+              (fun (_, b) -> if descends_from_head b then None else Some b)
+              (Tbl.sorted_bindings ~compare:String.compare t.blocks)
           in
           List.iter
             (fun (b : Block.t) ->
               Hashtbl.remove t.blocks b.hash;
               Hashtbl.remove t.children b.hash)
             dead;
-          let by_height (a : Block.t) (b : Block.t) = compare a.height b.height in
-          Ok (newly, List.sort by_height dead))
+          let by_height (a : Block.t) (b : Block.t) =
+            Int.compare a.height b.height
+          in
+          Ok (newly, List.stable_sort by_height dead))
 
+(* Callers receive the uncommitted vertices in block-hash order so that
+   anything they accumulate (e.g. byzantine equivocation targets) is
+   independent of bucket layout. *)
 let fold_uncommitted t f init =
-  Hashtbl.fold (fun _ b acc -> f acc b) t.blocks init
+  List.fold_left
+    (fun acc (_, b) -> f acc b)
+    init
+    (Tbl.sorted_bindings ~compare:String.compare t.blocks)
 
 let tip_candidates t =
   let leaves =
-    Hashtbl.fold
-      (fun h b acc -> if children t h = [] then b :: acc else acc)
-      t.blocks []
+    List.filter_map
+      (fun (h, b) -> if children t h = [] then Some b else None)
+      (Tbl.sorted_bindings ~compare:String.compare t.blocks)
   in
   let head = last_committed t in
   let leaves = if leaves = [] then [ head ] else leaves in
-  List.sort
-    (fun (a : Block.t) (b : Block.t) -> compare b.height a.height)
+  (* Stable sort on top of the hash-ordered snapshot: equal-height tips
+     tie-break on hash, deterministically. *)
+  List.stable_sort
+    (fun (a : Block.t) (b : Block.t) -> Int.compare b.height a.height)
     leaves

@@ -74,7 +74,9 @@ val commit :
     transactions must be returned to the mempool. *)
 
 val fold_uncommitted : t -> ('a -> Block.t -> 'a) -> 'a -> 'a
-(** Folds over all uncommitted blocks, in no particular order. *)
+(** Folds over all uncommitted blocks in block-hash order, so the result
+    is independent of hash-table bucket layout. *)
 
 val tip_candidates : t -> Block.t list
-(** Leaves of the forest (blocks with no children), highest first. *)
+(** Leaves of the forest (blocks with no children), highest first;
+    equal-height tips tie-break on block hash. *)

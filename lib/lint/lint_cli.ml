@@ -1,0 +1,88 @@
+(* Command-line front end, shared by the standalone [bamboo_lint]
+   executable and the [bamboo lint] subcommand.
+
+   Exit codes follow the repository-wide contract (README "Exit
+   codes"): 0 = clean (warnings allowed), 1 = at least one
+   error-severity finding (including orphan suppressions), 2 = usage or
+   I/O error. *)
+
+open Cmdliner
+module E = Lint_engine
+module Json = Bamboo_util.Json
+
+let paths_t =
+  Arg.(
+    value
+    & pos_all string [ "lib" ]
+    & info [] ~docv:"PATH"
+        ~doc:"Files or directories to lint (default: $(b,lib)).")
+
+let json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the machine-readable report as JSON on stdout.")
+
+let out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Also write the JSON report to $(docv) (written even when \
+           findings fail the run, so CI can upload it as an artifact).")
+
+let rules_t =
+  Arg.(
+    value & flag
+    & info [ "rules" ] ~doc:"List the registered rules and exit.")
+
+let list_rules () =
+  List.iter
+    (fun (r : E.rule) ->
+      Printf.printf "%-26s %-5s %s\n    protects: %s\n" r.E.id
+        (E.severity_name r.E.severity)
+        r.E.summary r.E.protects)
+    Lint_rules.all
+
+let run rules_flag json out paths =
+  if rules_flag then begin
+    list_rules ();
+    exit 0
+  end;
+  match E.lint_paths ~rules:Lint_rules.all paths with
+  | Error msg ->
+      Printf.eprintf "bamboo-lint: %s\n" msg;
+      exit 2
+  | Ok (files, findings) ->
+      let report = E.report_to_json ~files findings in
+      (match out with
+      | None -> ()
+      | Some path -> (
+          match open_out path with
+          | exception Sys_error e ->
+              Printf.eprintf "bamboo-lint: cannot write report: %s\n" e;
+              exit 2
+          | oc ->
+              output_string oc (Json.to_string ~indent:true report);
+              output_char oc '\n';
+              close_out oc));
+      if json then print_endline (Json.to_string ~indent:true report)
+      else begin
+        List.iter (fun f -> print_endline (E.render f)) findings;
+        Printf.printf "bamboo-lint: %d error(s), %d warning(s) in %d file(s)\n"
+          (E.errors findings) (E.warnings findings) files
+      end;
+      exit (E.exit_code findings)
+
+let term = Term.(const run $ rules_t $ json_t $ out_t $ paths_t)
+
+let doc =
+  "AST-level determinism and domain-safety linter over the OCaml sources"
+
+let cmd = Cmd.v (Cmd.info "lint" ~doc) term
+
+let main () =
+  match Cmd.eval_value (Cmd.v (Cmd.info "bamboo-lint" ~version:"1.0.0" ~doc) term) with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+  | Error _ -> 2

@@ -1,0 +1,9 @@
+(** Cmdliner front end for the linter; see README "Static analysis". *)
+
+val cmd : unit Cmdliner.Cmd.t
+(** The [lint] subcommand, grouped into the main [bamboo] CLI. *)
+
+val main : unit -> int
+(** Entry point for the standalone [bamboo_lint] executable. Returns the
+    process exit code: 0 clean, 1 error-severity findings, 2 usage
+    error. *)

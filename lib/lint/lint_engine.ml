@@ -1,0 +1,509 @@
+(* AST-level linter infrastructure.
+
+   Every headline property of this reproduction — byte-identical
+   experiment output at any job count, seed-reproducible fuzzing,
+   trace-validated latency decomposition — rests on coding rules (no
+   ambient randomness, no wall-clock reads, no unordered Hashtbl
+   iteration reaching output, no shared mutable top-level state) that
+   used to live only in review comments. This module turns them into a
+   compiled checker: it parses every .ml/.mli under the given roots with
+   the compiler's own parser (compiler-libs) and runs a registry of
+   syntactic rules (see {!Lint_rules}) over the parsetrees.
+
+   Findings are reported as [file:line:col [rule-id] severity: message]
+   and can be suppressed inline:
+
+   - [let[@lint.allow "rule-id"] x = ...] on a value binding,
+   - [(expr [@lint.allow "rule-id"])] on an expression,
+   - [[@@@lint.allow "rule-id"]] floating at the top of a file.
+
+   A suppression that matches no finding is itself an error-severity
+   finding ([orphan-suppression]), so stale allowances cannot linger. *)
+
+type severity = Error | Warn
+
+let severity_name = function Error -> "error" | Warn -> "warn"
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based character offset, like the compiler's output. *)
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+(* --- path scoping --- *)
+
+let segments path =
+  String.map (function '\\' -> '/' | c -> c) path
+  |> String.split_on_char '/'
+  |> List.filter (fun s -> s <> "" && s <> ".")
+
+let under dirs segs =
+  let rec starts_with prefix l =
+    match (prefix, l) with
+    | [], _ -> true
+    | _, [] -> false
+    | p :: ps, x :: xs -> String.equal p x && starts_with ps xs
+  in
+  let rec scan = function
+    | [] -> false
+    | _ :: rest as l -> starts_with dirs l || scan rest
+  in
+  scan segs
+
+let under_any dirss segs = List.exists (fun dirs -> under dirs segs) dirss
+
+(* --- rules --- *)
+
+type rule_ctx = {
+  add : Location.t -> string -> unit;
+  trace_kinds : string list;
+      (** Constructor names of [Bamboo_obs.Trace.kind], parsed from
+          [lib/obs/trace.mli] when it is among the linted sources. *)
+}
+
+type rule = {
+  id : string;
+  severity : severity;
+  summary : string;  (** One line for [--rules] and the README table. *)
+  protects : string;  (** The determinism claim the rule defends. *)
+  scope : string list -> bool;  (** Applied to the path's segments. *)
+  on_expr : (rule_ctx -> Parsetree.expression -> unit) option;
+  on_structure_item : (rule_ctx -> Parsetree.structure_item -> unit) option;
+  on_typ : (rule_ctx -> Parsetree.core_type -> unit) option;
+}
+
+(* Fallback when lib/obs/trace.mli is not among the linted sources (for
+   instance when linting a single file); kept in sync by the fixture in
+   test_lint.ml that compares it against the parsed list. *)
+let default_trace_kinds =
+  [
+    "Proposal_sent";
+    "Proposal_received";
+    "Vote_sent";
+    "Vote_received";
+    "Qc_formed";
+    "Timeout_fired";
+    "Timeout_received";
+    "View_change";
+    "Commit";
+    "Fork_prune";
+    "Tx_enqueue";
+    "Tx_dequeue";
+    "Service";
+    "Gauge";
+    "Fault_inject";
+    "Fault_heal";
+  ]
+
+(* --- parsing --- *)
+
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+let pos_pair (p : Lexing.position) = (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  try
+    if Filename.check_suffix path ".mli" then Ok (Intf (Parse.interface lexbuf))
+    else Ok (Impl (Parse.implementation lexbuf))
+  with exn ->
+    let line, col, message =
+      match Location.error_of_exn exn with
+      | Some (`Ok report) ->
+          let msg = report.Location.main in
+          let line, col = pos_pair msg.Location.loc.Location.loc_start in
+          (line, col, Format.asprintf "%t" msg.Location.txt)
+      | Some `Already_displayed | None -> (1, 0, Printexc.to_string exn)
+    in
+    Error { file = path; line; col; rule = "parse-error"; severity = Error; message }
+
+(* --- raw findings --- *)
+
+let raw_findings ~rules ~trace_kinds ~path ~segs ast =
+  let out = ref [] in
+  let active = List.filter (fun r -> r.scope segs) rules in
+  let hooks select =
+    List.filter_map
+      (fun r ->
+        match select r with
+        | None -> None
+        | Some check ->
+            let ctx =
+              {
+                add =
+                  (fun (loc : Location.t) message ->
+                    let line, col = pos_pair loc.Location.loc_start in
+                    out :=
+                      {
+                        file = path;
+                        line;
+                        col;
+                        rule = r.id;
+                        severity = r.severity;
+                        message;
+                      }
+                      :: !out);
+                trace_kinds;
+              }
+            in
+            Some (check ctx))
+      active
+  in
+  let expr_hooks = hooks (fun r -> r.on_expr) in
+  let str_hooks = hooks (fun r -> r.on_structure_item) in
+  let typ_hooks = hooks (fun r -> r.on_typ) in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      Ast_iterator.expr =
+        (fun it e ->
+          List.iter (fun f -> f e) expr_hooks;
+          default.Ast_iterator.expr it e);
+      structure_item =
+        (fun it si ->
+          List.iter (fun f -> f si) str_hooks;
+          default.Ast_iterator.structure_item it si);
+      typ =
+        (fun it t ->
+          List.iter (fun f -> f t) typ_hooks;
+          default.Ast_iterator.typ it t);
+    }
+  in
+  (match ast with
+  | Impl str -> it.Ast_iterator.structure it str
+  | Intf sg -> it.Ast_iterator.signature it sg);
+  List.rev !out
+
+(* --- suppressions --- *)
+
+type suppression = {
+  sup_rule : string;
+  sup_line : int;
+  sup_col : int;  (* where to report orphans *)
+  sup_from : int * int;
+  sup_to : int * int;  (* inclusive span the suppression covers *)
+  mutable sup_used : bool;
+}
+
+let allow_name = "lint.allow"
+
+(* [Some (Ok id)] for a well-formed [@lint.allow "id"], [Some (Error _)]
+   for a malformed payload, [None] for unrelated attributes. *)
+let allow_payload (attr : Parsetree.attribute) =
+  if not (String.equal attr.Parsetree.attr_name.txt allow_name) then None
+  else
+    match attr.Parsetree.attr_payload with
+    | Parsetree.PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ( { pexp_desc = Pexp_constant (Pconst_string (id, _, _)); _ },
+                  _ );
+            _;
+          };
+        ] ->
+        Some (Ok id)
+    | _ -> Some (Error "[@lint.allow] expects a single string-literal rule id")
+
+let whole_file_span = ((1, 0), (max_int, max_int))
+
+let collect_suppressions ~path ast =
+  let sups = ref [] and errs = ref [] in
+  let record ~span (attr : Parsetree.attribute) =
+    match allow_payload attr with
+    | None -> ()
+    | Some (Error message) ->
+        let line, col = pos_pair attr.Parsetree.attr_loc.Location.loc_start in
+        errs :=
+          {
+            file = path;
+            line;
+            col;
+            rule = "orphan-suppression";
+            severity = Error;
+            message;
+          }
+          :: !errs
+    | Some (Ok id) ->
+        let line, col = pos_pair attr.Parsetree.attr_loc.Location.loc_start in
+        let sup_from, sup_to = span in
+        sups :=
+          {
+            sup_rule = id;
+            sup_line = line;
+            sup_col = col;
+            sup_from;
+            sup_to;
+            sup_used = false;
+          }
+          :: !sups
+  in
+  let span_of (loc : Location.t) =
+    (pos_pair loc.Location.loc_start, pos_pair loc.Location.loc_end)
+  in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      Ast_iterator.expr =
+        (fun it e ->
+          List.iter
+            (record ~span:(span_of e.Parsetree.pexp_loc))
+            e.Parsetree.pexp_attributes;
+          default.Ast_iterator.expr it e);
+      value_binding =
+        (fun it vb ->
+          List.iter
+            (record ~span:(span_of vb.Parsetree.pvb_loc))
+            vb.Parsetree.pvb_attributes;
+          default.Ast_iterator.value_binding it vb);
+      structure_item =
+        (fun it si ->
+          (match si.Parsetree.pstr_desc with
+          | Pstr_attribute attr -> record ~span:whole_file_span attr
+          | Pstr_eval (_, attrs) ->
+              List.iter (record ~span:(span_of si.Parsetree.pstr_loc)) attrs
+          | _ -> ());
+          default.Ast_iterator.structure_item it si);
+      signature_item =
+        (fun it si ->
+          (match si.Parsetree.psig_desc with
+          | Psig_attribute attr -> record ~span:whole_file_span attr
+          | _ -> ());
+          default.Ast_iterator.signature_item it si);
+    }
+  in
+  (match ast with
+  | Impl str -> it.Ast_iterator.structure it str
+  | Intf sg -> it.Ast_iterator.signature it sg);
+  (List.rev !sups, List.rev !errs)
+
+let within (l, c) (fl, fc) (tl, tc) =
+  (l > fl || (l = fl && c >= fc)) && (l < tl || (l = tl && c <= tc))
+
+(* --- per-file pipeline --- *)
+
+let lint_file ~rules ~trace_kinds path ast =
+  let segs = segments path in
+  let raw = raw_findings ~rules ~trace_kinds ~path ~segs ast in
+  let sups, malformed = collect_suppressions ~path ast in
+  let known = List.map (fun r -> r.id) rules in
+  let sups, unknown =
+    List.partition (fun s -> List.mem s.sup_rule known) sups
+  in
+  let unknown_findings =
+    List.map
+      (fun s ->
+        {
+          file = path;
+          line = s.sup_line;
+          col = s.sup_col;
+          rule = "orphan-suppression";
+          severity = Error;
+          message =
+            Printf.sprintf "unknown rule id %S in [@lint.allow]" s.sup_rule;
+        })
+      unknown
+  in
+  let kept =
+    List.filter
+      (fun f ->
+        match
+          List.find_opt
+            (fun s ->
+              String.equal s.sup_rule f.rule
+              && within (f.line, f.col) s.sup_from s.sup_to)
+            sups
+        with
+        | Some s ->
+            s.sup_used <- true;
+            false
+        | None -> true)
+      raw
+  in
+  let orphans =
+    List.filter_map
+      (fun s ->
+        if s.sup_used then None
+        else
+          Some
+            {
+              file = path;
+              line = s.sup_line;
+              col = s.sup_col;
+              rule = "orphan-suppression";
+              severity = Error;
+              message =
+                Printf.sprintf
+                  "suppression of %S matched no finding; remove it (or fix \
+                   the rule id)"
+                  s.sup_rule;
+            })
+      sups
+  in
+  kept @ malformed @ unknown_findings @ orphans
+
+(* --- trace-kind discovery --- *)
+
+let rec ends_with suffix segs =
+  let ls = List.length suffix and lg = List.length segs in
+  if lg < ls then false
+  else if lg = ls then List.for_all2 String.equal suffix segs
+  else match segs with [] -> false | _ :: rest -> ends_with suffix rest
+
+let kind_constructors (d : Parsetree.type_declaration) =
+  if String.equal d.ptype_name.txt "kind" then
+    match d.ptype_kind with
+    | Ptype_variant ctors ->
+        Some (List.map (fun (c : Parsetree.constructor_declaration) -> c.pcd_name.txt) ctors)
+    | _ -> None
+  else None
+
+let trace_kinds_of parsed =
+  List.find_map
+    (fun (path, ast) ->
+      if not (ends_with [ "obs"; "trace.mli" ] (segments path)) then None
+      else
+        match ast with
+        | Intf sg ->
+            List.find_map
+              (fun (item : Parsetree.signature_item) ->
+                match item.psig_desc with
+                | Psig_type (_, decls) -> List.find_map kind_constructors decls
+                | _ -> None)
+              sg
+        | Impl _ -> None)
+    parsed
+
+(* --- entry points --- *)
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let lint_sources ?trace_kinds ~rules sources =
+  let parsed, parse_errors =
+    List.fold_left
+      (fun (parsed, errs) (path, contents) ->
+        match parse ~path contents with
+        | Ok ast -> ((path, ast) :: parsed, errs)
+        | Error f -> (parsed, f :: errs))
+      ([], []) sources
+  in
+  let parsed = List.rev parsed and parse_errors = List.rev parse_errors in
+  let trace_kinds =
+    match trace_kinds with
+    | Some k -> k
+    | None ->
+        Option.value (trace_kinds_of parsed) ~default:default_trace_kinds
+  in
+  let findings =
+    List.concat_map
+      (fun (path, ast) -> lint_file ~rules ~trace_kinds path ast)
+      parsed
+  in
+  List.sort compare_findings (parse_errors @ findings)
+
+let skip_dir name =
+  String.equal name "_build" || String.equal name ".git"
+  || String.equal name "_opam"
+
+let collect_files paths =
+  let files = ref [] in
+  let rec go path : (unit, string) result =
+    match Sys.is_directory path with
+    | exception Sys_error e -> Error e
+    | true ->
+        let entries =
+          List.sort String.compare (Array.to_list (Sys.readdir path))
+        in
+        List.fold_left
+          (fun (r : (unit, string) result) name ->
+            match r with
+            | Error _ -> r
+            | Ok () ->
+                if skip_dir name then Ok ()
+                else go (Filename.concat path name))
+          (Ok ()) entries
+    | false ->
+        if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+        then files := path :: !files;
+        Ok ()
+  in
+  let rec all : string list -> (string list, string) result = function
+    | [] -> Ok (List.sort String.compare !files)
+    | p :: rest -> ( match go p with Ok () -> all rest | Error e -> Error e)
+  in
+  all paths
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_paths ?trace_kinds ~rules paths :
+    (int * finding list, string) result =
+  match collect_files paths with
+  | Error e -> Error e
+  | Ok files -> (
+      let rec read_all acc : string list -> ((string * string) list, string) result
+          = function
+        | [] -> Ok (List.rev acc)
+        | f :: rest -> (
+            match read_file f with
+            | contents -> read_all ((f, contents) :: acc) rest
+            | exception Sys_error e -> Error e)
+      in
+      match read_all [] files with
+      | Error e -> Error e
+      | Ok sources ->
+          Ok (List.length files, lint_sources ?trace_kinds ~rules sources))
+
+(* --- reporting --- *)
+
+let errors (findings : finding list) =
+  List.length (List.filter (fun (f : finding) -> f.severity = Error) findings)
+
+let warnings (findings : finding list) =
+  List.length (List.filter (fun (f : finding) -> f.severity = Warn) findings)
+
+let exit_code findings = if errors findings > 0 then 1 else 0
+
+let render f =
+  Printf.sprintf "%s:%d:%d [%s] %s: %s" f.file f.line f.col f.rule
+    (severity_name f.severity) f.message
+
+module Json = Bamboo_util.Json
+
+let finding_to_json (f : finding) =
+  Json.Obj
+    [
+      ("file", Json.String f.file);
+      ("line", Json.Int f.line);
+      ("col", Json.Int f.col);
+      ("rule", Json.String f.rule);
+      ("severity", Json.String (severity_name f.severity));
+      ("message", Json.String f.message);
+    ]
+
+let report_to_json ~files findings =
+  Json.Obj
+    [
+      ("files", Json.Int files);
+      ("errors", Json.Int (errors findings));
+      ("warnings", Json.Int (warnings findings));
+      ("findings", Json.List (List.map finding_to_json findings));
+    ]

@@ -1,0 +1,104 @@
+(** AST-level linter infrastructure.
+
+    Parses .ml/.mli sources with the compiler's own parser
+    (compiler-libs) and runs a registry of syntactic rules over the
+    parsetrees. The rules themselves live in {!Lint_rules}; this module
+    owns parsing, scoping, suppression handling, reporting and the JSON
+    encoding of reports.
+
+    Suppression syntax (all payloads are a single string-literal rule
+    id; a suppression that matches no finding is an error):
+
+    - [let[@lint.allow "rule-id"] x = ...] — covers the binding,
+    - [(expr [@lint.allow "rule-id"])] — covers the expression,
+    - [[@@@lint.allow "rule-id"]] — floating, covers the whole file. *)
+
+type severity = Error | Warn
+
+val severity_name : severity -> string
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based character offset, like the compiler's output. *)
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+(** {2 Path scoping}
+
+    Rules scope themselves with predicates over the ['/']-separated
+    segments of a file's path, so ["lib/sim/sim.ml"] and
+    ["../lib/sim/sim.ml"] land in the same scope. *)
+
+val segments : string -> string list
+
+val under : string list -> string list -> bool
+(** [under ["lib"; "sim"] segs] holds when the consecutive segment
+    sequence [lib/sim] occurs anywhere in [segs]. *)
+
+val under_any : string list list -> string list -> bool
+
+(** {2 Rules} *)
+
+type rule_ctx = {
+  add : Location.t -> string -> unit;
+  trace_kinds : string list;
+      (** Constructor names of [Bamboo_obs.Trace.kind], parsed from
+          [lib/obs/trace.mli] when it is among the linted sources, else
+          a built-in fallback. *)
+}
+
+type rule = {
+  id : string;
+  severity : severity;
+  summary : string;  (** One line for [--rules] and the README table. *)
+  protects : string;  (** The determinism claim the rule defends. *)
+  scope : string list -> bool;  (** Applied to the path's segments. *)
+  on_expr : (rule_ctx -> Parsetree.expression -> unit) option;
+  on_structure_item : (rule_ctx -> Parsetree.structure_item -> unit) option;
+  on_typ : (rule_ctx -> Parsetree.core_type -> unit) option;
+}
+
+val default_trace_kinds : string list
+
+(** {2 Running the linter} *)
+
+val lint_sources :
+  ?trace_kinds:string list ->
+  rules:rule list ->
+  (string * string) list ->
+  finding list
+(** [lint_sources ~rules [(path, contents); ...]] lints in-memory
+    sources (used by the test fixtures). Findings are sorted by
+    [(file, line, col, rule)]. Unparseable sources produce a
+    [parse-error] finding instead of aborting. *)
+
+val collect_files : string list -> (string list, string) result
+(** Expand files and directories (recursively, skipping [_build],
+    [.git] and [_opam]) into a sorted list of .ml/.mli files. *)
+
+val lint_paths :
+  ?trace_kinds:string list ->
+  rules:rule list ->
+  string list ->
+  (int * finding list, string) result
+(** [lint_paths ~rules paths] is [Ok (files_scanned, findings)], or
+    [Error msg] when a path cannot be read (a usage error: exit 2). *)
+
+(** {2 Reporting} *)
+
+val errors : finding list -> int
+val warnings : finding list -> int
+
+val exit_code : finding list -> int
+(** 0 when no error-severity findings remain, 1 otherwise (warnings do
+    not fail the run). *)
+
+val render : finding -> string
+(** [file:line:col [rule-id] severity: message]. *)
+
+val finding_to_json : finding -> Bamboo_util.Json.t
+
+val report_to_json : files:int -> finding list -> Bamboo_util.Json.t

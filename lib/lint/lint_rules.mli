@@ -1,0 +1,15 @@
+(** The rule registry. Each rule documents the determinism claim it
+    protects ({!Lint_engine.rule.protects}); the README's "Static
+    analysis" table is generated from the same metadata via
+    [bamboo lint --rules]. *)
+
+val all : Lint_engine.rule list
+(** Registry order is presentation order; findings are sorted by
+    location regardless. *)
+
+val no_ambient_nondeterminism : Lint_engine.rule
+val no_polymorphic_compare : Lint_engine.rule
+val no_poly_minmax : Lint_engine.rule
+val no_order_leak : Lint_engine.rule
+val domain_safety : Lint_engine.rule
+val exhaustive_trace_match : Lint_engine.rule

@@ -3,15 +3,18 @@ module Deque = Bamboo_util.Deque
 
 type status = Queued | In_flight | Committed
 
+(* Keyed by the boxed [Tx.id] record, so lookups go through the
+   monomorphic hash/equal of [Tx.Id_tbl] rather than the polymorphic
+   primitives. *)
 type t = {
   queue : Tx.t Deque.t;
-  status : (Tx.id, status) Hashtbl.t;
+  status : status Tx.Id_tbl.t;
   cap : int;
 }
 
 let create ?(capacity = 1000) () =
   if capacity <= 0 then invalid_arg "Mempool.create: capacity must be positive";
-  { queue = Deque.create (); status = Hashtbl.create 256; cap = capacity }
+  { queue = Deque.create (); status = Tx.Id_tbl.create 256; cap = capacity }
 
 let length t = Deque.length t.queue
 let is_empty t = Deque.is_empty t.queue
@@ -19,9 +22,9 @@ let capacity t = t.cap
 
 let add t (tx : Tx.t) =
   if Deque.length t.queue >= t.cap then false
-  else if Hashtbl.mem t.status tx.id then false
+  else if Tx.Id_tbl.mem t.status tx.id then false
   else begin
-    Hashtbl.add t.status tx.id Queued;
+    Tx.Id_tbl.add t.status tx.id Queued;
     Deque.push_back t.queue tx;
     true
   end
@@ -32,7 +35,7 @@ let requeue_front t txs =
   let count = ref 0 in
   List.iter
     (fun (tx : Tx.t) ->
-      match Hashtbl.find_opt t.status tx.id with
+      match Tx.Id_tbl.find_opt t.status tx.id with
       | Some Committed | Some Queued -> ()
       | None ->
           (* Not from this replica's pool: the forked block was proposed by
@@ -40,11 +43,11 @@ let requeue_front t txs =
           ()
       | Some In_flight ->
           if Deque.length t.queue < t.cap then begin
-            Hashtbl.replace t.status tx.id Queued;
+            Tx.Id_tbl.replace t.status tx.id Queued;
             Deque.push_front t.queue tx;
             incr count
           end
-          else Hashtbl.remove t.status tx.id)
+          else Tx.Id_tbl.remove t.status tx.id)
     (List.rev txs);
   !count
 
@@ -58,18 +61,18 @@ let batch t ~max =
       | Some tx -> (
           (* A queued tx may have been committed meanwhile through a block
              proposed elsewhere (client-broadcast mode); skip it. *)
-          match Hashtbl.find_opt t.status tx.Tx.id with
+          match Tx.Id_tbl.find_opt t.status tx.Tx.id with
           | Some Committed -> take acc k
           | Some Queued | Some In_flight | None ->
-              Hashtbl.replace t.status tx.Tx.id In_flight;
+              Tx.Id_tbl.replace t.status tx.Tx.id In_flight;
               take (tx :: acc) (k - 1))
   in
   take [] max
 
 let forget t txs =
-  List.iter (fun (tx : Tx.t) -> Hashtbl.replace t.status tx.Tx.id Committed) txs
+  List.iter (fun (tx : Tx.t) -> Tx.Id_tbl.replace t.status tx.Tx.id Committed) txs
 
 let contains t id =
-  match Hashtbl.find_opt t.status id with
+  match Tx.Id_tbl.find_opt t.status id with
   | Some Queued | Some In_flight -> true
   | Some Committed | None -> false

@@ -1,3 +1,7 @@
+(* Wall-clock reads implement receive timeouts on a real threaded
+   transport; determinism claims only cover the simulator path. *)
+[@@@lint.allow "no-ambient-nondeterminism"]
+
 type endpoint_state = {
   id : int;
   queue : Bamboo_types.Message.t Queue.t;

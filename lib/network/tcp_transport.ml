@@ -1,5 +1,9 @@
 open Bamboo_types
 
+(* Wall-clock reads here time out socket polls on a real deployment
+   transport; determinism claims only cover the simulator path. *)
+[@@@lint.allow "no-ambient-nondeterminism"]
+
 type t = {
   self : int;
   addresses : (int * Unix.sockaddr) list;

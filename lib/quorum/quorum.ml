@@ -12,28 +12,40 @@ type timeout_slot = {
   mutable tc : Tcert.t option;
 }
 
+(* Vote slots are keyed by (block hash, view). A functorial table with a
+   monomorphic hash/equal keeps the per-vote hot path off the polymorphic
+   primitives that would otherwise walk the boxed pair on every probe. *)
+module Vote_key = struct
+  type t = Ids.hash * Ids.view
+
+  let equal (h1, v1) (h2, v2) = Int.equal v1 v2 && String.equal h1 h2
+  let hash (h, v) = String.hash h lxor (v * 0x9e3779b1)
+end
+
+module Vote_tbl = Hashtbl.Make (Vote_key)
+
 type t = {
   n : int;
   quorum : int;
-  vote_slots : (Ids.hash * Ids.view, vote_slot) Hashtbl.t;
+  vote_slots : vote_slot Vote_tbl.t;
   timeout_slots : (Ids.view, timeout_slot) Hashtbl.t;
 }
 
 let create ~n =
   if n <= 0 then invalid_arg "Quorum.create: n must be positive";
   let f = (n - 1) / 3 in
-  { n; quorum = (2 * f) + 1; vote_slots = Hashtbl.create 64; timeout_slots = Hashtbl.create 16 }
+  { n; quorum = (2 * f) + 1; vote_slots = Vote_tbl.create 64; timeout_slots = Hashtbl.create 16 }
 
 let n t = t.n
 let quorum_size t = t.quorum
 let fault_bound t = (t.n - 1) / 3
 
 let vote_slot t key =
-  match Hashtbl.find_opt t.vote_slots key with
+  match Vote_tbl.find_opt t.vote_slots key with
   | Some s -> s
   | None ->
       let s = { votes = []; voters = []; qc = None } in
-      Hashtbl.add t.vote_slots key s;
+      Vote_tbl.add t.vote_slots key s;
       s
 
 let voted t (v : Vote.t) =
@@ -63,12 +75,12 @@ let voted t (v : Vote.t) =
   end
 
 let certified t ~block ~view =
-  match Hashtbl.find_opt t.vote_slots (block, view) with
+  match Vote_tbl.find_opt t.vote_slots (block, view) with
   | Some slot -> slot.qc
   | None -> None
 
 let vote_count t ~block ~view =
-  match Hashtbl.find_opt t.vote_slots (block, view) with
+  match Vote_tbl.find_opt t.vote_slots (block, view) with
   | Some slot -> List.length slot.voters
   | None -> 0
 
@@ -108,13 +120,15 @@ let tc_for t ~view =
   | None -> None
 
 let gc t ~below_view =
-  let dead_votes =
-    Hashtbl.fold
+  (* Collecting dead keys into a list is order-insensitive: the same set
+     is removed whatever order the buckets are visited in. *)
+  let[@lint.allow "no-order-leak"] dead_votes =
+    Vote_tbl.fold
       (fun ((_, view) as key) _ acc -> if view < below_view then key :: acc else acc)
       t.vote_slots []
   in
-  List.iter (Hashtbl.remove t.vote_slots) dead_votes;
-  let dead_timeouts =
+  List.iter (Vote_tbl.remove t.vote_slots) dead_votes;
+  let[@lint.allow "no-order-leak"] dead_timeouts =
     Hashtbl.fold
       (fun view _ acc -> if view < below_view then view :: acc else acc)
       t.timeout_slots []

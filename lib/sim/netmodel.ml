@@ -22,7 +22,7 @@ type t = {
   mutable extra_sigma : float;
   mutable fluctuation : fluctuation option;
   mutable loss : float;
-  links : (int * int, link) Hashtbl.t;
+  links : (int, link) Hashtbl.t;  (* keyed by [link_key ~src ~dst] *)
   mutable n_blocked : int; (* pairs currently blocked (counting overlaps) *)
   mutable n_effects : int; (* attached effects across all pairs *)
 }
@@ -82,17 +82,22 @@ let base_sample t ~now =
 
 let effect ~rng kind = { rng; kind }
 
+(* Pack the (src, dst) pair into one immediate int so link lookups never
+   hash a boxed tuple. Node ids are small (Table I tops out at n = 128),
+   so 16 bits per endpoint is comfortable. *)
+let link_key ~src ~dst = (src lsl 16) lor (dst land 0xffff)
+
 let link t ~src ~dst =
-  match Hashtbl.find_opt t.links (src, dst) with
+  match Hashtbl.find_opt t.links (link_key ~src ~dst) with
   | Some l -> l
   | None ->
       let l = { blocked = 0; effects = [] } in
-      Hashtbl.add t.links (src, dst) l;
+      Hashtbl.add t.links (link_key ~src ~dst) l;
       l
 
 let find_link t ~src ~dst =
   if t.n_blocked = 0 && t.n_effects = 0 then None
-  else Hashtbl.find_opt t.links (src, dst)
+  else Hashtbl.find_opt t.links (link_key ~src ~dst)
 
 let attach t ~src ~dst e =
   let l = link t ~src ~dst in
@@ -100,7 +105,7 @@ let attach t ~src ~dst e =
   t.n_effects <- t.n_effects + 1
 
 let detach t ~src ~dst e =
-  match Hashtbl.find_opt t.links (src, dst) with
+  match Hashtbl.find_opt t.links (link_key ~src ~dst) with
   | None -> ()
   | Some l ->
       let before = List.length l.effects in
@@ -113,7 +118,7 @@ let block t ~src ~dst =
   t.n_blocked <- t.n_blocked + 1
 
 let unblock t ~src ~dst =
-  match Hashtbl.find_opt t.links (src, dst) with
+  match Hashtbl.find_opt t.links (link_key ~src ~dst) with
   | Some l when l.blocked > 0 ->
       l.blocked <- l.blocked - 1;
       t.n_blocked <- t.n_blocked - 1

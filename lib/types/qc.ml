@@ -9,7 +9,7 @@ let genesis ~block = { block; view = 0; height = 0; sigs = [] }
 
 let is_genesis qc = qc.view = 0 && qc.sigs = []
 
-let compare_by_view a b = compare a.view b.view
+let compare_by_view a b = Int.compare a.view b.view
 
 let max_by_view a b = if compare_by_view a b >= 0 then a else b
 

@@ -12,8 +12,8 @@ let make_with_data ~client ~seq ~data =
 let id_to_string id = Printf.sprintf "%d:%d" id.client id.seq
 
 let compare_id a b =
-  let c = compare a.client b.client in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Int.compare a.client b.client in
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let wire_size t = 16 + t.payload_len
 
@@ -32,3 +32,13 @@ end
 
 module Id_set = Set.Make (Id_ord)
 module Id_map = Map.Make (Id_ord)
+
+module Id_tbl = Hashtbl.Make (struct
+  type t = id
+
+  let equal a b = Int.equal a.client b.client && Int.equal a.seq b.seq
+
+  (* FNV-style mix keeps distinct (client, seq) pairs well spread without
+     touching the polymorphic hash on a boxed record. *)
+  let hash i = (i.client * 0x01000193) lxor i.seq
+end)

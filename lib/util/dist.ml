@@ -38,7 +38,7 @@ let order_statistic_mean rng ~n ~k ~mu ~sigma ~trials =
     for i = 0 to n - 1 do
       sample.(i) <- normal rng ~mu ~sigma
     done;
-    Array.sort compare sample;
+    Array.sort Float.compare sample;
     total := !total +. sample.(k - 1)
   done;
   !total /. float_of_int trials

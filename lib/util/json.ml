@@ -18,6 +18,9 @@ let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else No
 
 let advance st = st.pos <- st.pos + 1
 
+let peek_is st c =
+  match peek st with Some c' -> Char.equal c c' | None -> false
+
 let rec skip_ws st =
   match peek st with
   | Some (' ' | '\t' | '\n' | '\r') ->
@@ -143,7 +146,7 @@ let rec parse_value st =
 and parse_obj st =
   expect st '{';
   skip_ws st;
-  if peek st = Some '}' then begin
+  if peek_is st '}' then begin
     advance st;
     Obj []
   end
@@ -171,7 +174,7 @@ and parse_obj st =
 and parse_list st =
   expect st '[';
   skip_ws st;
-  if peek st = Some ']' then begin
+  if peek_is st ']' then begin
     advance st;
     List []
   end

@@ -1,0 +1,10 @@
+(** Deterministic views over [Hashtbl.t]. Bucket order is unspecified,
+    so results that can reach a trace sink, the ledger or a rendered
+    table must be sorted first; these helpers concentrate the one
+    justified [no-order-leak] suppression in the repository. *)
+
+val sorted_bindings :
+  compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings, sorted by key with [compare]. *)
+
+val sorted_keys : compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list

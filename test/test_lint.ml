@@ -1,0 +1,309 @@
+(* The linter's own test suite: per-rule positive / negative / suppressed
+   fixtures (in-memory sources, so scope-sensitive paths are easy to
+   fake), the suppression bookkeeping (orphans, unknown ids, malformed
+   payloads), exit codes, trace-kind extraction, and a self-check that
+   the repository's lib/ tree lints clean. *)
+
+module E = Lint_engine
+module R = Lint_rules
+
+let lint ?(path = "lib/sim/fx.ml") src =
+  E.lint_sources ~rules:R.all [ (path, src) ]
+
+let has rule fs =
+  List.exists (fun (f : E.finding) -> String.equal f.E.rule rule) fs
+
+let count rule fs =
+  List.length
+    (List.filter (fun (f : E.finding) -> String.equal f.E.rule rule) fs)
+
+let check_fires name rule fs = Alcotest.(check bool) name true (has rule fs)
+
+let check_silent name rule fs =
+  Alcotest.(check bool) name false (has rule fs)
+
+(* --- rule 1: no-ambient-nondeterminism --- *)
+
+let test_ambient_pos () =
+  let fs = lint ~path:"lib/core/fx.ml" "let now () = Unix.gettimeofday ()" in
+  check_fires "gettimeofday" "no-ambient-nondeterminism" fs;
+  let fs = lint ~path:"lib/core/fx.ml" "let () = Random.self_init ()" in
+  check_fires "self_init" "no-ambient-nondeterminism" fs;
+  let fs = lint ~path:"lib/core/fx.ml" "let r () = Random.int 6" in
+  check_fires "global Random" "no-ambient-nondeterminism" fs;
+  let fs = lint ~path:"lib/core/fx.ml" "let t () = Sys.time ()" in
+  check_fires "Sys.time" "no-ambient-nondeterminism" fs
+
+let test_ambient_neg () =
+  (* Explicit-state Random is the sanctioned API. *)
+  let fs = lint ~path:"lib/core/fx.ml" "let r st = Random.State.int st 6" in
+  check_silent "Random.State" "no-ambient-nondeterminism" fs;
+  (* Outside lib/ the rule does not apply. *)
+  let fs = lint ~path:"bin/fx.ml" "let now () = Unix.gettimeofday ()" in
+  check_silent "out of scope" "no-ambient-nondeterminism" fs
+
+let test_ambient_suppressed () =
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "[@@@lint.allow \"no-ambient-nondeterminism\"]\n\
+       let now () = Unix.gettimeofday ()"
+  in
+  check_silent "file-level allow" "no-ambient-nondeterminism" fs;
+  check_silent "allow is used, not orphaned" "orphan-suppression" fs
+
+(* --- rule 2: no-polymorphic-compare --- *)
+
+let test_polycmp_pos () =
+  let fs = lint "let f a b = compare a b" in
+  check_fires "bare compare" "no-polymorphic-compare" fs;
+  let fs = lint "let h x = Hashtbl.hash x" in
+  check_fires "Hashtbl.hash" "no-polymorphic-compare" fs;
+  let fs = lint "let e a = a = (1, 2)" in
+  check_fires "(=) on tuple literal" "no-polymorphic-compare" fs;
+  let fs = lint "type t = { links : (int * int, string) Hashtbl.t }" in
+  check_fires "tuple-keyed table type" "no-polymorphic-compare" fs;
+  let fs = lint "let g tbl k v = Hashtbl.replace tbl (k, v) ()" in
+  check_fires "composite literal key" "no-polymorphic-compare" fs
+
+let test_polycmp_neg () =
+  let fs = lint "let f a b = Int.compare a b" in
+  check_silent "Int.compare" "no-polymorphic-compare" fs;
+  let fs = lint "let e a = a = 1" in
+  check_silent "(=) at immediate literal" "no-polymorphic-compare" fs;
+  (* Only hot-path directories are in scope. *)
+  let fs = lint ~path:"lib/obs/fx.ml" "let f a b = compare a b" in
+  check_silent "out of hot path" "no-polymorphic-compare" fs
+
+let test_polycmp_suppressed () =
+  let fs =
+    lint
+      "let f a b = (compare [@lint.allow \"no-polymorphic-compare\"]) a b"
+  in
+  check_silent "expression allow" "no-polymorphic-compare" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
+(* --- rule 3: no-poly-minmax (warn severity) --- *)
+
+let test_minmax_pos () =
+  let fs = lint "let f x = min x 1.0" in
+  check_fires "poly min at float" "no-poly-minmax" fs;
+  let sev =
+    List.find_map
+      (fun (f : E.finding) ->
+        if String.equal f.E.rule "no-poly-minmax" then Some f.E.severity
+        else None)
+      fs
+  in
+  Alcotest.(check bool) "warn severity" true (sev = Some E.Warn);
+  (* Warnings alone do not fail the run. *)
+  Alcotest.(check int) "warn-only exit code" 0 (E.exit_code fs)
+
+let test_minmax_neg () =
+  let fs = lint "let f x = Float.min x 1.0" in
+  check_silent "Float.min" "no-poly-minmax" fs;
+  let fs = lint "let f x y = min x y" in
+  check_silent "no float literal evidence" "no-poly-minmax" fs
+
+(* --- rule 4: no-order-leak --- *)
+
+let test_orderleak_pos () =
+  let fs = lint ~path:"lib/core/fx.ml" "let f t = Hashtbl.iter (fun _ _ -> ()) t" in
+  check_fires "Hashtbl.iter" "no-order-leak" fs;
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let g t = Id_tbl.fold (fun k _ acc -> k :: acc) t []"
+  in
+  check_fires "functorial table fold" "no-order-leak" fs
+
+let test_orderleak_neg () =
+  let fs = lint ~path:"lib/core/fx.ml" "let f t k = Hashtbl.find_opt t k" in
+  check_silent "point lookup" "no-order-leak" fs;
+  let fs = lint ~path:"lib/core/fx.ml" "let f l = List.fold_left (+) 0 l" in
+  check_silent "list fold" "no-order-leak" fs
+
+let test_orderleak_suppressed () =
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let[@lint.allow \"no-order-leak\"] keys t =\n\
+      \  Hashtbl.fold (fun k _ acc -> k :: acc) t []"
+  in
+  check_silent "binding allow" "no-order-leak" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
+(* --- rule 5: domain-safety --- *)
+
+let test_domain_pos () =
+  let fs = lint ~path:"lib/core/fx.ml" "let cache = Hashtbl.create 16" in
+  check_fires "top-level table" "domain-safety" fs;
+  let fs = lint ~path:"lib/core/fx.ml" "let hits = ref 0" in
+  check_fires "top-level ref" "domain-safety" fs;
+  let fs = lint ~path:"lib/core/fx.ml" "let buf = Buffer.create 80" in
+  check_fires "top-level buffer" "domain-safety" fs
+
+let test_domain_neg () =
+  (* Creation inside a function is per-call state, not shared. *)
+  let fs = lint ~path:"lib/core/fx.ml" "let fresh () = Hashtbl.create 16" in
+  check_silent "local creation" "domain-safety" fs;
+  (* lib/network runs system threads, never Pool domains. *)
+  let fs = lint ~path:"lib/network/fx.ml" "let cache = Hashtbl.create 16" in
+  check_silent "network out of scope" "domain-safety" fs
+
+let test_domain_suppressed () =
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let[@lint.allow \"domain-safety\"] jobs = ref 4"
+  in
+  check_silent "binding allow" "domain-safety" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
+(* --- rule 6: exhaustive-trace-match --- *)
+
+let trace_match = "let f k = match k with Trace.Commit -> 1 | _ -> 0"
+
+let test_trace_pos () =
+  let fs = lint ~path:"lib/check/fx.ml" trace_match in
+  check_fires "catch-all over Trace.kind" "exhaustive-trace-match" fs
+
+let test_trace_neg () =
+  (* Out of scope: the rule only polices the invariant monitors. *)
+  let fs = lint ~path:"lib/core/fx.ml" trace_match in
+  check_silent "outside lib/check" "exhaustive-trace-match" fs;
+  (* A catch-all over non-trace constructors is fine. *)
+  let fs =
+    lint ~path:"lib/check/fx.ml"
+      "let f k = match k with Some_other -> 1 | _ -> 0"
+  in
+  check_silent "non-trace match" "exhaustive-trace-match" fs;
+  (* Guarded wildcards still force a decision, so they are allowed. *)
+  let fs =
+    lint ~path:"lib/check/fx.ml"
+      "let f k = match k with Trace.Commit -> 1 | x when (ignore x; true) -> 0"
+  in
+  check_silent "guarded wildcard" "exhaustive-trace-match" fs
+
+let test_trace_suppressed () =
+  let fs =
+    lint ~path:"lib/check/fx.ml"
+      "let f k =\n\
+      \  (match k with Trace.Commit -> 1 | _ -> 0)\n\
+      \  [@lint.allow \"exhaustive-trace-match\"]"
+  in
+  check_silent "expression allow" "exhaustive-trace-match" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
+let test_trace_kind_extraction () =
+  (* When lib/obs/trace.mli is among the linted sources, its constructor
+     list replaces the built-in fallback: a catch-all over a kind that
+     only exists in the provided interface must still fire. *)
+  let sources =
+    [
+      ("lib/obs/trace.mli", "type kind = Novel_kind | Other_kind");
+      ( "lib/check/fx.ml",
+        "let f k = match k with Novel_kind -> 1 | _ -> 0" );
+    ]
+  in
+  let fs = E.lint_sources ~rules:R.all sources in
+  check_fires "extracted kind" "exhaustive-trace-match" fs;
+  (* And the fallback list no longer applies. *)
+  let fs =
+    E.lint_sources ~rules:R.all
+      (("lib/check/fx2.ml", trace_match) :: sources)
+  in
+  Alcotest.(check int) "Commit no longer a kind" 1
+    (count "exhaustive-trace-match" fs)
+
+(* --- suppression bookkeeping --- *)
+
+let test_orphan_suppression () =
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let[@lint.allow \"no-order-leak\"] x = 1"
+  in
+  check_fires "unused allow is an error" "orphan-suppression" fs;
+  Alcotest.(check int) "orphan fails the run" 1 (E.exit_code fs)
+
+let test_unknown_rule_id () =
+  let fs =
+    lint ~path:"lib/core/fx.ml" "let[@lint.allow \"no-such-rule\"] x = 1"
+  in
+  check_fires "unknown rule id" "orphan-suppression" fs
+
+let test_malformed_payload () =
+  let fs = lint ~path:"lib/core/fx.ml" "let[@lint.allow] x = 1" in
+  check_fires "missing payload" "orphan-suppression" fs
+
+(* --- engine plumbing --- *)
+
+let test_parse_error () =
+  let fs = lint "let let let" in
+  check_fires "unparseable source" "parse-error" fs;
+  Alcotest.(check int) "parse error fails the run" 1 (E.exit_code fs)
+
+let test_exit_codes () =
+  Alcotest.(check int) "clean" 0 (E.exit_code (lint "let x = 1"));
+  Alcotest.(check int) "error finding" 1
+    (E.exit_code (lint "let f a b = compare a b"))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+let test_render () =
+  match lint "let f a b = compare a b" with
+  | [ f ] ->
+      let s = E.render f in
+      Alcotest.(check bool) "has rule id" true
+        (contains s "[no-polymorphic-compare]");
+      Alcotest.(check bool) "has location" true (contains s "lib/sim/fx.ml:1:")
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* --- self-check: the repository's lib/ lints clean --- *)
+
+let test_self_check () =
+  let rec locate dir n =
+    if n = 0 then None
+    else if Sys.file_exists dir && Sys.is_directory dir then Some dir
+    else locate (Filename.concat ".." dir) (n - 1)
+  in
+  match locate "lib" 4 with
+  | None -> Alcotest.fail "could not locate lib/ from the test's cwd"
+  | Some dir -> (
+      match E.lint_paths ~rules:R.all [ dir ] with
+      | Error msg -> Alcotest.fail msg
+      | Ok (files, findings) ->
+          Alcotest.(check bool) "scanned a real tree" true (files > 50);
+          List.iter (fun f -> print_endline (E.render f)) findings;
+          Alcotest.(check int) "zero errors over lib/" 0 (E.errors findings);
+          Alcotest.(check int) "zero warnings over lib/" 0
+            (E.warnings findings))
+
+let suite =
+  [
+    Alcotest.test_case "ambient: fires" `Quick test_ambient_pos;
+    Alcotest.test_case "ambient: silent" `Quick test_ambient_neg;
+    Alcotest.test_case "ambient: suppressed" `Quick test_ambient_suppressed;
+    Alcotest.test_case "polycmp: fires" `Quick test_polycmp_pos;
+    Alcotest.test_case "polycmp: silent" `Quick test_polycmp_neg;
+    Alcotest.test_case "polycmp: suppressed" `Quick test_polycmp_suppressed;
+    Alcotest.test_case "minmax: fires as warn" `Quick test_minmax_pos;
+    Alcotest.test_case "minmax: silent" `Quick test_minmax_neg;
+    Alcotest.test_case "order-leak: fires" `Quick test_orderleak_pos;
+    Alcotest.test_case "order-leak: silent" `Quick test_orderleak_neg;
+    Alcotest.test_case "order-leak: suppressed" `Quick test_orderleak_suppressed;
+    Alcotest.test_case "domain: fires" `Quick test_domain_pos;
+    Alcotest.test_case "domain: silent" `Quick test_domain_neg;
+    Alcotest.test_case "domain: suppressed" `Quick test_domain_suppressed;
+    Alcotest.test_case "trace-match: fires" `Quick test_trace_pos;
+    Alcotest.test_case "trace-match: silent" `Quick test_trace_neg;
+    Alcotest.test_case "trace-match: suppressed" `Quick test_trace_suppressed;
+    Alcotest.test_case "trace-match: kinds from trace.mli" `Quick
+      test_trace_kind_extraction;
+    Alcotest.test_case "suppression: orphan" `Quick test_orphan_suppression;
+    Alcotest.test_case "suppression: unknown id" `Quick test_unknown_rule_id;
+    Alcotest.test_case "suppression: malformed" `Quick test_malformed_payload;
+    Alcotest.test_case "engine: parse error" `Quick test_parse_error;
+    Alcotest.test_case "engine: exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "engine: render" `Quick test_render;
+    Alcotest.test_case "self-check: lib/ lints clean" `Quick test_self_check;
+  ]
