@@ -19,11 +19,16 @@
      dune exec bench/main.exe -- --full all   -- paper-scale everything
      dune exec bench/main.exe -- --jobs 4 all -- 4 worker domains
      dune exec bench/main.exe -- --json BENCH_ci.json --label ci micro
-                                              -- machine-readable results *)
+                                              -- machine-readable results
+     dune exec bench/main.exe -- compare BENCH_seed.json BENCH_ci.json \
+         --tolerance 0.25 --normalize sha256_1KiB
+                                              -- perf-regression gate *)
 
 open Bechamel
 open Bamboo_types
 module Json = Bamboo_util.Json
+module Mreg = Bamboo_metrics.Registry
+module Snapshot = Bamboo_metrics.Snapshot
 
 let reg = Bamboo_crypto.Sig.setup ~n:4 ~master:"bench"
 
@@ -132,20 +137,36 @@ let run_micro () =
    default HotStuff configuration near saturation, timed on the wall
    clock. This is the headline number for the sim-core hot paths (event
    queue, size-once broadcast, QC cache). *)
-let measure_events_per_sec () =
+let measure_events_per_sec ?(metrics = Mreg.null) () =
   let config =
     { Bamboo.Config.default with runtime = 1.0; warmup = 0.1 }
   in
   let rate = 0.8 *. Bamboo.Model.((build ~config).saturation_rate) in
   let workload = Bamboo.Workload.open_loop ~rate () in
+  (* warm-up run stays unmetered so the counters cover the timed run only *)
   ignore (Bamboo.Runtime.run ~config ~workload () : Bamboo.Runtime.result);
   let t0 = Unix.gettimeofday () in
-  let r = Bamboo.Runtime.run ~config ~workload () in
+  let r = Bamboo.Runtime.run ~config ~workload ~metrics () in
   let wall = Unix.gettimeofday () -. t0 in
-  let eps = float_of_int r.Bamboo.Runtime.sim_events /. wall in
+  (* The event count is sourced from the metrics registry when one is
+     attached; the runtime's own sim_events field must agree exactly. *)
+  let events =
+    if Mreg.enabled metrics then begin
+      let n = Mreg.Counter.value (Mreg.counter metrics "sim_events_fired") in
+      if n <> r.Bamboo.Runtime.sim_events then begin
+        Printf.eprintf
+          "bench: metrics registry (%d events) disagrees with runtime (%d)\n" n
+          r.Bamboo.Runtime.sim_events;
+        exit 1
+      end;
+      n
+    end
+    else r.Bamboo.Runtime.sim_events
+  in
+  let eps = float_of_int events /. wall in
   Printf.printf "\nsimulator: %d events in %.2f s wall = %.0f events/s\n%!"
-    r.Bamboo.Runtime.sim_events wall eps;
-  (r.Bamboo.Runtime.sim_events, wall, eps)
+    events wall eps;
+  (events, wall, eps)
 
 (* The parallel anchor: a reduced Table II sweep at jobs=1 vs jobs=N.
    [rows_match] must always be true (Pool.map returns results in
@@ -177,8 +198,162 @@ let measure_parallel_anchor ~jobs =
 let usage () =
   prerr_endline
     "usage: main.exe [--full] [--jobs N] [--json PATH] [--label NAME] \
-     [micro|all|<experiment>...]";
+     [micro|all|<experiment>...]\n\
+    \       main.exe compare OLD.json NEW.json [--tolerance T] \
+     [--normalize MICRO_NAME]";
   exit 2
+
+(* ------------------------------------------------------------------ *)
+(* [compare OLD NEW]: the perf-regression gate over two --json reports.
+
+   A micro benchmark regresses when its ns/op grows beyond (1 + T) times
+   the old value; the simulator regresses when events/sec falls below
+   (1 - T) times the old value. --normalize divides each report's ns/op
+   values by that report's own measurement of the named micro benchmark
+   (and multiplies events/sec by it), turning every comparison into a
+   machine-relative ratio — the CI runners are not the machine that wrote
+   BENCH_seed.json. Exits 1 naming every regressed metric. *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e ->
+      Printf.eprintf "bench compare: %s\n" e;
+      exit 2
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let run_compare args =
+  let tolerance = ref 0.25 in
+  let normalize = ref None in
+  let paths = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0.0 ->
+            tolerance := t;
+            go rest
+        | _ ->
+            Printf.eprintf
+              "bench compare: --tolerance must be a float >= 0 (got %S)\n" v;
+            exit 2)
+    | "--normalize" :: name :: rest ->
+        normalize := Some name;
+        go rest
+    | [ ("--tolerance" | "--normalize") ] -> usage ()
+    | p :: rest when String.length p > 0 && p.[0] <> '-' ->
+        paths := !paths @ [ p ];
+        go rest
+    | p :: _ ->
+        Printf.eprintf "bench compare: unknown option %s\n" p;
+        usage ()
+  in
+  go args;
+  let old_path, new_path =
+    match !paths with [ a; b ] -> (a, b) | _ -> usage ()
+  in
+  let load path =
+    match Json.of_string (read_file path) with
+    | j -> j
+    | exception Json.Parse_error e ->
+        Printf.eprintf "bench compare: %s: %s\n" path e;
+        exit 2
+  in
+  let old_j = load old_path and new_j = load new_path in
+  let micro j =
+    match Json.member "micro" j with
+    | Json.Null -> []
+    | m ->
+        List.map
+          (fun o ->
+            ( Json.get_string (Json.member "name" o),
+              Json.to_float (Json.member "ns_per_op" o) ))
+          (Json.to_list m)
+  in
+  let eps j =
+    match Json.member "simulator" j with
+    | Json.Null -> None
+    | s -> (
+        match Json.member "events_per_sec" s with
+        | Json.Null -> None
+        | v -> Some (Json.to_float v))
+  in
+  let old_micro = micro old_j and new_micro = micro new_j in
+  let scale_of path m =
+    match !normalize with
+    | None -> 1.0
+    | Some anchor -> (
+        match List.assoc_opt anchor m with
+        | Some ns when ns > 0.0 -> ns
+        | Some _ | None ->
+            Printf.eprintf "bench compare: anchor %S missing from %s\n" anchor
+              path;
+            exit 2)
+  in
+  let scale_old = scale_of old_path old_micro in
+  let scale_new = scale_of new_path new_micro in
+  Printf.printf "bench compare: %s -> %s (tolerance %.0f%%%s)\n" old_path
+    new_path
+    (!tolerance *. 100.0)
+    (match !normalize with
+    | None -> ""
+    | Some a -> Printf.sprintf ", normalized to %s" a);
+  let regressions = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, old_ns) ->
+      if !normalize <> Some name then
+        match List.assoc_opt name new_micro with
+        | None ->
+            Printf.printf "  micro/%-32s missing from new report, skipped\n"
+              name
+        | Some new_ns ->
+            incr compared;
+            let ratio = new_ns /. scale_new /. (old_ns /. scale_old) in
+            let bad = ratio > 1.0 +. !tolerance in
+            if bad then
+              regressions :=
+                Printf.sprintf
+                  "micro/%s: %.1f -> %.1f ns/op (%.2fx, allowed %.2fx)" name
+                  old_ns new_ns ratio
+                  (1.0 +. !tolerance)
+                :: !regressions;
+            Printf.printf "  micro/%-32s %10.1f -> %10.1f ns/op  %.2fx %s\n"
+              name old_ns new_ns ratio
+              (if bad then "REGRESSION" else "ok"))
+    old_micro;
+  (match (eps old_j, eps new_j) with
+  | Some old_eps, Some new_eps ->
+      incr compared;
+      (* normalized events/sec: multiplying by the report's own anchor
+         ns/op cancels the machine's absolute speed *)
+      let ratio = new_eps *. scale_new /. (old_eps *. scale_old) in
+      let bad = ratio < 1.0 -. !tolerance in
+      if bad then
+        regressions :=
+          Printf.sprintf
+            "simulator/events_per_sec: %.0f -> %.0f (%.2fx, allowed %.2fx)"
+            old_eps new_eps ratio
+            (1.0 -. !tolerance)
+          :: !regressions;
+      Printf.printf "  simulator/%-32s %10.0f -> %10.0f ev/s   %.2fx %s\n"
+        "events_per_sec" old_eps new_eps ratio
+        (if bad then "REGRESSION" else "ok")
+  | None, _ | Some _, None ->
+      Printf.printf "  simulator/events_per_sec absent, skipped\n");
+  match List.rev !regressions with
+  | [] ->
+      Printf.printf "bench compare: OK (%d metrics within tolerance)\n%!"
+        !compared;
+      exit 0
+  | regs ->
+      List.iter
+        (fun r -> Printf.printf "bench compare: REGRESSION %s\n" r)
+        regs;
+      exit 1
 
 type opts = {
   mutable full : bool;
@@ -212,7 +387,7 @@ let parse_args () =
   go (Array.to_list Sys.argv |> List.tl);
   o
 
-let () =
+let main () =
   let o = parse_args () in
   let scale =
     if o.full then Bamboo.Experiments.Full else Bamboo.Experiments.Quick
@@ -257,10 +432,16 @@ let () =
   match o.json with
   | None -> ()
   | Some path ->
-      let sim_events, sim_wall, eps = measure_events_per_sec () in
+      (* The report embeds a metrics snapshot: the simulator run feeds the
+         registry directly, the parallel anchor's cells feed the pool-task
+         histogram through Experiments. *)
+      let mreg = Mreg.create () in
+      Bamboo.Experiments.set_metrics mreg;
+      let sim_events, sim_wall, eps = measure_events_per_sec ~metrics:mreg () in
       let anchor_cells, wall_seq, wall_par, speedup, rows_match =
         measure_parallel_anchor ~jobs
       in
+      Bamboo.Experiments.set_metrics Mreg.null;
       let json =
         Json.Obj
           [
@@ -304,6 +485,7 @@ let () =
                   ("speedup", Json.Float speedup);
                   ("rows_match", Json.Bool rows_match);
                 ] );
+            ("metrics", Snapshot.to_json (Snapshot.of_registry mreg));
           ]
       in
       let oc = open_out path in
@@ -312,3 +494,8 @@ let () =
       close_out oc;
       Printf.printf "wrote %s\n%!" path;
       if not rows_match then exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "compare" :: rest -> run_compare rest
+  | _ -> main ()

@@ -6,6 +6,8 @@
      experiment  - regenerate one paper table/figure (or "all")
      config      - print the default configuration as JSON
      check       - invariant fuzzer: "check fuzz" and "check replay"
+     metrics     - simulate one configuration and export its aggregate
+                   perf counters/histograms (Prometheus text or JSON)
      lint        - AST-level determinism linter over the OCaml sources
    A JSON configuration file (--config) seeds any subcommand's settings;
    individual flags override it.
@@ -282,6 +284,79 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one configuration and print metrics.")
     Term.(const run $ common_t $ rate_t $ clients_t $ series_t)
+
+(* --- metrics --- *)
+
+let metrics_format_t =
+  Arg.(
+    value
+    & opt (enum [ ("prometheus", `Prometheus); ("json", `Json) ]) `Prometheus
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:
+          "Export format: $(b,prometheus) (text exposition, one sample per \
+           line) or $(b,json) (the same snapshot as a JSON object).")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the export to $(docv) instead of stdout.")
+
+let metrics_cmd =
+  let run config rate clients format out =
+    match Bamboo.Config.validate config with
+    | Error e ->
+        Printf.eprintf "invalid configuration: %s\n" e;
+        exit 2
+    | Ok config ->
+        let workload =
+          match clients with
+          | Some clients -> Bamboo.Workload.closed_loop ~clients
+          | None ->
+              let rate =
+                match rate with
+                | Some r -> r
+                | None ->
+                    let m = Bamboo.Model.build ~config in
+                    0.5 *. m.Bamboo.Model.saturation_rate
+              in
+              Bamboo.Workload.open_loop ~rate ()
+        in
+        let registry = Bamboo_metrics.Registry.create () in
+        let r = Bamboo.Runtime.run ~config ~workload ~metrics:registry () in
+        let snapshot = r.Bamboo.Runtime.metrics in
+        let rendered =
+          match format with
+          | `Prometheus -> Bamboo_metrics.Snapshot.to_prometheus snapshot
+          | `Json ->
+              Bamboo_util.Json.to_string ~indent:true
+                (Bamboo_metrics.Snapshot.to_json snapshot)
+              ^ "\n"
+        in
+        (match out with
+        | None -> print_string rendered
+        | Some path ->
+            let oc =
+              try open_out path
+              with Sys_error e ->
+                Printf.eprintf "bamboo: cannot open output file: %s\n" e;
+                exit 2
+            in
+            output_string oc rendered;
+            close_out oc;
+            Printf.eprintf "metrics written to %s\n" path);
+        if r.Bamboo.Runtime.any_violation || not r.Bamboo.Runtime.consistent
+        then exit 1
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Simulate one configuration and export the aggregate metrics \
+          snapshot (counters, gauges, latency histograms).")
+    Term.(
+      const run $ common_t $ rate_t $ clients_t $ metrics_format_t
+      $ metrics_out_t)
 
 (* --- model --- *)
 
@@ -573,7 +648,7 @@ let () =
     Cmd.eval_value
       (Cmd.group info
          [ run_cmd; model_cmd; experiment_cmd; config_cmd; check_cmd;
-           Lint_cli.cmd ])
+           metrics_cmd; Lint_cli.cmd ])
   with
   | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
   | Error _ -> exit 2

@@ -2,6 +2,7 @@ module Table = Bamboo_util.Table
 module Stats = Bamboo_util.Stats
 module Pool = Bamboo_util.Pool
 module Schedule = Bamboo_faults.Schedule
+module Registry = Bamboo_metrics.Registry
 
 type scale = Quick | Full
 
@@ -41,12 +42,35 @@ let set_jobs n =
 
 let jobs () = !jobs_ref
 
+(* Like [jobs_ref]: set once on the main domain before any experiment
+   runs. Pool workers only record through the registry's sharded,
+   domain-safe handles. *)
+let[@lint.allow "domain-safety"] metrics_ref = ref Registry.null
+
+let set_metrics reg = metrics_ref := reg
+let metrics () = !metrics_ref
+
 (* One independent simulation cell: configuration, workload, and the
    optional metrics bucket width. *)
 type cell = Config.t * Workload.t * float option
 
 let run_cells (cells : cell list) : Runtime.result list =
-  Pool.map ~jobs:!jobs_ref
+  let reg = !metrics_ref in
+  let probe =
+    (* Per-cell wall-clock latency, recorded from the worker domain that
+       ran the cell — the one multi-domain writer, exercising the
+       registry's sharded path for real. *)
+    if Registry.enabled reg then begin
+      let tasks = Registry.counter reg "pool_tasks" in
+      let lat = Registry.histogram reg "pool_task_latency_ns" in
+      Some
+        (fun _i secs ->
+          Registry.Counter.incr tasks;
+          Registry.Histogram.observe_s lat secs)
+    end
+    else None
+  in
+  Pool.map ~jobs:!jobs_ref ?probe
     (fun (config, workload, bucket) ->
       match bucket with
       | None -> Runtime.run ~config ~workload ()

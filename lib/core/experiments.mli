@@ -37,6 +37,15 @@ val set_jobs : int -> unit
     cells. Affects wall-clock time only, never output. Raises
     [Invalid_argument] if the count is [< 1]. *)
 
+val set_metrics : Bamboo_metrics.Registry.t -> unit
+(** Installs a metrics registry for subsequent experiment cells: each
+    cell's wall-clock latency feeds the [pool_task_latency_ns] histogram
+    and [pool_tasks] counter, recorded from the worker domain that ran the
+    cell. Call on the main domain before launching experiments (like
+    {!set_jobs}). Observe-only: never affects cell output. *)
+
+val metrics : unit -> Bamboo_metrics.Registry.t
+
 val jobs : unit -> int
 (** Current worker-domain count (initially
     [Domain.recommended_domain_count ()]). *)

@@ -51,6 +51,11 @@ type t = {
   mutable proposed_through : Ids.view; (* highest view we proposed in *)
   mutable rejected_txs : int;
   mutable violation : bool;
+  (* observe-only tallies for the metrics layer *)
+  mutable qc_cache_hits : int;
+  mutable qc_cache_misses : int;
+  mutable view_changes : int;
+  mutable timeouts_fired : int;
 }
 
 let src = Logs.Src.create "bamboo.node" ~doc:"Bamboo replica engine"
@@ -124,6 +129,10 @@ let create ~config ~self ~registry ?(verify_sigs = true) ?(root = `Merkle)
     proposed_through = 0;
     rejected_txs = 0;
     violation = false;
+    qc_cache_hits = 0;
+    qc_cache_misses = 0;
+    view_changes = 0;
+    timeouts_fired = 0;
   }
 
 (* Outputs are accumulated in reverse and flipped once per [handle]. *)
@@ -145,13 +154,18 @@ let verify_qc t qc =
   || Qc.is_genesis qc
   ||
   let key = Qc.cache_key qc in
-  Hashtbl.mem t.verified_qcs key
-  ||
-  if Qc.verify t.registry ~quorum:(Quorum.quorum_size t.quorum) qc then begin
-    Hashtbl.add t.verified_qcs key ();
+  if Hashtbl.mem t.verified_qcs key then begin
+    t.qc_cache_hits <- t.qc_cache_hits + 1;
     true
   end
-  else false
+  else begin
+    t.qc_cache_misses <- t.qc_cache_misses + 1;
+    if Qc.verify t.registry ~quorum:(Quorum.quorum_size t.quorum) qc then begin
+      Hashtbl.add t.verified_qcs key ();
+      true
+    end
+    else false
+  end
 
 let do_commit t out target ~trigger_view =
   match Forest.commit t.forest target with
@@ -210,6 +224,7 @@ let rec do_propose t out view =
 
 and try_advance t out ~to_view ~reason =
   if Pacemaker.advance t.pacemaker ~to_view ~reason then begin
+    t.view_changes <- t.view_changes + 1;
     emit out
       (Entered_view { view = to_view; reason = Pacemaker.reason_label reason });
     emit out
@@ -427,6 +442,7 @@ let handle_timer t out = function
       match Pacemaker.note_timer_fired t.pacemaker view with
       | `Stale -> ()
       | `Broadcast_timeout ->
+          t.timeouts_fired <- t.timeouts_fired + 1;
           t.safety.Safety.note_view_abandoned view;
           let tm =
             Timeout_msg.create t.registry ~sender:t.self ~view
@@ -522,3 +538,8 @@ let locked t = t.safety.Safety.locked ()
 let committed_count t = Forest.committed_count t.forest - 1
 let rejected_txs t = t.rejected_txs
 let safety_violation t = t.violation
+let qc_cache_hits t = t.qc_cache_hits
+let qc_cache_misses t = t.qc_cache_misses
+let view_changes t = t.view_changes
+let timeouts_fired t = t.timeouts_fired
+let mempool_stats t = Mempool.stats t.mempool

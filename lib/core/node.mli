@@ -116,3 +116,22 @@ val safety_violation : t -> bool
 (** True if a commit ever conflicted with the finalized prefix — this must
     never happen while at most [f] replicas are Byzantine; checked by the
     property tests. *)
+
+(** {2 Observe-only tallies} (surfaced by the metrics layer) *)
+
+val qc_cache_hits : t -> int
+(** Certificate verifications answered from the verified-QC cache. Only
+    populated when [verify_sigs] is on (the simulator charges verification
+    virtually and never consults the cache). *)
+
+val qc_cache_misses : t -> int
+(** Certificate verifications that had to run [Qc.verify]. *)
+
+val view_changes : t -> int
+(** Successful pacemaker advances (views entered, any reason). *)
+
+val timeouts_fired : t -> int
+(** View timeouts that fired and broadcast a timeout message. *)
+
+val mempool_stats : t -> Bamboo_mempool.Mempool.stats
+(** Peak occupancy and batch tallies of this replica's mempool. *)

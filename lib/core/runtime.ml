@@ -10,6 +10,8 @@ module Trace = Bamboo_obs.Trace
 module Probe = Bamboo_obs.Probe
 module Latency = Bamboo_obs.Latency
 module Fault_engine = Bamboo_faults.Engine
+module Registry = Bamboo_metrics.Registry
+module Snapshot = Bamboo_metrics.Snapshot
 
 type ledger_block = {
   l_height : int;
@@ -48,6 +50,9 @@ type result = {
   decomposition : Latency.summary;
   probe : Probe.summary list;
   sim_events : int;
+  metrics : Snapshot.t;
+      (* merged aggregate metrics; [Snapshot.empty] unless the run was
+         given an enabled registry *)
 }
 
 type tx_record = {
@@ -536,11 +541,11 @@ let start_closed_loop st ~clients =
 
 (* --- observability wiring --- *)
 
-let install_probe ~config ~sim ~machines ~trace =
+let install_probe ~config ~sim ~machines ~trace ~registry =
   let interval = config.Config.probe_interval in
   if interval <= 0.0 then None
   else begin
-    let p = Probe.create ~trace ~interval () in
+    let p = Probe.create ~trace ~registry ~interval () in
     Array.iteri
       (fun i m ->
         Probe.add_gauge p ~node:i ~name:"cpu_queue_depth" (fun () ->
@@ -577,8 +582,99 @@ let install_probe ~config ~sim ~machines ~trace =
     Some p
   end
 
+(* Publish the run's tallies into the metrics registry. The hot paths
+   update plain per-run ints (always on, a few instructions each); the
+   sharded registry is only written here, once per run, so enabling
+   metrics costs nothing measurable on the simulation itself and the
+   registry stays the single export surface. Skipped entirely for a
+   disabled registry. *)
+let publish_metrics reg ~sim ~net ~machines ~nodes ~sig_registry =
+  if Registry.enabled reg then begin
+    Registry.Counter.add (Registry.counter reg "sim_events_pushed")
+      (Sim.pushed sim);
+    Registry.Counter.add (Registry.counter reg "sim_events_fired")
+      (Sim.fired sim);
+    Registry.Gauge.set
+      (Registry.gauge reg "sim_queue_peak_depth")
+      (float_of_int (Sim.peak_depth sim));
+    let ns = Netmodel.stats net in
+    Registry.Counter.add (Registry.counter reg "net_sends") ns.Netmodel.sends;
+    Registry.Counter.add
+      (Registry.counter reg "net_base_drops")
+      ns.Netmodel.base_drops;
+    Registry.Counter.add
+      (Registry.counter reg "net_fault_drops")
+      ns.Netmodel.fault_drops;
+    Registry.Counter.add
+      (Registry.counter reg "net_duplicates")
+      ns.Netmodel.duplicates;
+    Registry.Counter.add
+      (Registry.counter reg "net_fault_activations")
+      ns.Netmodel.fault_activations;
+    Registry.Counter.add (Registry.counter reg "crypto_signs")
+      (Bamboo_crypto.Sig.signs sig_registry);
+    Registry.Counter.add
+      (Registry.counter reg "crypto_verifies")
+      (Bamboo_crypto.Sig.verifies sig_registry);
+    Array.iteri
+      (fun i m ->
+        let labels = [ ("node", string_of_int i) ] in
+        Registry.Counter.add
+          (Registry.counter reg ~labels "machine_cpu_ops")
+          (Machine.ops m `Cpu);
+        Registry.Counter.add
+          (Registry.counter reg ~labels "machine_nic_out_ops")
+          (Machine.ops m `Nic_out);
+        Registry.Counter.add
+          (Registry.counter reg ~labels "machine_nic_in_ops")
+          (Machine.ops m `Nic_in);
+        Registry.Gauge.set
+          (Registry.gauge reg ~labels "machine_cpu_peak_depth")
+          (float_of_int (Machine.peak_depth m `Cpu));
+        Registry.Gauge.set
+          (Registry.gauge reg ~labels "machine_nic_out_peak_depth")
+          (float_of_int (Machine.peak_depth m `Nic_out));
+        Registry.Gauge.set
+          (Registry.gauge reg ~labels "machine_nic_in_peak_depth")
+          (float_of_int (Machine.peak_depth m `Nic_in)))
+      machines;
+    Array.iteri
+      (fun i n ->
+        let labels = [ ("node", string_of_int i) ] in
+        Registry.Counter.add
+          (Registry.counter reg ~labels "replica_commits")
+          (Node.committed_count n);
+        Registry.Counter.add
+          (Registry.counter reg ~labels "replica_view_changes")
+          (Node.view_changes n);
+        Registry.Counter.add
+          (Registry.counter reg ~labels "replica_timeouts_fired")
+          (Node.timeouts_fired n);
+        Registry.Counter.add
+          (Registry.counter reg ~labels "replica_rejected_txs")
+          (Node.rejected_txs n);
+        Registry.Counter.add
+          (Registry.counter reg ~labels "crypto_qc_cache_hits")
+          (Node.qc_cache_hits n);
+        Registry.Counter.add
+          (Registry.counter reg ~labels "crypto_qc_cache_misses")
+          (Node.qc_cache_misses n);
+        let ms = Node.mempool_stats n in
+        Registry.Counter.add
+          (Registry.counter reg ~labels "mempool_batches")
+          ms.Bamboo_mempool.Mempool.batches;
+        Registry.Counter.add
+          (Registry.counter reg ~labels "mempool_batched_txs")
+          ms.Bamboo_mempool.Mempool.batched_txs;
+        Registry.Gauge.set
+          (Registry.gauge reg ~labels "mempool_peak_occupancy")
+          (float_of_int ms.Bamboo_mempool.Mempool.peak_occupancy))
+      nodes
+  end
+
 let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null)
-    ?wrap_safety () =
+    ?(metrics = Registry.null) ?wrap_safety () =
+  let mreg = metrics in
   (match Config.validate config with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Runtime.run: " ^ e));
@@ -618,7 +714,7 @@ let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null)
              (fun ~queue ~start ~duration ->
                Trace.service trace ~node:i ~queue ~start ~duration)))
       machines;
-  let probe = install_probe ~config ~sim ~machines ~trace in
+  let probe = install_probe ~config ~sim ~machines ~trace ~registry:mreg in
   let nodes =
     Array.init config.Config.n (fun self ->
         Node.create ~config ~self ~registry ~verify_sigs:false ~root:`Flat
@@ -711,6 +807,7 @@ let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null)
   done;
   let violations = Array.map Node.safety_violation nodes in
   let any_violation = Array.exists Fun.id violations in
+  publish_metrics mreg ~sim ~net ~machines ~nodes ~sig_registry:registry;
   {
     summary;
     series = Metrics.throughput_series metrics;
@@ -724,4 +821,5 @@ let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null)
     decomposition = Latency.summarize st.decomp;
     probe = (match probe with None -> [] | Some p -> Probe.summaries p);
     sim_events = Sim.fired sim;
+    metrics = Snapshot.of_registry mreg;
   }

@@ -47,6 +47,13 @@ type result = {
       (** Queue-depth/utilization gauge summaries; empty unless
           [config.probe_interval > 0]. *)
   sim_events : int;  (** Discrete events fired by the simulator. *)
+  metrics : Bamboo_metrics.Snapshot.t;
+      (** Aggregate counters/gauges/histograms published at end of run:
+          simulator queue tallies, network sends/drops/duplicates, crypto
+          sign/verify and QC-cache counts, per-replica commit/view-change/
+          timeout counters, mempool occupancy and batch fill, machine
+          queue ops and peaks — plus every probe gauge when probing is on.
+          [Snapshot.empty] unless the run was given an enabled registry. *)
 }
 
 val run :
@@ -55,6 +62,7 @@ val run :
   ?bucket:float ->
   ?observer:int ->
   ?trace:Bamboo_obs.Trace.t ->
+  ?metrics:Bamboo_metrics.Registry.t ->
   ?wrap_safety:(Bamboo_types.Ids.replica -> Safety.t -> Safety.t) ->
   unit ->
   result
@@ -67,6 +75,12 @@ val run :
     schedule is identical to an untraced run. Probing
     ([config.probe_interval > 0]) does add sampling events to the heap,
     though never reorders protocol events.
+
+    [metrics] (default {!Bamboo_metrics.Registry.null}) collects aggregate
+    counters/gauges/histograms. Metrics are observe-only: the hot paths
+    keep plain per-run tallies that are published into the registry once
+    at end of run, so simulation output is byte-identical with metrics
+    enabled or disabled, at any [--jobs].
 
     Infrastructure faults — crashes, recoveries, partitions, per-link
     delay/loss/duplication/reordering, CPU slowdown, clock skew, delay

@@ -1,4 +1,8 @@
-type registry = { keys : string array }
+type registry = {
+  keys : string array;
+  mutable n_signs : int;
+  mutable n_verifies : int;
+}
 
 type t = { signer : int; tag : string }
 
@@ -7,15 +11,22 @@ let wire_size = 64
 let setup ~n ~master =
   if n <= 0 then invalid_arg "Sig.setup: n must be positive";
   let derive i = Hmac.mac ~key:master (Printf.sprintf "bamboo-replica-key-%d" i) in
-  { keys = Array.init n derive }
+  { keys = Array.init n derive; n_signs = 0; n_verifies = 0 }
 
 let size reg = Array.length reg.keys
 
 let sign reg ~signer msg =
   if signer < 0 || signer >= Array.length reg.keys then
     invalid_arg "Sig.sign: signer out of range";
+  reg.n_signs <- reg.n_signs + 1;
   { signer; tag = Hmac.mac ~key:reg.keys.(signer) msg }
 
 let verify reg s msg =
   if s.signer < 0 || s.signer >= Array.length reg.keys then false
-  else Hmac.verify ~key:reg.keys.(s.signer) ~tag:s.tag msg
+  else begin
+    reg.n_verifies <- reg.n_verifies + 1;
+    Hmac.verify ~key:reg.keys.(s.signer) ~tag:s.tag msg
+  end
+
+let signs reg = reg.n_signs
+let verifies reg = reg.n_verifies

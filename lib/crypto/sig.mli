@@ -36,3 +36,13 @@ val sign : registry -> signer:int -> string -> t
 val verify : registry -> t -> string -> bool
 (** [verify reg s msg] checks that [s.tag] is valid for [msg] under
     [s.signer]'s key. False (not an exception) for out-of-range signers. *)
+
+val signs : registry -> int
+(** HMAC computations performed by {!sign} on this registry. The registry
+    is a per-run value, so the tally is per run; under the threaded
+    runtime's shared registry the count is best-effort. *)
+
+val verifies : registry -> int
+(** HMAC recomputations performed by {!verify} on this registry
+    (out-of-range signers return false without computing and are not
+    counted). *)

@@ -62,6 +62,10 @@ type rule_ctx = {
   trace_kinds : string list;
       (** Constructor names of [Bamboo_obs.Trace.kind], parsed from
           [lib/obs/trace.mli] when it is among the linted sources. *)
+  metric_names : (string * int) list;
+      (** Literal metric names at [Registry.counter/gauge/histogram]
+          registration sites across the linted lib/ sources, with how
+          many times each name occurs. *)
 }
 
 type rule = {
@@ -98,6 +102,32 @@ let default_trace_kinds =
     "Fault_heal";
   ]
 
+(* --- metric-registration recognition --- *)
+
+(* A call whose head identifier flattens to [... Registry.counter],
+   [... Registry.gauge] or [... Registry.histogram] and that passes a
+   string literal as its unlabelled name argument. Instrumented modules
+   alias [module Registry = Bamboo_metrics.Registry] precisely so these
+   sites stay recognizable; calls forwarding a computed name (e.g. the
+   probe's gauge registration) are intentionally not matched. *)
+let metric_registration (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      match List.rev (Longident.flatten txt) with
+      | fn :: "Registry" :: _
+        when String.equal fn "counter" || String.equal fn "gauge"
+             || String.equal fn "histogram" ->
+          List.find_map
+            (fun (label, (arg : Parsetree.expression)) ->
+              match (label, arg.Parsetree.pexp_desc) with
+              | Asttypes.Nolabel, Pexp_constant (Pconst_string (name, _, _))
+                ->
+                  Some (name, arg.Parsetree.pexp_loc)
+              | _ -> None)
+            args
+      | _ -> None)
+  | _ -> None
+
 (* --- parsing --- *)
 
 type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
@@ -123,7 +153,7 @@ let parse ~path source =
 
 (* --- raw findings --- *)
 
-let raw_findings ~rules ~trace_kinds ~path ~segs ast =
+let raw_findings ~rules ~trace_kinds ~metric_names ~path ~segs ast =
   let out = ref [] in
   let active = List.filter (fun r -> r.scope segs) rules in
   let hooks select =
@@ -148,6 +178,7 @@ let raw_findings ~rules ~trace_kinds ~path ~segs ast =
                       }
                       :: !out);
                 trace_kinds;
+                metric_names;
               }
             in
             Some (check ctx))
@@ -289,9 +320,9 @@ let within (l, c) (fl, fc) (tl, tc) =
 
 (* --- per-file pipeline --- *)
 
-let lint_file ~rules ~trace_kinds path ast =
+let lint_file ~rules ~trace_kinds ~metric_names path ast =
   let segs = segments path in
-  let raw = raw_findings ~rules ~trace_kinds ~path ~segs ast in
+  let raw = raw_findings ~rules ~trace_kinds ~metric_names ~path ~segs ast in
   let sups, malformed = collect_suppressions ~path ast in
   let known = List.map (fun r -> r.id) rules in
   let sups, unknown =
@@ -381,6 +412,43 @@ let trace_kinds_of parsed =
         | Impl _ -> None)
     parsed
 
+(* --- metric-name discovery --- *)
+
+(* Counts every literal metric name registered across the lib/ sources
+   (the library code owns the metric namespace; bench and test files may
+   re-register names for their own registries). The counts let the
+   exhaustive-metric-names rule flag duplicate registrations at their
+   own sites while each file is linted independently. *)
+let metric_names_of parsed =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (path, ast) ->
+      match ast with
+      | Intf _ -> ()
+      | Impl str ->
+          if under [ "lib" ] (segments path) then
+            let default = Ast_iterator.default_iterator in
+            let it =
+              {
+                default with
+                Ast_iterator.expr =
+                  (fun it e ->
+                    (match metric_registration e with
+                    | Some (name, _) ->
+                        Hashtbl.replace tbl name
+                          (1 + Option.value (Hashtbl.find_opt tbl name) ~default:0)
+                    | None -> ());
+                    default.Ast_iterator.expr it e);
+              }
+            in
+            it.Ast_iterator.structure it str)
+    parsed;
+  (* bucket order is washed out by the sort *)
+  (Hashtbl.fold [@lint.allow "no-order-leak"])
+    (fun name count acc -> (name, count) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* --- entry points --- *)
 
 let compare_findings a b =
@@ -393,7 +461,7 @@ let compare_findings a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
-let lint_sources ?trace_kinds ~rules sources =
+let lint_sources ?trace_kinds ?metric_names ~rules sources =
   let parsed, parse_errors =
     List.fold_left
       (fun (parsed, errs) (path, contents) ->
@@ -409,9 +477,12 @@ let lint_sources ?trace_kinds ~rules sources =
     | None ->
         Option.value (trace_kinds_of parsed) ~default:default_trace_kinds
   in
+  let metric_names =
+    match metric_names with Some m -> m | None -> metric_names_of parsed
+  in
   let findings =
     List.concat_map
-      (fun (path, ast) -> lint_file ~rules ~trace_kinds path ast)
+      (fun (path, ast) -> lint_file ~rules ~trace_kinds ~metric_names path ast)
       parsed
   in
   List.sort compare_findings (parse_errors @ findings)
@@ -454,7 +525,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_paths ?trace_kinds ~rules paths :
+let lint_paths ?trace_kinds ?metric_names ~rules paths :
     (int * finding list, string) result =
   match collect_files paths with
   | Error e -> Error e
@@ -470,7 +541,9 @@ let lint_paths ?trace_kinds ~rules paths :
       match read_all [] files with
       | Error e -> Error e
       | Ok sources ->
-          Ok (List.length files, lint_sources ?trace_kinds ~rules sources))
+          Ok
+            ( List.length files,
+              lint_sources ?trace_kinds ?metric_names ~rules sources ))
 
 (* --- reporting --- *)
 

@@ -48,6 +48,11 @@ type rule_ctx = {
       (** Constructor names of [Bamboo_obs.Trace.kind], parsed from
           [lib/obs/trace.mli] when it is among the linted sources, else
           a built-in fallback. *)
+  metric_names : (string * int) list;
+      (** Literal metric names at [Registry.counter/gauge/histogram]
+          registration sites across the linted lib/ sources, with how
+          many times each name occurs; collected by a pre-pass (or
+          supplied via [?metric_names]). *)
 }
 
 type rule = {
@@ -63,10 +68,18 @@ type rule = {
 
 val default_trace_kinds : string list
 
+val metric_registration :
+  Parsetree.expression -> (string * Location.t) option
+(** Recognizes a [Registry.counter]/[Registry.gauge]/[Registry.histogram]
+    application (any module-path prefix ending in [Registry]) whose
+    unlabelled name argument is a string literal, returning the literal
+    and its location. Computed names are not matched. *)
+
 (** {2 Running the linter} *)
 
 val lint_sources :
   ?trace_kinds:string list ->
+  ?metric_names:(string * int) list ->
   rules:rule list ->
   (string * string) list ->
   finding list
@@ -81,6 +94,7 @@ val collect_files : string list -> (string list, string) result
 
 val lint_paths :
   ?trace_kinds:string list ->
+  ?metric_names:(string * int) list ->
   rules:rule list ->
   string list ->
   (int * finding list, string) result

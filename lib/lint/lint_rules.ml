@@ -374,6 +374,51 @@ let exhaustive_trace_match =
     on_typ = None;
   }
 
+(* --- rule 6: exhaustive-metric-names --- *)
+
+let snake_case name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let check_metric_names ctx e =
+  match E.metric_registration e with
+  | None -> ()
+  | Some (name, loc) ->
+      if not (snake_case name) then
+        ctx.E.add loc
+          (sprintf
+             "metric name %S is not snake_case ([a-z] then [a-z0-9_]); the \
+              exporters and the bench compare gate key on exact names"
+             name);
+      (match List.assoc_opt name ctx.E.metric_names with
+      | Some count when count >= 2 ->
+          ctx.E.add loc
+            (sprintf
+               "metric name %S is registered at %d sites in lib/; a second \
+                registration silently merges into the first handle's cells \
+                — rename one, or share one registration"
+               name count)
+      | Some _ | None -> ())
+
+let exhaustive_metric_names =
+  {
+    E.id = "exhaustive-metric-names";
+    severity = E.Error;
+    summary =
+      "require every literal metric name registered in lib/ to be \
+       snake_case and registered at exactly one site";
+    protects =
+      "metric-namespace integrity: exporters, dashboards and the bench \
+       regression gate address metrics by exact name";
+    scope = in_lib;
+    on_expr = Some check_metric_names;
+    on_structure_item = None;
+    on_typ = None;
+  }
+
 (* --- registry --- *)
 
 let all =
@@ -384,4 +429,5 @@ let all =
     no_order_leak;
     domain_safety;
     exhaustive_trace_match;
+    exhaustive_metric_names;
   ]

@@ -13,3 +13,4 @@ val no_poly_minmax : Lint_engine.rule
 val no_order_leak : Lint_engine.rule
 val domain_safety : Lint_engine.rule
 val exhaustive_trace_match : Lint_engine.rule
+val exhaustive_metric_names : Lint_engine.rule

@@ -10,11 +10,27 @@ type t = {
   queue : Tx.t Deque.t;
   status : status Tx.Id_tbl.t;
   cap : int;
+  (* observe-only tallies, surfaced through [stats] *)
+  mutable peak : int;
+  mutable n_batches : int;
+  mutable n_batched : int;
 }
+
+type stats = { peak_occupancy : int; batches : int; batched_txs : int }
 
 let create ?(capacity = 1000) () =
   if capacity <= 0 then invalid_arg "Mempool.create: capacity must be positive";
-  { queue = Deque.create (); status = Tx.Id_tbl.create 256; cap = capacity }
+  {
+    queue = Deque.create ();
+    status = Tx.Id_tbl.create 256;
+    cap = capacity;
+    peak = 0;
+    n_batches = 0;
+    n_batched = 0;
+  }
+
+let stats t =
+  { peak_occupancy = t.peak; batches = t.n_batches; batched_txs = t.n_batched }
 
 let length t = Deque.length t.queue
 let is_empty t = Deque.is_empty t.queue
@@ -26,6 +42,8 @@ let add t (tx : Tx.t) =
   else begin
     Tx.Id_tbl.add t.status tx.id Queued;
     Deque.push_back t.queue tx;
+    let len = Deque.length t.queue in
+    if len > t.peak then t.peak <- len;
     true
   end
 
@@ -49,6 +67,8 @@ let requeue_front t txs =
           end
           else Tx.Id_tbl.remove t.status tx.id)
     (List.rev txs);
+  let len = Deque.length t.queue in
+  if len > t.peak then t.peak <- len;
   !count
 
 let batch t ~max =
@@ -67,7 +87,10 @@ let batch t ~max =
               Tx.Id_tbl.replace t.status tx.Tx.id In_flight;
               take (tx :: acc) (k - 1))
   in
-  take [] max
+  let taken = take [] max in
+  t.n_batches <- t.n_batches + 1;
+  t.n_batched <- t.n_batched + List.length taken;
+  taken
 
 let forget t txs =
   List.iter (fun (tx : Tx.t) -> Tx.Id_tbl.replace t.status tx.Tx.id Committed) txs

@@ -46,3 +46,13 @@ val forget : t -> Tx.t list -> unit
 
 val contains : t -> Tx.id -> bool
 (** Whether the id is queued or in flight (not yet forgotten). *)
+
+type stats = {
+  peak_occupancy : int;  (** high-water mark of {!length} *)
+  batches : int;  (** {!batch} calls over the pool's lifetime *)
+  batched_txs : int;  (** transactions those batches removed *)
+}
+
+val stats : t -> stats
+(** Observe-only tallies for the metrics layer. Mean batch fill is
+    [batched_txs / batches] against the configured block size. *)

@@ -1,0 +1,121 @@
+(** Aggregate metrics: counters, gauges and HDR-style log-bucketed
+    histograms behind a per-domain sharded registry.
+
+    The registry is a per-run value (like [Trace.t]) — create one per
+    simulation or benchmark run and pass it down; there is no ambient
+    global. Writers record into their own domain's shard without taking any
+    lock, so Pool workers never contend; readers merge all shards on demand.
+
+    Recording is allocation-free on the hot path: against a disabled
+    registry (e.g. {!null}) every record operation is one load and one
+    branch, and against an enabled one it is a shard scan (one entry per
+    domain) plus an array store. Counters are exact under parallel domains;
+    under systhreads sharing a domain, concurrent increments may coalesce
+    (counts are then best-effort, never a crash).
+
+    Metrics are observe-only: nothing recorded here feeds back into
+    simulation state, so enabling metrics cannot change simulation output. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** [create ()] makes an enabled registry. [create ~enabled:false ()] makes
+    a registry whose record operations are no-ops and whose {!read} is
+    empty. *)
+
+val null : t
+(** A shared disabled registry: the default everywhere metrics are
+    optional. Registration against it returns inert handles. *)
+
+val enabled : t -> bool
+
+(** {1 Handles}
+
+    Registration (see {!counter}, {!gauge}, {!histogram}) is idempotent on
+    (name, labels) and intended for setup paths; handles are cheap records
+    made for the hot path. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  (** Merged value across all shards. *)
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  (** Records a sample: updates last/min/max/sum/count. *)
+
+  val samples : t -> int
+  (** Merged sample count across all shards. *)
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> int -> unit
+  (** Records a non-negative integer value (negatives clamp to 0). The unit
+      is the caller's contract — by convention [*_ns] metrics record
+      nanoseconds. *)
+
+  val observe_s : t -> float -> unit
+  (** [observe_s h secs] records [secs] converted to nanoseconds. *)
+
+  val count : t -> int
+  (** Merged observation count across all shards. *)
+end
+
+(** {1 Registration}
+
+    Names must be snake_case (a lowercase letter, then lowercase letters,
+    digits or underscores) — enforced here at runtime
+    and by the [exhaustive-metric-names] lint at the source level (the lint
+    additionally requires literal names to be unique across [lib/]).
+    Optional [labels] distinguish instances of one logical metric (e.g.
+    [("node", "3")]); label order is canonicalised. Registering the same
+    (name, labels) twice returns a handle to the same metric; re-registering
+    under a different kind raises [Invalid_argument]. *)
+
+val counter : t -> ?labels:(string * string) list -> string -> Counter.t
+val gauge : t -> ?labels:(string * string) list -> string -> Gauge.t
+val histogram : t -> ?labels:(string * string) list -> string -> Histogram.t
+
+(** {1 Reading} *)
+
+type merged =
+  | M_counter of int
+  | M_gauge of {
+      last : float;  (** last sample; meaningful for single-writer gauges *)
+      min_v : float;
+      max_v : float;
+      sum : float;
+      samples : int;
+    }
+  | M_hist of {
+      count : int;
+      sum : int;
+      max_v : int;
+      buckets : (int * int) list;
+          (** (bucket lower bound, count) for non-empty buckets, ascending *)
+    }
+
+val read : t -> (string * (string * string) list * merged) list
+(** Merge-on-read view of every registered metric, sorted by (name, labels)
+    so output is deterministic. Intended to be taken after parallel writers
+    have joined; a snapshot raced with live writers is best-effort. *)
+
+(** {1 Histogram bucket maths} (exposed for tests and exporters) *)
+
+val bucket_index : int -> int
+(** Bucket for a value: exact (identity) below 32, then 16 sub-buckets per
+    octave, bounding relative error at ~6%. *)
+
+val bucket_lower : int -> int
+(** Inclusive lower bound of a bucket; [bucket_lower (bucket_index v) <= v]
+    and [v < bucket_lower (bucket_index v + 1)]. *)
+
+val n_buckets : int

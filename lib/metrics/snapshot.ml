@@ -1,0 +1,207 @@
+(* Immutable merged view of a registry, with the two export formats the
+   tooling speaks: Prometheus text exposition and the repo's Json module. *)
+
+module Json = Bamboo_util.Json
+
+type value =
+  | Counter of int
+  | Gauge of { last : float; min_v : float; max_v : float; mean : float; samples : int }
+  | Histogram of {
+      count : int;
+      sum : int;
+      max_v : int;
+      buckets : (int * int) list; (* (lower bound, count), ascending *)
+    }
+
+type metric = {
+  name : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+type t = { metrics : metric list }
+
+let empty = { metrics = [] }
+let is_empty t = t.metrics = []
+
+let of_registry reg =
+  let metrics =
+    List.map
+      (fun (name, labels, m) ->
+        let value =
+          match m with
+          | Registry.M_counter v -> Counter v
+          | Registry.M_gauge { last; min_v; max_v; sum; samples } ->
+              let mean =
+                if samples = 0 then 0.0 else sum /. float_of_int samples
+              in
+              Gauge { last; min_v; max_v; mean; samples }
+          | Registry.M_hist { count; sum; max_v; buckets } ->
+              Histogram { count; sum; max_v; buckets }
+        in
+        { name; labels; value })
+      (Registry.read reg)
+  in
+  { metrics }
+
+let find t ?(labels = []) name =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  List.find_opt (fun m -> m.name = name && m.labels = labels) t.metrics
+
+(* Sum of every counter sharing [name], across label sets — e.g. total
+   commits over all [replica_commits{node=...}]. *)
+let counter_value t name =
+  List.fold_left
+    (fun acc m ->
+      match m.value with
+      | Counter v when m.name = name -> acc + v
+      | _ -> acc)
+    0 t.metrics
+
+(* Percentile over merged buckets: the lower bound of the bucket where the
+   cumulative count crosses the rank, except p100 which reports the exact
+   maximum. Deterministic and merge-stable. *)
+let percentile ~buckets ~count ~max_v p =
+  if count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int count)) in
+      if r < 1 then 1 else if r > count then count else r
+    in
+    if rank = count then max_v
+    else begin
+      let rec walk cum = function
+        | [] -> max_v
+        | (lower, n) :: rest ->
+            let cum = cum + n in
+            if cum >= rank then lower else walk cum rest
+      in
+      walk 0 buckets
+    end
+  end
+
+(* ------------------------------------------------------------------ JSON *)
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let metric_json m =
+  let base = [ ("name", Json.String m.name) ] in
+  let base =
+    if m.labels = [] then base else base @ [ ("labels", labels_json m.labels) ]
+  in
+  let rest =
+    match m.value with
+    | Counter v -> [ ("type", Json.String "counter"); ("value", Json.Int v) ]
+    | Gauge { last; min_v; max_v; mean; samples } ->
+        [
+          ("type", Json.String "gauge");
+          ("last", Json.Float last);
+          ("min", Json.Float min_v);
+          ("max", Json.Float max_v);
+          ("mean", Json.Float mean);
+          ("samples", Json.Int samples);
+        ]
+    | Histogram { count; sum; max_v; buckets } ->
+        let p q = Json.Int (percentile ~buckets ~count ~max_v q) in
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int count);
+          ("sum", Json.Int sum);
+          ("max", Json.Int max_v);
+          ("p50", p 50.0);
+          ("p95", p 95.0);
+          ("p99", p 99.0);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (lower, n) -> Json.List [ Json.Int lower; Json.Int n ])
+                 buckets) );
+        ]
+  in
+  Json.Obj (base @ rest)
+
+let to_json t = Json.Obj [ ("metrics", Json.List (List.map metric_json t.metrics)) ]
+
+(* ------------------------------------------------------------ Prometheus *)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let float_str v =
+  (* Prometheus wants plain decimal; %.17g round-trips doubles but emits
+     noise for simple values, so prefer the shortest exact form. *)
+  let s = Printf.sprintf "%.12g" v in
+  if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun m ->
+      match m.value with
+      | Counter v ->
+          type_line m.name "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" m.name (render_labels m.labels) v)
+      | Gauge { last; _ } ->
+          type_line m.name "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.name
+               (render_labels m.labels)
+               (float_str last))
+      | Histogram { count; sum; max_v = _; buckets } ->
+          type_line m.name "histogram";
+          let cum = ref 0 in
+          List.iter
+            (fun (lower, n) ->
+              cum := !cum + n;
+              (* our buckets are [lower, next_lower); Prometheus "le" is an
+                 inclusive upper bound, so emit the last value the bucket
+                 can hold *)
+              let le =
+                let idx = Registry.bucket_index lower in
+                Registry.bucket_lower (idx + 1) - 1
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" m.name
+                   (render_labels (m.labels @ [ ("le", string_of_int le) ]))
+                   !cum))
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" m.name
+               (render_labels (m.labels @ [ ("le", "+Inf") ]))
+               count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %d\n" m.name (render_labels m.labels) sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.name
+               (render_labels m.labels)
+               count))
+    t.metrics;
+  Buffer.contents buf

@@ -1,11 +1,21 @@
 module Stats = Bamboo_util.Stats
 module Json = Bamboo_util.Json
+module Registry = Bamboo_metrics.Registry
 
-type gauge = { node : int; name : string; read : unit -> float; stats : Stats.t }
+type gauge = {
+  node : int;
+  name : string;
+  read : unit -> float;
+  stats : Stats.t;
+  metric : Registry.Gauge.t;
+      (* the same sample feeds the Stats collector, the trace sink and the
+         metrics registry, so probes and metrics report one number *)
+}
 
 type t = {
   interval : float;
   trace : Trace.t;
+  registry : Registry.t;
   mutable gauges : gauge list; (* reverse insertion order *)
   mutable ticks : int;
 }
@@ -18,14 +28,16 @@ type summary = {
   max : float;
 }
 
-let create ?(trace = Trace.null) ~interval () =
+let create ?(trace = Trace.null) ?(registry = Registry.null) ~interval () =
   if interval <= 0.0 then invalid_arg "Probe.create: interval must be positive";
-  { interval; trace; gauges = []; ticks = 0 }
+  { interval; trace; registry; gauges = []; ticks = 0 }
 
 let interval t = t.interval
 
 let add_gauge t ~node ~name read =
-  t.gauges <- { node; name; read; stats = Stats.create () } :: t.gauges
+  let labels = if node >= 0 then [ ("node", string_of_int node) ] else [] in
+  let metric = Registry.gauge t.registry ~labels name in
+  t.gauges <- { node; name; read; stats = Stats.create (); metric } :: t.gauges
 
 let sample t ~now =
   t.ticks <- t.ticks + 1;
@@ -33,7 +45,8 @@ let sample t ~now =
     (fun g ->
       let v = g.read () in
       Stats.add g.stats v;
-      Trace.gauge t.trace ~ts:now ~node:g.node ~name:g.name v)
+      Trace.gauge t.trace ~ts:now ~node:g.node ~name:g.name v;
+      Registry.Gauge.set g.metric v)
     (List.rev t.gauges)
 
 let samples t = t.ticks

@@ -19,14 +19,23 @@ type summary = {
   max : float;
 }
 
-val create : ?trace:Trace.t -> interval:float -> unit -> t
+val create :
+  ?trace:Trace.t ->
+  ?registry:Bamboo_metrics.Registry.t ->
+  interval:float ->
+  unit ->
+  t
 (** [interval] is the sampling period in virtual seconds (must be
     positive); it is informational here — the caller schedules the
-    samples. *)
+    samples. When [registry] is given (and enabled), every {!sample} also
+    records into a registry gauge of the same name (labelled
+    [node=<id>] for node-scoped gauges), so probe summaries and metrics
+    exports report one consistent number. *)
 
 val interval : t -> float
 
 val add_gauge : t -> node:int -> name:string -> (unit -> float) -> unit
+(** Gauge names must be snake_case (the metrics registry enforces it). *)
 
 val sample : t -> now:float -> unit
 (** Reads every gauge once, tagging trace counter events with [now]. *)

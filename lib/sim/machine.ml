@@ -13,6 +13,12 @@ type t = {
   mutable cpu_depth : int;
   mutable nic_out_depth : int;
   mutable nic_in_depth : int;
+  mutable cpu_ops : int;
+  mutable nic_out_ops : int;
+  mutable nic_in_ops : int;
+  mutable cpu_peak : int;
+  mutable nic_out_peak : int;
+  mutable nic_in_peak : int;
   mutable on_service :
     (queue:queue -> start:float -> duration:float -> unit) option;
 }
@@ -32,6 +38,12 @@ let create ~sim ~bandwidth =
     cpu_depth = 0;
     nic_out_depth = 0;
     nic_in_depth = 0;
+    cpu_ops = 0;
+    nic_out_ops = 0;
+    nic_in_ops = 0;
+    cpu_peak = 0;
+    nic_out_peak = 0;
+    nic_in_peak = 0;
     on_service = None;
   }
 
@@ -46,9 +58,18 @@ let speed t = t.speed
 let set_service_hook t hook = t.on_service <- hook
 
 let incr_depth t = function
-  | `Cpu -> t.cpu_depth <- t.cpu_depth + 1
-  | `Nic_out -> t.nic_out_depth <- t.nic_out_depth + 1
-  | `Nic_in -> t.nic_in_depth <- t.nic_in_depth + 1
+  | `Cpu ->
+      t.cpu_depth <- t.cpu_depth + 1;
+      t.cpu_ops <- t.cpu_ops + 1;
+      if t.cpu_depth > t.cpu_peak then t.cpu_peak <- t.cpu_depth
+  | `Nic_out ->
+      t.nic_out_depth <- t.nic_out_depth + 1;
+      t.nic_out_ops <- t.nic_out_ops + 1;
+      if t.nic_out_depth > t.nic_out_peak then t.nic_out_peak <- t.nic_out_depth
+  | `Nic_in ->
+      t.nic_in_depth <- t.nic_in_depth + 1;
+      t.nic_in_ops <- t.nic_in_ops + 1;
+      if t.nic_in_depth > t.nic_in_peak then t.nic_in_peak <- t.nic_in_depth
 
 let decr_depth t = function
   | `Cpu -> t.cpu_depth <- t.cpu_depth - 1
@@ -105,3 +126,13 @@ let queue_depth t = function
   | `Cpu -> t.cpu_depth
   | `Nic_out -> t.nic_out_depth
   | `Nic_in -> t.nic_in_depth
+
+let ops t = function
+  | `Cpu -> t.cpu_ops
+  | `Nic_out -> t.nic_out_ops
+  | `Nic_in -> t.nic_in_ops
+
+let peak_depth t = function
+  | `Cpu -> t.cpu_peak
+  | `Nic_out -> t.nic_out_peak
+  | `Nic_in -> t.nic_in_peak

@@ -56,6 +56,12 @@ val queue_depth : t -> queue -> int
 (** Jobs admitted to the queue and not yet completed (including the one
     in service). *)
 
+val ops : t -> queue -> int
+(** Total jobs ever admitted to the queue. *)
+
+val peak_depth : t -> queue -> int
+(** High-water mark of {!queue_depth}. *)
+
 val set_service_hook :
   t -> (queue:queue -> start:float -> duration:float -> unit) option -> unit
 (** Installs (or clears) a callback invoked synchronously for every

@@ -25,6 +25,20 @@ type t = {
   links : (int, link) Hashtbl.t;  (* keyed by [link_key ~src ~dst] *)
   mutable n_blocked : int; (* pairs currently blocked (counting overlaps) *)
   mutable n_effects : int; (* attached effects across all pairs *)
+  (* observe-only tallies, surfaced through [stats] *)
+  mutable n_sends : int;
+  mutable n_base_drops : int;
+  mutable n_fault_drops : int;
+  mutable n_duplicates : int;
+  mutable n_activations : int; (* attach + block calls over the run *)
+}
+
+type stats = {
+  sends : int;
+  base_drops : int;
+  fault_drops : int;
+  duplicates : int;
+  fault_activations : int;
 }
 
 let create ~rng ~mu ~sigma ?(extra_mu = 0.0) ?(extra_sigma = 0.0) () =
@@ -40,6 +54,20 @@ let create ~rng ~mu ~sigma ?(extra_mu = 0.0) ?(extra_sigma = 0.0) () =
     links = Hashtbl.create 64;
     n_blocked = 0;
     n_effects = 0;
+    n_sends = 0;
+    n_base_drops = 0;
+    n_fault_drops = 0;
+    n_duplicates = 0;
+    n_activations = 0;
+  }
+
+let stats t =
+  {
+    sends = t.n_sends;
+    base_drops = t.n_base_drops;
+    fault_drops = t.n_fault_drops;
+    duplicates = t.n_duplicates;
+    fault_activations = t.n_activations;
   }
 
 let set_loss t ~rate =
@@ -47,7 +75,10 @@ let set_loss t ~rate =
     invalid_arg "Netmodel.set_loss: rate must be in [0, 1)";
   t.loss <- rate
 
-let drops t ~now:_ = t.loss > 0.0 && Rng.float t.rng 1.0 < t.loss
+let drops t ~now:_ =
+  let dropped = t.loss > 0.0 && Rng.float t.rng 1.0 < t.loss in
+  if dropped then t.n_base_drops <- t.n_base_drops + 1;
+  dropped
 
 let set_extra_delay t ~mu ~sigma =
   t.extra_mu <- mu;
@@ -102,7 +133,8 @@ let find_link t ~src ~dst =
 let attach t ~src ~dst e =
   let l = link t ~src ~dst in
   l.effects <- l.effects @ [ e ];
-  t.n_effects <- t.n_effects + 1
+  t.n_effects <- t.n_effects + 1;
+  t.n_activations <- t.n_activations + 1
 
 let detach t ~src ~dst e =
   match Hashtbl.find_opt t.links (link_key ~src ~dst) with
@@ -115,7 +147,8 @@ let detach t ~src ~dst e =
 let block t ~src ~dst =
   let l = link t ~src ~dst in
   l.blocked <- l.blocked + 1;
-  t.n_blocked <- t.n_blocked + 1
+  t.n_blocked <- t.n_blocked + 1;
+  t.n_activations <- t.n_activations + 1
 
 let unblock t ~src ~dst =
   match Hashtbl.find_opt t.links (link_key ~src ~dst) with
@@ -128,6 +161,7 @@ let blocked t ~src ~dst =
   match find_link t ~src ~dst with Some l -> l.blocked > 0 | None -> false
 
 let one_way t ~now ~src ~dst =
+  t.n_sends <- t.n_sends + 1;
   let base = base_sample t ~now in
   match find_link t ~src ~dst with
   | None -> base
@@ -150,27 +184,35 @@ let link_drops t ~src ~dst =
   | Some l ->
       (* Sample every active loss effect (composition of independent
          drops), so overlapping faults keep their own streams aligned. *)
-      List.fold_left
-        (fun dropped e ->
-          match e.kind with
-          | Drop p -> Rng.float e.rng 1.0 < p || dropped
-          | Extra_delay _ | Spike _ | Duplicate _ | Reorder _ -> dropped)
-        false l.effects
+      let dropped =
+        List.fold_left
+          (fun dropped e ->
+            match e.kind with
+            | Drop p -> Rng.float e.rng 1.0 < p || dropped
+            | Extra_delay _ | Spike _ | Duplicate _ | Reorder _ -> dropped)
+          false l.effects
+      in
+      if dropped then t.n_fault_drops <- t.n_fault_drops + 1;
+      dropped
 
 let link_copies t ~src ~dst =
   match find_link t ~src ~dst with
   | None -> []
   | Some l ->
-      List.fold_left
+      let copies =
+        List.fold_left
         (fun copies e ->
           match e.kind with
           | Duplicate p when Rng.float e.rng 1.0 < p ->
               (* The copy's delay is an independent base-distribution
                  sample from the duplicating fault's own stream. *)
               Dist.normal_pos e.rng ~mu:t.mu ~sigma:t.sigma :: copies
-          | Duplicate _ | Extra_delay _ | Spike _ | Drop _ | Reorder _ ->
+            | Duplicate _ | Extra_delay _ | Spike _ | Drop _ | Reorder _ ->
               copies)
-        [] l.effects
+          [] l.effects
+      in
+      t.n_duplicates <- t.n_duplicates + List.length copies;
+      copies
 
 let client_rtt t ~now = 2.0 *. base_sample t ~now
 

@@ -113,3 +113,15 @@ val link_drops : t -> src:int -> dst:int -> bool
 val link_copies : t -> src:int -> dst:int -> float list
 (** Samples every [Duplicate] effect on the pair; returns the one-way
     delays of the extra copies to deliver. *)
+
+type stats = {
+  sends : int;  (** one-way delay samples drawn (messages sent) *)
+  base_drops : int;  (** messages lost to the base loss rate *)
+  fault_drops : int;  (** messages lost to per-link [Drop] effects *)
+  duplicates : int;  (** extra copies produced by [Duplicate] effects *)
+  fault_activations : int;  (** [attach] + [block] calls over the run *)
+}
+
+val stats : t -> stats
+(** Observe-only tallies for the metrics layer; reading them never
+    advances any RNG stream. *)

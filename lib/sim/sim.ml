@@ -109,15 +109,25 @@ module Eq = struct
     fn
 end
 
-type t = { mutable clock : float; events : Eq.t; mutable fired : int }
+type t = {
+  mutable clock : float;
+  events : Eq.t;
+  mutable fired : int;
+  mutable pushed : int;
+  mutable peak : int; (* high-water mark of the event heap *)
+}
 
-let create () = { clock = 0.0; events = Eq.create (); fired = 0 }
+let create () =
+  { clock = 0.0; events = Eq.create (); fired = 0; pushed = 0; peak = 0 }
 
 let now t = t.clock
 
 let schedule_at t ~at fn =
   let at = Float.max at t.clock in
-  Eq.push t.events ~at fn
+  Eq.push t.events ~at fn;
+  t.pushed <- t.pushed + 1;
+  let len = Eq.length t.events in
+  if len > t.peak then t.peak <- len
 
 let schedule t ~delay fn = schedule_at t ~at:(t.clock +. Float.max 0.0 delay) fn
 
@@ -150,3 +160,5 @@ let run_to_completion ?(max_events = 100_000_000) t =
 
 let pending t = Eq.length t.events
 let fired t = t.fired
+let pushed t = t.pushed
+let peak_depth t = t.peak

@@ -40,3 +40,9 @@ val fired : t -> int
 (** Total events executed so far; an instrumentation-independent measure
     of simulation work, used by the observability layer's zero-overhead
     checks. *)
+
+val pushed : t -> int
+(** Total events ever scheduled (heap pushes). *)
+
+val peak_depth : t -> int
+(** High-water mark of the event heap. *)

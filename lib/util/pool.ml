@@ -1,9 +1,24 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(* Wall-clock reads feed the optional per-task latency probe only; the
+   timings are observability output and never influence task results or
+   ordering, so the determinism rules stay intact. *)
+let monotime () =
+  (Unix.gettimeofday [@lint.allow "no-ambient-nondeterminism"]) ()
+
+let timed probe f i x =
+  match probe with
+  | None -> f x
+  | Some p ->
+      let t0 = monotime () in
+      let r = f x in
+      p i (monotime () -. t0);
+      r
+
 (* Work-stealing by atomic index: workers repeatedly claim the next
    unclaimed input slot, so long tasks do not hold up short ones and the
    result array is filled in input order regardless of completion order. *)
-let map_parallel ~jobs f inputs =
+let map_parallel ~jobs ~probe f inputs =
   let n = Array.length inputs in
   let results = Array.make n None in
   let next = Atomic.make 0 in
@@ -11,7 +26,7 @@ let map_parallel ~jobs f inputs =
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
     if i < n && Atomic.get failed = None then begin
-      (match f inputs.(i) with
+      (match timed probe f i inputs.(i) with
       | r -> results.(i) <- Some r
       | exception e ->
           (* Keep the first failure; once set, workers drain out. *)
@@ -33,10 +48,10 @@ let map_parallel ~jobs f inputs =
        (function Some r -> r | None -> assert false (* no failure: all set *))
        results)
 
-let map ~jobs f xs =
+let map ~jobs ?probe f xs =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | xs when jobs = 1 -> List.map f xs
-  | xs -> map_parallel ~jobs f (Array.of_list xs)
+  | [ x ] -> [ timed probe f 0 x ]
+  | xs when jobs = 1 -> List.mapi (fun i x -> timed probe f i x) xs
+  | xs -> map_parallel ~jobs ~probe f (Array.of_list xs)

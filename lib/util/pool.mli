@@ -11,10 +11,18 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the parallelism the hardware
     supports (1 on a single-core machine). *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  jobs:int -> ?probe:(int -> float -> unit) -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs], running up to
     [jobs] applications concurrently (never more than [List.length xs]
     domains), and returns the results in the order of [xs].
+
+    [probe], when given, is called as [probe i seconds] after each
+    completed task with the task's submission index and its wall-clock
+    latency — on the worker domain that ran the task, so it must be
+    domain-safe (the metrics registry's sharded handles are). Tasks that
+    raise are not probed. The probe observes scheduling, it cannot affect
+    results.
 
     If any application raises, the first exception (in completion order)
     is re-raised on the calling domain after all workers have stopped

@@ -212,6 +212,71 @@ let test_trace_kind_extraction () =
   Alcotest.(check int) "Commit no longer a kind" 1
     (count "exhaustive-trace-match" fs)
 
+(* --- rule 7: exhaustive-metric-names --- *)
+
+let test_metric_names_pos () =
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let c reg = Registry.counter reg \"BadName\""
+  in
+  check_fires "non-snake-case name" "exhaustive-metric-names" fs;
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let c reg = Registry.histogram reg \"has-dash\""
+  in
+  check_fires "dash in name" "exhaustive-metric-names" fs;
+  (* duplicate registration across lib/ files: both sites flagged *)
+  let fs =
+    E.lint_sources ~rules:R.all
+      [
+        ("lib/core/fx.ml", "let a reg = Registry.counter reg \"dup_name\"");
+        ("lib/sim/fy.ml", "let b reg = Registry.counter reg \"dup_name\"");
+      ]
+  in
+  Alcotest.(check int) "both duplicate sites" 2
+    (count "exhaustive-metric-names" fs);
+  (* the full module path form is recognized too *)
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let c reg = Bamboo_metrics.Registry.gauge reg \"Mixed\""
+  in
+  check_fires "qualified path" "exhaustive-metric-names" fs
+
+let test_metric_names_neg () =
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let c reg = Registry.counter reg \"net_sends_total\""
+  in
+  check_silent "unique snake_case" "exhaustive-metric-names" fs;
+  (* computed names are out of the rule's (syntactic) reach *)
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let c reg name = Registry.counter reg name"
+  in
+  check_silent "non-literal name" "exhaustive-metric-names" fs;
+  (* outside lib/ the namespace is the caller's own business *)
+  let fs =
+    lint ~path:"bench/fx.ml"
+      "let c reg = Registry.counter reg \"BadName\""
+  in
+  check_silent "out of scope" "exhaustive-metric-names" fs;
+  (* same name twice in a *labelled* family still registers at one site *)
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let c reg i = Registry.counter reg ~labels:[ (\"node\", string_of_int \
+       i) ] \"replica_things\""
+  in
+  check_silent "one labelled site" "exhaustive-metric-names" fs
+
+let test_metric_names_suppressed () =
+  let fs =
+    lint ~path:"lib/core/fx.ml"
+      "let[@lint.allow \"exhaustive-metric-names\"] c reg =\n\
+      \  Registry.counter reg \"LegacyName\""
+  in
+  check_silent "binding allow" "exhaustive-metric-names" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
 (* --- suppression bookkeeping --- *)
 
 let test_orphan_suppression () =
@@ -299,6 +364,10 @@ let suite =
     Alcotest.test_case "trace-match: suppressed" `Quick test_trace_suppressed;
     Alcotest.test_case "trace-match: kinds from trace.mli" `Quick
       test_trace_kind_extraction;
+    Alcotest.test_case "metric-names: fires" `Quick test_metric_names_pos;
+    Alcotest.test_case "metric-names: silent" `Quick test_metric_names_neg;
+    Alcotest.test_case "metric-names: suppressed" `Quick
+      test_metric_names_suppressed;
     Alcotest.test_case "suppression: orphan" `Quick test_orphan_suppression;
     Alcotest.test_case "suppression: unknown id" `Quick test_unknown_rule_id;
     Alcotest.test_case "suppression: malformed" `Quick test_malformed_payload;
