@@ -168,6 +168,41 @@ let measure_events_per_sec ?(metrics = Mreg.null) () =
     events wall eps;
   (events, wall, eps)
 
+(* The model-checker anchor: an exhaustive DFS over the small honest
+   HotStuff cell, with and without partial-order reduction, timed on the
+   wall clock. [states_per_sec] is the exploration throughput in the
+   production configuration (POR on); [pruned_ratio] is the brute-force
+   state count over the reduced one — a machine-independent measure of
+   how much the sleep sets and state hashing prune, which must stay
+   well above 1. *)
+let measure_explore ~jobs =
+  let s =
+    Bamboo_explore.Scheduler.scenario ~protocol:Bamboo.Config.Hotstuff ~n:4
+      ~byz_no:0 ~strategy:Bamboo.Config.Honest ~horizon:0.6 ~timeout:0.05 ()
+  in
+  let dfs ~por =
+    let t0 = Unix.gettimeofday () in
+    let stats, _ =
+      Bamboo_explore.Strategy.dfs ~por ~window:1e-4 ~max_decisions:4
+        ~max_runs:500 ~jobs s
+    in
+    (stats, Unix.gettimeofday () -. t0)
+  in
+  let on, wall = dfs ~por:true in
+  let off, _ = dfs ~por:false in
+  let states_per_sec = float_of_int on.Bamboo_explore.Strategy.states /. wall in
+  let pruned_ratio =
+    float_of_int off.Bamboo_explore.Strategy.states
+    /. float_of_int (max 1 on.Bamboo_explore.Strategy.states)
+  in
+  Printf.printf
+    "\nexplore: %d runs, %d states in %.2f s wall = %.1f states/s, POR \
+     pruned-ratio %.1fx (%d states brute-force)\n%!"
+    on.Bamboo_explore.Strategy.runs on.Bamboo_explore.Strategy.states wall
+    states_per_sec pruned_ratio off.Bamboo_explore.Strategy.states;
+  (on.Bamboo_explore.Strategy.runs, on.Bamboo_explore.Strategy.states, wall,
+   states_per_sec, pruned_ratio)
+
 (* The parallel anchor: a reduced Table II sweep at jobs=1 vs jobs=N.
    [rows_match] must always be true (Pool.map returns results in
    submission order); [speedup] approaches min(N, cores, cells) on
@@ -344,6 +379,35 @@ let run_compare args =
         (if bad then "REGRESSION" else "ok")
   | None, _ | Some _, None ->
       Printf.printf "  simulator/events_per_sec absent, skipped\n");
+  (* explore/pruned_ratio is a pure state-count ratio — machine-independent,
+     so it is compared unnormalized; throughput would need the anchor but
+     state counts are part of the determinism contract, so the ratio gate
+     is the one that catches a POR regression. *)
+  let explore_ratio j =
+    match Json.member "explore" j with
+    | Json.Null -> None
+    | e -> (
+        match Json.member "pruned_ratio" e with
+        | Json.Null -> None
+        | v -> Some (Json.to_float v))
+  in
+  (match (explore_ratio old_j, explore_ratio new_j) with
+  | Some old_r, Some new_r ->
+      incr compared;
+      let ratio = new_r /. old_r in
+      let bad = ratio < 1.0 -. !tolerance in
+      if bad then
+        regressions :=
+          Printf.sprintf
+            "explore/pruned_ratio: %.1fx -> %.1fx (%.2fx, allowed %.2fx)"
+            old_r new_r ratio
+            (1.0 -. !tolerance)
+          :: !regressions;
+      Printf.printf "  explore/%-32s %10.1f -> %10.1f x      %.2fx %s\n"
+        "pruned_ratio" old_r new_r ratio
+        (if bad then "REGRESSION" else "ok")
+  | None, _ | Some _, None ->
+      Printf.printf "  explore/pruned_ratio absent, skipped\n");
   match List.rev !regressions with
   | [] ->
       Printf.printf "bench compare: OK (%d metrics within tolerance)\n%!"
@@ -438,6 +502,10 @@ let main () =
       let mreg = Mreg.create () in
       Bamboo.Experiments.set_metrics mreg;
       let sim_events, sim_wall, eps = measure_events_per_sec ~metrics:mreg () in
+      let explore_runs, explore_states, explore_wall, states_per_sec,
+          pruned_ratio =
+        measure_explore ~jobs
+      in
       let anchor_cells, wall_seq, wall_par, speedup, rows_match =
         measure_parallel_anchor ~jobs
       in
@@ -474,6 +542,15 @@ let main () =
                   ("events", Json.Int sim_events);
                   ("wall_s", Json.Float sim_wall);
                   ("events_per_sec", Json.Float eps);
+                ] );
+            ( "explore",
+              Json.Obj
+                [
+                  ("runs", Json.Int explore_runs);
+                  ("states", Json.Int explore_states);
+                  ("wall_s", Json.Float explore_wall);
+                  ("states_per_sec", Json.Float states_per_sec);
+                  ("pruned_ratio", Json.Float pruned_ratio);
                 ] );
             ( "parallel",
               Json.Obj

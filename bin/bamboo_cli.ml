@@ -544,8 +544,11 @@ let fuzz_cmd =
         Printf.printf "%s\n" (Bamboo_check.Scenario.describe s);
         print_report s.Bamboo_check.Scenario.label v.Bamboo_check.Fuzz.report)
       verdicts;
-    Printf.printf "fuzz: seed=%d budget=%d -> %d passed, %d failed\n" seed
-      budget
+    Printf.printf
+      "fuzz: root_seed=%d budget=%d protocols=%s \
+       strategies=sampled(honest,silence,fork) -> %d passed, %d failed\n"
+      seed budget
+      (String.concat "," (List.map Bamboo.Config.protocol_name protocols))
       (List.length verdicts - List.length failures)
       (List.length failures);
     match failures with
@@ -596,23 +599,46 @@ let replay_cmd =
   let run file recover_views break_voting =
     let opts = check_opts recover_views in
     let wrap = check_wrap break_voting in
+    let json = parse_json ~path:file (read_file file) in
     let scenario, invariant =
-      match
-        Bamboo_check.Fuzz.artifact_of_json (parse_json ~path:file (read_file file))
-      with
+      match Bamboo_check.Fuzz.artifact_of_json json with
       | Ok v -> v
       | Error e ->
           Printf.eprintf "error in %s: %s\n" file e;
           exit 2
     in
+    let schedule =
+      match Bamboo_explore.Strategy.schedule_of_json json with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "error in %s: %s\n" file e;
+          exit 2
+    in
     Printf.printf "%s\n" (Bamboo_check.Scenario.describe scenario);
-    let v = Bamboo_check.Fuzz.run_scenario ?wrap ~opts scenario in
-    print_report scenario.Bamboo_check.Scenario.label v.Bamboo_check.Fuzz.report;
+    let report =
+      match schedule with
+      | None ->
+          (Bamboo_check.Fuzz.run_scenario ?wrap ~opts scenario)
+            .Bamboo_check.Fuzz.report
+      | Some sched ->
+          let { Bamboo_explore.Strategy.window; explore_after; choices } =
+            sched
+          in
+          Printf.printf
+            "schedule: %d choice(s), window=%g, explore_after=%g\n"
+            (List.length choices) window explore_after;
+          let outcome =
+            Bamboo_explore.Scheduler.replay ?wrap ~opts ~explore_after
+              ~window ~choices scenario
+          in
+          outcome.Bamboo_explore.Scheduler.o_verdict.Bamboo_check.Fuzz.report
+    in
+    print_report scenario.Bamboo_check.Scenario.label report;
     let reproduced =
       List.exists
         (fun (viol : Bamboo_check.Monitor.violation) ->
           viol.Bamboo_check.Monitor.invariant = invariant)
-        v.Bamboo_check.Fuzz.report.Bamboo_check.Monitor.violations
+        report.Bamboo_check.Monitor.violations
     in
     if reproduced then begin
       Printf.printf "reproduced: %s violation confirmed\n"
@@ -622,24 +648,27 @@ let replay_cmd =
     else begin
       Printf.printf "did not reproduce the recorded %s violation\n"
         (Bamboo_check.Monitor.invariant_name invariant);
-      if not (Bamboo_check.Monitor.pass v.Bamboo_check.Fuzz.report) then exit 1
+      if not (Bamboo_check.Monitor.pass report) then exit 1
     end
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
-         "Re-run a shrunk reproducer and report whether the recorded \
-          invariant violation occurs again (exit 1 if it does).")
+         "Re-run a shrunk reproducer — a fuzzer artifact or an explore \
+          counterexample with a recorded delivery schedule — and report \
+          whether the recorded invariant violation occurs again (exit 1 \
+          if it does).")
     Term.(const run $ file_t $ recover_views_t $ break_voting_t)
 
 let check_cmd =
   let info =
     Cmd.info "check"
       ~doc:
-        "Invariant oracle and deterministic chaos fuzzer (agreement, \
-         certification uniqueness, vote safety, bounded liveness)."
+        "Invariant oracle, deterministic chaos fuzzer and bounded model \
+         checker (agreement, certification uniqueness, vote safety, \
+         bounded liveness)."
   in
-  Cmd.group info [ fuzz_cmd; replay_cmd ]
+  Cmd.group info [ fuzz_cmd; replay_cmd; Bamboo_explore.Explore_cli.cmd ]
 
 let () =
   let doc = "Bamboo: prototyping and evaluation of chained-BFT protocols" in

@@ -543,3 +543,100 @@ let qc_cache_misses t = t.qc_cache_misses
 let view_changes t = t.view_changes
 let timeouts_fired t = t.timeouts_fired
 let mempool_stats t = Mempool.stats t.mempool
+let last_voted_view t = t.safety.Safety.last_voted_view ()
+
+(* Canonical digest of everything that can influence this replica's future
+   behavior, for the model checker's state hashing. All hashtable-backed
+   components are emitted in sorted key order so two replicas that reached
+   the same abstract state through different delivery orders digest
+   identically. Deliberately excluded: the verified-QC cache (performance
+   memo only; empty when [verify_sigs] is off, as in the simulator),
+   observe-only tallies, and mempool *contents* (length only — the explore
+   scenarios run without client load, and batch composition is not part of
+   the safety/liveness state space being checked). *)
+let fingerprint t buf =
+  let add_i i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ';'
+  in
+  let add_s s =
+    add_i (String.length s);
+    Buffer.add_string buf s
+  in
+  let add_qc (qc : Qc.t) =
+    add_s qc.block;
+    add_i qc.view;
+    add_i qc.height
+  in
+  add_i t.self;
+  (* Pacemaker: view, entry reason (its embedded certificate view governs
+     TC attachment on the next proposal), backoff state, timeout high-water
+     mark (the [timed_out] voting guard). *)
+  add_i (Pacemaker.current_view t.pacemaker);
+  (match Pacemaker.entry_reason t.pacemaker with
+  | Pacemaker.Startup -> add_i 0
+  | Pacemaker.Via_qc qc ->
+      add_i 1;
+      add_qc qc
+  | Pacemaker.Via_tc tc ->
+      add_i 2;
+      add_i tc.Tcert.view;
+      add_qc tc.Tcert.high_qc);
+  add_i (Pacemaker.consecutive_timeouts t.pacemaker);
+  let rec highest_timed_out v =
+    if v <= 0 then 0
+    else if Pacemaker.timed_out t.pacemaker v then v
+    else highest_timed_out (v - 1)
+  in
+  add_i (highest_timed_out (Pacemaker.current_view t.pacemaker));
+  (* Safety-module state. *)
+  add_i (t.safety.Safety.last_voted_view ());
+  (match t.safety.Safety.locked () with
+  | None -> add_i 0
+  | Some (h, v) ->
+      add_i 1;
+      add_s h;
+      add_i v);
+  add_qc (t.safety.Safety.high_qc ());
+  add_qc (t.safety.Safety.timeout_high_qc ());
+  (* Forest: committed prefix plus the uncommitted block set. *)
+  add_i (Forest.committed_height t.forest);
+  add_s (Forest.last_committed t.forest).Block.hash;
+  let uncommitted =
+    Forest.fold_uncommitted t.forest (fun acc (b : Block.t) -> b.hash :: acc) []
+  in
+  List.iter add_s (List.sort String.compare uncommitted);
+  Buffer.add_char buf '|';
+  Quorum.fingerprint t.quorum buf;
+  Buffer.add_char buf '|';
+  (* Certified QCs, stashed QCs/blocks, outstanding fetches, dedup set. *)
+  List.iter
+    (fun (h, qc) ->
+      add_s h;
+      add_qc qc)
+    (Bamboo_util.Tbl.sorted_bindings ~compare:String.compare t.certified);
+  List.iter
+    (fun (h, qc) ->
+      add_s h;
+      add_qc qc)
+    (Bamboo_util.Tbl.sorted_bindings ~compare:String.compare t.pending_qcs);
+  List.iter
+    (fun (parent, waiting) ->
+      add_s parent;
+      List.iter
+        (fun ((b : Block.t), _) -> add_s b.hash)
+        (List.sort
+           (fun ((b1 : Block.t), _) ((b2 : Block.t), _) ->
+             String.compare b1.hash b2.hash)
+           waiting))
+    (Bamboo_util.Tbl.sorted_bindings ~compare:String.compare t.pending_blocks);
+  List.iter
+    (fun (h, dst) ->
+      add_s h;
+      add_i dst)
+    (Bamboo_util.Tbl.sorted_bindings ~compare:String.compare t.requested);
+  List.iter add_s
+    (Bamboo_util.Tbl.sorted_keys ~compare:String.compare t.seen);
+  add_i t.proposed_through;
+  add_i (Mempool.length t.mempool);
+  add_i (if t.violation then 1 else 0)

@@ -135,3 +135,14 @@ val timeouts_fired : t -> int
 
 val mempool_stats : t -> Bamboo_mempool.Mempool.stats
 (** Peak occupancy and batch tallies of this replica's mempool. *)
+
+val last_voted_view : t -> Ids.view
+(** The safety module's last voted (or abandoned) view. *)
+
+val fingerprint : t -> Buffer.t -> unit
+(** Appends a canonical digest of this replica's behavior-relevant state
+    — pacemaker, safety rule, forest, quorum aggregation, stashed
+    blocks/QCs, dedup set — to [buf]. Order-insensitive: replicas that
+    reached the same abstract state through different delivery orders
+    digest identically. Used by the [bamboo_explore] model checker;
+    excludes performance-only caches and observe-only tallies. *)

@@ -76,6 +76,29 @@ type tx_record = {
   mutable nic_ser : float; (* outbound NIC backlog of the broadcast *)
 }
 
+(* --- controlled scheduling (the bamboo_explore model checker) --- *)
+
+type exec =
+  | Exec_deliver of { src : int; dst : int; note : string }
+  | Exec_timer of { replica : int }
+
+type sched_view = {
+  sv_nodes : Node.t array;
+  sv_sim : Sim.t;
+  sv_timers : unit -> (int * int * float) list;
+}
+
+type sched_hooks = {
+  sh_controller : Sim.controller;
+  sh_on_exec : exec -> unit;
+}
+
+(* Canonical order for the armed-timer snapshot handed to schedulers. *)
+let compare_timers (r1, c1, a1) (r2, c2, a2) =
+  match Int.compare r1 r2 with
+  | 0 -> ( match Int.compare c1 c2 with 0 -> Float.compare a1 a2 | c -> c)
+  | c -> c
+
 type st = {
   config : Config.t;
   sim : Sim.t;
@@ -93,6 +116,12 @@ type st = {
   mutable next_seq : int;
   mutable reissue : client:int -> after:float -> unit;
       (* closed-loop continuation, installed by [run] *)
+  armed : (int, int * int * float) Hashtbl.t;
+      (* controlled mode: outstanding replica timers, timer id ->
+         (replica, timer code, absolute expiry); feeds the state hash *)
+  mutable next_timer : int;
+  mutable notify : (exec -> unit) option;
+      (* [Some f] switches the runtime into controlled-scheduling mode *)
 }
 
 let crashed st id = Fault_engine.node_down st.eng id
@@ -168,6 +197,40 @@ let trace_sent st ~src msg =
    the result across all n-1 transmissions instead of re-walking the
    transaction list per recipient. *)
 let rec transmit st ~src ~dst ~bytes msg =
+  match st.notify with
+  | Some notify -> transmit_controlled st notify ~src ~dst msg
+  | None -> transmit_modeled st ~src ~dst ~bytes msg
+
+(* Controlled-scheduling transmission: the model checker abstracts away
+   the machine pipelines (NIC/CPU queues) — a delivery executes its
+   receive handler synchronously at the instant the scheduler fires it.
+   Pipeline contents would be invisible to the replica-state fingerprint,
+   so keeping them would make distinct states hash-collide; the network
+   delay distribution is still applied, and the message identity
+   ({!Bamboo_types.Message.key}) tags the event for reordering. *)
+and transmit_controlled st notify ~src ~dst msg =
+  if not (crashed st src) then begin
+    let now = Sim.now st.sim in
+    if not (Netmodel.blocked st.net ~src ~dst) then begin
+      let deliver delay =
+        Sim.schedule_delivery st.sim ~delay ~src ~dst ~note:(Message.key msg)
+          (fun () ->
+            if not (crashed st dst) then begin
+              notify (Exec_deliver { src; dst; note = Message.key msg });
+              if Trace.enabled st.trace then trace_receive st ~dst msg;
+              let outs = Node.handle st.nodes.(dst) (Receive msg) in
+              process_outputs st dst outs
+            end)
+      in
+      let base_drop = Netmodel.drops st.net ~now in
+      let fault_drop = Netmodel.link_drops st.net ~src ~dst in
+      if not (base_drop || fault_drop) then
+        deliver (Netmodel.one_way st.net ~now ~src ~dst);
+      List.iter deliver (Netmodel.link_copies st.net ~src ~dst)
+    end
+  end
+
+and transmit_modeled st ~src ~dst ~bytes msg =
   if not (crashed st src) then begin
     Machine.nic_out st.machines.(src) ~bytes (fun () ->
         let now = Sim.now st.sim in
@@ -268,14 +331,35 @@ and process_outputs st id outs =
             if dst <> id then sends := (dst, msg, bytes) :: !sends
           done;
           if tracing then trace_sent st ~src:id msg
-      | Node.Set_timer { timer; after } ->
+      | Node.Set_timer { timer; after } -> (
           (* Clock-skew faults stretch or shrink the replica's local timer
              durations; the factor is exactly 1.0 when no skew is active. *)
           let after = after *. Fault_engine.clock_factor st.eng id in
-          Sim.schedule st.sim ~delay:after (fun () ->
-              if not (crashed st id) then
-                let outs = Node.handle st.nodes.(id) (Timer timer) in
-                process_outputs st id outs)
+          match st.notify with
+          | None ->
+              Sim.schedule st.sim ~delay:after (fun () ->
+                  if not (crashed st id) then
+                    let outs = Node.handle st.nodes.(id) (Timer timer) in
+                    process_outputs st id outs)
+          | Some notify ->
+              (* Controlled mode tracks armed timers so the model checker
+                 can fold them into its state fingerprint; the code packs
+                 the timer kind with its view. *)
+              let code =
+                match timer with
+                | Node.View_timeout v -> 2 * v
+                | Node.Propose_at v -> (2 * v) + 1
+              in
+              let tid = st.next_timer in
+              st.next_timer <- tid + 1;
+              Hashtbl.replace st.armed tid (id, code, now +. after);
+              Sim.schedule st.sim ~delay:after (fun () ->
+                  Hashtbl.remove st.armed tid;
+                  if not (crashed st id) then begin
+                    notify (Exec_timer { replica = id });
+                    let outs = Node.handle st.nodes.(id) (Timer timer) in
+                    process_outputs st id outs
+                  end))
       | Node.Committed { blocks; trigger_view } ->
           if tracing then
             List.iter
@@ -368,7 +452,12 @@ and process_outputs st id outs =
               Trace.View_change)
     outs;
   let sends = List.rev !sends in
-  if sends <> [] || !creation > 0.0 then begin
+  if Option.is_some st.notify then
+    (* Controlled mode: no CPU charge, no NIC bookkeeping — outgoing
+       messages go straight to the tagged delivery queue (see
+       [transmit_controlled] for why pipelines are abstracted away). *)
+    List.iter (fun (dst, msg, bytes) -> transmit st ~src:id ~dst ~bytes msg) sends
+  else if sends <> [] || !creation > 0.0 then begin
     (* Stage bookkeeping for freshly batched transactions: they experience
        the whole of this flush's CPU charge (queueing plus service). *)
     (if !proposed <> [] then
@@ -673,7 +762,7 @@ let publish_metrics reg ~sim ~net ~machines ~nodes ~sig_registry =
   end
 
 let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null)
-    ?(metrics = Registry.null) ?wrap_safety () =
+    ?(metrics = Registry.null) ?wrap_safety ?scheduler () =
   let mreg = metrics in
   (match Config.validate config with
   | Ok _ -> ()
@@ -747,8 +836,31 @@ let run ~config ~workload ?(bucket = 0.5) ?observer ?(trace = Trace.null)
       decomp = Latency.create ();
       next_seq = 0;
       reissue = (fun ~client:_ ~after:_ -> ());
+      armed = Hashtbl.create 64;
+      next_timer = 0;
+      notify = None;
     }
   in
+  (* Controlled scheduling must be live before any replica boots so the
+     very first proposal broadcast is already tagged and reorderable. *)
+  (match scheduler with
+  | None -> ()
+  | Some mk ->
+      let view =
+        {
+          sv_nodes = nodes;
+          sv_sim = sim;
+          sv_timers =
+            (fun () ->
+              List.sort compare_timers
+                (List.map snd
+                   (Bamboo_util.Tbl.sorted_bindings ~compare:Int.compare
+                      st.armed)));
+        }
+      in
+      let hooks = mk view in
+      Sim.set_controller sim (Some hooks.sh_controller);
+      st.notify <- Some hooks.sh_on_exec);
   (* Compile the fault schedule into simulator events. A recovering
      replica kept its pre-crash state but slept through its view timer;
      firing the timeout for its (stale) current view re-arms the

@@ -56,6 +56,42 @@ type result = {
           [Snapshot.empty] unless the run was given an enabled registry. *)
 }
 
+(** {2 Controlled scheduling}
+
+    Hooks for the [bamboo_explore] model checker. With a [scheduler]
+    installed the runtime switches to a synchronous-execution abstraction:
+    message deliveries are tagged in the simulator ({!Bamboo_sim.Sim.schedule_delivery})
+    so their firing order can be chosen by the scheduler's controller, and
+    a delivery executes its receive handler at the instant it fires — the
+    machine pipelines (NIC serialization, CPU queueing) are bypassed,
+    because pipeline contents are invisible to the checker's replica-state
+    fingerprint and would make distinct states collide. Without a
+    [scheduler] the runtime is byte-identical to one predating the hook. *)
+
+type exec =
+  | Exec_deliver of { src : int; dst : int; note : string }
+      (** A controlled message delivery executed at [dst]; [note] is the
+          {!Bamboo_types.Message.key} identity. *)
+  | Exec_timer of { replica : int }  (** A replica timer fired. *)
+
+type sched_view = {
+  sv_nodes : Node.t array;  (** Live replica engines, for fingerprinting. *)
+  sv_sim : Bamboo_sim.Sim.t;
+  sv_timers : unit -> (int * int * float) list;
+      (** Outstanding armed timers as [(replica, code, expiry)], sorted;
+          [code] packs the timer kind with its view. *)
+}
+(** What the runtime exposes to a scheduler at installation time. *)
+
+type sched_hooks = {
+  sh_controller : Bamboo_sim.Sim.controller;
+      (** Picks delivery order at each commutativity-window decision. *)
+  sh_on_exec : exec -> unit;
+      (** Called before each controlled delivery / timer handler runs
+          (sleep-set wake-ups key on the executing replica). *)
+}
+(** What a scheduler gives back to the runtime. *)
+
 val run :
   config:Config.t ->
   workload:Workload.t ->
@@ -64,6 +100,7 @@ val run :
   ?trace:Bamboo_obs.Trace.t ->
   ?metrics:Bamboo_metrics.Registry.t ->
   ?wrap_safety:(Bamboo_types.Ids.replica -> Safety.t -> Safety.t) ->
+  ?scheduler:(sched_view -> sched_hooks) ->
   unit ->
   result
 (** [run ~config ~workload ()] simulates [config.runtime] virtual seconds.
@@ -90,4 +127,8 @@ val run :
 
     [wrap_safety] (test-only) is handed to every {!Node.create} with the
     replica id applied, letting the test suite plant deliberately broken
-    protocol rules that the [bamboo_check] oracle must catch. *)
+    protocol rules that the [bamboo_check] oracle must catch.
+
+    [scheduler] (model checking) installs controlled scheduling before any
+    replica boots — see {!sched_hooks}. Omitting it (or passing no
+    scheduler) leaves the runtime bit-identical to the pre-hook one. *)

@@ -3,7 +3,7 @@ type t =
   | Closed_loop of { clients : int }
 
 let open_loop ?(broadcast = false) ~rate () =
-  if rate <= 0.0 then invalid_arg "Workload.open_loop: rate must be positive";
+  if rate < 0.0 then invalid_arg "Workload.open_loop: rate must be >= 0";
   Open_loop { rate; broadcast }
 
 let closed_loop ~clients =

@@ -17,6 +17,9 @@ type t =
   | Closed_loop of { clients : int }
 
 val open_loop : ?broadcast:bool -> rate:float -> unit -> t
+(** Rate 0 is allowed and means no client arrivals at all — consensus on
+    empty blocks only, the load model of the [bamboo_explore] cells.
+    Raises [Invalid_argument] on negative rates. *)
 
 val closed_loop : clients:int -> t
 

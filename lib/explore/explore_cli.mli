@@ -1,0 +1,7 @@
+(** The [bamboo check explore] subcommand: bounded model checking of
+    delivery schedules over the simulator (DFS + state hashing + sleep-set
+    POR, or PCT randomized priorities). Exit codes: 0 no violation, 1 a
+    violation was found and a replayable counterexample written, 2 usage
+    error. *)
+
+val cmd : unit Cmdliner.Cmd.t

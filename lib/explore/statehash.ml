@@ -1,0 +1,50 @@
+module Node = Bamboo.Node
+module Sha256 = Bamboo_crypto.Sha256
+
+(* Timestamps enter the digest relative to the current clock and as exact
+   bit patterns: two states reached at different absolute times but with
+   the same pending-event offsets must collide (that is the whole point of
+   state hashing), while any genuine timing difference must not. *)
+let add_rel buf ~now at =
+  Buffer.add_string buf (Int64.to_string (Int64.bits_of_float (at -. now)));
+  Buffer.add_char buf ';'
+
+let add_i buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let compare_inflight (a1, s1, d1, n1) (a2, s2, d2, n2) =
+  match Float.compare a1 a2 with
+  | 0 -> (
+      match Int.compare s1 s2 with
+      | 0 -> (
+          match Int.compare d1 d2 with 0 -> String.compare n1 n2 | c -> c)
+      | c -> c)
+  | c -> c
+
+let fingerprint ~nodes ~inflight ~timers ~now =
+  let buf = Buffer.create 8192 in
+  Array.iter
+    (fun node ->
+      Node.fingerprint node buf;
+      Buffer.add_char buf '\n')
+    nodes;
+  (* In-flight deliveries are content-sorted: the heap's insertion order
+     depends on the path taken, but two schedules that leave the same
+     message set in the air must digest identically. *)
+  List.iter
+    (fun (at, src, dst, note) ->
+      add_rel buf ~now at;
+      add_i buf src;
+      add_i buf dst;
+      add_i buf (String.length note);
+      Buffer.add_string buf note)
+    (List.sort compare_inflight inflight);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (replica, code, at) ->
+      add_i buf replica;
+      add_i buf code;
+      add_rel buf ~now at)
+    timers;
+  Sha256.digest_hex (Buffer.contents buf)

@@ -119,6 +119,50 @@ let tc_for t ~view =
   | Some slot -> slot.tc
   | None -> None
 
+(* Canonical digest of the aggregation state, for the model checker's
+   replica-state fingerprints. Vote and timeout slots are emitted in
+   sorted key order with sorted member lists, so two quorum systems that
+   accumulated the same sets in different orders digest identically
+   (certificate signature lists are deliberately excluded for the same
+   reason — only presence matters for future behavior). *)
+let fingerprint t buf =
+  let add_i i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ';'
+  in
+  let add_s s =
+    add_i (String.length s);
+    Buffer.add_string buf s
+  in
+  (* Collecting into a list before sorting is order-insensitive. *)
+  let[@lint.allow "no-order-leak"] votes =
+    Vote_tbl.fold
+      (fun (h, view) slot acc ->
+        (h, view, List.sort Int.compare slot.voters, Option.is_some slot.qc)
+        :: acc)
+      t.vote_slots []
+  in
+  let votes =
+    List.sort
+      (fun (h1, v1, _, _) (h2, v2, _, _) ->
+        match String.compare h1 h2 with 0 -> Int.compare v1 v2 | c -> c)
+      votes
+  in
+  List.iter
+    (fun (h, view, voters, certified) ->
+      add_s h;
+      add_i view;
+      List.iter add_i voters;
+      add_i (if certified then 1 else 0))
+    votes;
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (view, slot) ->
+      add_i view;
+      List.iter add_i (List.sort Int.compare slot.senders);
+      add_i (if Option.is_some slot.tc then 1 else 0))
+    (Bamboo_util.Tbl.sorted_bindings ~compare:Int.compare t.timeout_slots)
+
 let gc t ~below_view =
   (* Collecting dead keys into a list is order-insensitive: the same set
      is removed whatever order the buckets are visited in. *)

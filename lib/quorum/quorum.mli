@@ -44,3 +44,9 @@ val timeout_count : t -> view:Ids.view -> int
 
 val gc : t -> below_view:Ids.view -> unit
 (** Drops all aggregation state for views strictly below [below_view]. *)
+
+val fingerprint : t -> Buffer.t -> unit
+(** Appends a canonical digest of the aggregation state (sorted slots,
+    sorted voter/sender sets, certificate presence) to [buf]; independent
+    of vote/timeout arrival order. Used by the [bamboo_explore] model
+    checker's state hashing. *)

@@ -107,7 +107,46 @@ module Eq = struct
     q.fn.(last) <- nop;
     if last > 0 then sift_down q 0;
     fn
+
+  (* Removes the entry at heap index [i] (controlled scheduling picks
+     events other than the root) and returns its callback. The vacated
+     slot takes the last entry, which may need to move either way. *)
+  let remove q i =
+    let fn = q.fn.(i) in
+    let last = q.len - 1 in
+    q.len <- last;
+    if i < last then begin
+      q.at.(i) <- q.at.(last);
+      q.seq.(i) <- q.seq.(last);
+      q.fn.(i) <- q.fn.(last)
+    end;
+    q.fn.(last) <- nop;
+    if i < last then begin
+      sift_down q i;
+      sift_up q i
+    end;
+    fn
 end
+
+(* --- controlled scheduling --- *)
+
+type candidate = { c_at : float; c_src : int; c_dst : int; c_note : string }
+
+type controller = {
+  window : float;
+  choose : now:float -> candidate array -> int;
+}
+
+type delivery = { d_src : int; d_dst : int; d_note : string }
+
+(* Tags live in a side table keyed by heap sequence number rather than a
+   fourth heap array: the uncontrolled hot path never touches them, so
+   the disabled simulator is byte-for-byte the pre-hook one. *)
+type ctl = {
+  cfg : controller;
+  tags : (int, delivery) Hashtbl.t;
+  mutable decisions : int;
+}
 
 type t = {
   mutable clock : float;
@@ -115,10 +154,18 @@ type t = {
   mutable fired : int;
   mutable pushed : int;
   mutable peak : int; (* high-water mark of the event heap *)
+  mutable ctl : ctl option;
 }
 
 let create () =
-  { clock = 0.0; events = Eq.create (); fired = 0; pushed = 0; peak = 0 }
+  {
+    clock = 0.0;
+    events = Eq.create ();
+    fired = 0;
+    pushed = 0;
+    peak = 0;
+    ctl = None;
+  }
 
 let now t = t.clock
 
@@ -131,19 +178,157 @@ let schedule_at t ~at fn =
 
 let schedule t ~delay fn = schedule_at t ~at:(t.clock +. Float.max 0.0 delay) fn
 
-let run_until t horizon =
-  let continue = ref true in
-  while !continue do
-    if Eq.length t.events > 0 && Eq.min_at t.events <= horizon then begin
-      let at = Eq.min_at t.events in
-      let fn = Eq.take t.events in
-      t.clock <- Float.max t.clock at;
-      t.fired <- t.fired + 1;
-      fn ()
+let set_controller t cfg =
+  t.ctl <-
+    (match cfg with
+    | None -> None
+    | Some cfg -> Some { cfg; tags = Hashtbl.create 64; decisions = 0 })
+
+let decisions t = match t.ctl with None -> 0 | Some c -> c.decisions
+
+let schedule_delivery t ~delay ~src ~dst ~note fn =
+  match t.ctl with
+  | None -> schedule t ~delay fn
+  | Some c ->
+      let seq = t.events.Eq.next_seq in
+      schedule t ~delay fn;
+      Hashtbl.replace c.tags seq { d_src = src; d_dst = dst; d_note = note }
+
+let pending_deliveries t =
+  match t.ctl with
+  | None -> []
+  | Some c ->
+      let q = t.events in
+      let acc = ref [] in
+      for i = 0 to Eq.length q - 1 do
+        match Hashtbl.find_opt c.tags q.Eq.seq.(i) with
+        | Some d -> acc := (q.Eq.at.(i), q.Eq.seq.(i), d) :: !acc
+        | None -> ()
+      done;
+      List.map
+        (fun (at, _, d) -> (at, d.d_src, d.d_dst, d.d_note))
+        (List.sort
+           (fun (a1, s1, _) (a2, s2, _) ->
+             match Float.compare a1 a2 with
+             | 0 -> Int.compare s1 s2
+             | c -> c)
+           !acc)
+
+let fire t ~at fn =
+  t.clock <- Float.max t.clock at;
+  t.fired <- t.fired + 1;
+  fn ()
+
+(* One step of the controlled loop. A decision point forms when the
+   minimum event is a tagged delivery and at least one other tagged
+   delivery falls inside [t_min, t_min + window]: the candidate set
+   (sorted by (timestamp, sequence), so its order is the uncontrolled
+   firing order) goes to the strategy, and the chosen delivery fires at
+   the window base [t_min] — picking a later candidate models that
+   message arriving early, so permutations of same-instant candidates
+   reconverge to identical states. Untagged events (timers, machine
+   completions, workload ticks) always fire in plain heap order. *)
+let controlled_step t ctl horizon =
+  let q = t.events in
+  if Eq.length q = 0 || Eq.min_at q > horizon then false
+  else begin
+    let t0 = Eq.min_at q in
+    if not (Hashtbl.mem ctl.tags q.Eq.seq.(0)) then begin
+      let fn = Eq.take q in
+      fire t ~at:t0 fn;
+      true
     end
-    else continue := false
-  done;
+    else begin
+      let limit = t0 +. Float.max 0.0 ctl.cfg.window in
+      let cands = ref [] in
+      for i = 0 to Eq.length q - 1 do
+        if q.Eq.at.(i) <= limit then
+          match Hashtbl.find_opt ctl.tags q.Eq.seq.(i) with
+          | Some d -> cands := (q.Eq.at.(i), q.Eq.seq.(i), i, d) :: !cands
+          | None -> ()
+      done;
+      let cands =
+        List.sort
+          (fun (a1, s1, _, _) (a2, s2, _, _) ->
+            match Float.compare a1 a2 with
+            | 0 -> Int.compare s1 s2
+            | c -> c)
+          !cands
+      in
+      match cands with
+      | [] -> assert false (* the root itself is tagged *)
+      | [ (_, s, _, _) ] ->
+          (* Only one deliverable message in the window: no choice to
+             make. It is necessarily the root. *)
+          Hashtbl.remove ctl.tags s;
+          let fn = Eq.take q in
+          fire t ~at:t0 fn;
+          true
+      | _ :: _ :: _ ->
+          let arr =
+            Array.of_list
+              (List.map
+                 (fun (at, _, _, d) ->
+                   {
+                     c_at = at;
+                     c_src = d.d_src;
+                     c_dst = d.d_dst;
+                     c_note = d.d_note;
+                   })
+                 cands)
+          in
+          ctl.decisions <- ctl.decisions + 1;
+          let k = ctl.cfg.choose ~now:t.clock arr in
+          if k < 0 || k >= Array.length arr then
+            invalid_arg "Sim: controller chose an out-of-range candidate";
+          let _, s, i, _ = List.nth cands k in
+          Hashtbl.remove ctl.tags s;
+          let fn = Eq.remove q i in
+          fire t ~at:t0 fn;
+          true
+    end
+  end
+
+let run_until t horizon =
+  (match t.ctl with
+  | None ->
+      let continue = ref true in
+      while !continue do
+        if Eq.length t.events > 0 && Eq.min_at t.events <= horizon then begin
+          let at = Eq.min_at t.events in
+          let fn = Eq.take t.events in
+          t.clock <- Float.max t.clock at;
+          t.fired <- t.fired + 1;
+          fn ()
+        end
+        else continue := false
+      done
+  | Some ctl -> while controlled_step t ctl horizon do () done);
   t.clock <- Float.max t.clock horizon
+
+let peek_at t = if Eq.length t.events = 0 then None else Some (Eq.min_at t.events)
+
+let drain_window t ~width =
+  if width < 0.0 then invalid_arg "Sim.drain_window: width must be >= 0";
+  match peek_at t with
+  | None -> 0
+  | Some t0 ->
+      let limit = t0 +. width in
+      let fired = ref 0 in
+      let continue = ref true in
+      while !continue do
+        if Eq.length t.events > 0 && Eq.min_at t.events <= limit then begin
+          let at = Eq.min_at t.events in
+          (match t.ctl with
+          | Some c -> Hashtbl.remove c.tags t.events.Eq.seq.(0)
+          | None -> ());
+          let fn = Eq.take t.events in
+          fire t ~at fn;
+          incr fired
+        end
+        else continue := false
+      done;
+      !fired
 
 let run_to_completion ?(max_events = 100_000_000) t =
   let count = ref 0 in
@@ -152,6 +337,9 @@ let run_to_completion ?(max_events = 100_000_000) t =
     if !count > max_events then
       failwith "Sim.run_to_completion: event budget exhausted";
     let at = Eq.min_at t.events in
+    (match t.ctl with
+    | Some c -> Hashtbl.remove c.tags t.events.Eq.seq.(0)
+    | None -> ());
     let fn = Eq.take t.events in
     t.clock <- Float.max t.clock at;
     t.fired <- t.fired + 1;
