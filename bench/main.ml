@@ -41,8 +41,49 @@ let sample_block =
 
 let sample_payload = String.make 1024 'x'
 
+(* Ring vs mutex/condvar queue: the message-plane tentpole. Each op moves
+   one batch through a pre-created structure (push_all then drain — the
+   transport's send/recv_batch shape), so ns/op divided by the batch size
+   is the per-message handoff cost and batch scaling shows the bchan
+   effect: amortizing the producer claim and consumer sync over a batch.
+   Batch sizes follow bchan's methodology (1/4/16/64/256). *)
+let bench_ring : int Bamboo_util.Ring.t = Bamboo_util.Ring.create ~capacity:1024 ()
+
+let ring_batches =
+  List.map (fun k -> (k, List.init k Fun.id)) [ 4; 16; 64; 256 ]
+
+let bench_queue : int Queue.t = Queue.create ()
+let bench_queue_mutex = Mutex.create ()
+let bench_queue_cond = Condition.create ()
+
+let ring_micro_tests =
+  Test.make ~name:"ring_push_pop_batch_1" (Staged.stage (fun () ->
+      ignore (Bamboo_util.Ring.push bench_ring 0 : Bamboo_util.Ring.push_result);
+      ignore (Bamboo_util.Ring.pop bench_ring : int option)))
+  :: List.map
+       (fun (k, batch) ->
+         Test.make ~name:(Printf.sprintf "ring_push_pop_batch_%d" k)
+           (Staged.stage (fun () ->
+                ignore (Bamboo_util.Ring.push_all bench_ring batch : int);
+                ignore (Bamboo_util.Ring.drain bench_ring (fun _ -> ()) : int))))
+       ring_batches
+  @ [
+      (* The baseline this PR replaces: per-message mutex lock/unlock on
+         both sides plus a condvar signal, exactly chan_transport's
+         send/recv handoff. *)
+      Test.make ~name:"mutex_queue_push_pop_batch_1" (Staged.stage (fun () ->
+          Mutex.lock bench_queue_mutex;
+          Queue.push 0 bench_queue;
+          Condition.signal bench_queue_cond;
+          Mutex.unlock bench_queue_mutex;
+          Mutex.lock bench_queue_mutex;
+          ignore (Queue.pop bench_queue : int);
+          Mutex.unlock bench_queue_mutex));
+    ]
+
 let micro_tests =
-  [
+  ring_micro_tests
+  @ [
     Test.make ~name:"sha256_1KiB" (Staged.stage (fun () ->
         ignore (Bamboo_crypto.Sha256.digest sample_payload)));
     Test.make ~name:"hmac_sign_64B" (Staged.stage (fun () ->
@@ -510,6 +551,43 @@ let main () =
         measure_parallel_anchor ~jobs
       in
       Bamboo.Experiments.set_metrics Mreg.null;
+      (* Transport summary, derived from the ring micro entries (which the
+         compare gate already covers individually): per-message handoff
+         throughput at each batch size, plus the ring-vs-mutex ratio at
+         batch 1 — the tentpole claim, < 1.0 means the lock-free ring
+         beats the locked queue on this machine. *)
+      let transport_entries =
+        List.filter_map
+          (fun k ->
+            match
+              List.assoc_opt
+                (Printf.sprintf "ring_push_pop_batch_%d" k)
+                !micro_results
+            with
+            | Some ns when ns > 0.0 ->
+                Some (k, ns, float_of_int k *. 1e9 /. ns)
+            | Some _ | None -> None)
+          [ 1; 4; 16; 64; 256 ]
+      in
+      let ring_vs_mutex =
+        match
+          ( List.assoc_opt "ring_push_pop_batch_1" !micro_results,
+            List.assoc_opt "mutex_queue_push_pop_batch_1" !micro_results )
+        with
+        | Some ring_ns, Some mutex_ns when mutex_ns > 0.0 ->
+            Some (ring_ns /. mutex_ns)
+        | _ -> None
+      in
+      List.iter
+        (fun (k, ns, msgs) ->
+          Printf.printf "transport: ring batch %3d  %8.1f ns/op = %12.0f msgs/s\n%!"
+            k ns msgs)
+        transport_entries;
+      (match ring_vs_mutex with
+      | Some r ->
+          Printf.printf
+            "transport: ring/mutex ns-per-msg ratio %.2fx (<1 = ring wins)\n%!" r
+      | None -> ());
       let json =
         Json.Obj
           [
@@ -551,6 +629,25 @@ let main () =
                   ("wall_s", Json.Float explore_wall);
                   ("states_per_sec", Json.Float states_per_sec);
                   ("pruned_ratio", Json.Float pruned_ratio);
+                ] );
+            ( "transport",
+              Json.Obj
+                [
+                  ( "ring_batches",
+                    Json.List
+                      (List.map
+                         (fun (k, ns, msgs) ->
+                           Json.Obj
+                             [
+                               ("batch", Json.Int k);
+                               ("ns_per_op", Json.Float ns);
+                               ("msgs_per_sec", Json.Float msgs);
+                             ])
+                         transport_entries) );
+                  ( "ring_vs_mutex_batch1",
+                    match ring_vs_mutex with
+                    | Some r -> Json.Float r
+                    | None -> Json.Null );
                 ] );
             ( "parallel",
               Json.Obj

@@ -1,5 +1,6 @@
 open Bamboo_types
 module Forest = Bamboo_forest.Forest
+module Heap = Bamboo_util.Heap
 
 (* This runtime drives real system threads over real sockets/channels, so
    wall-clock reads are its time base by design; reproducibility is the
@@ -27,13 +28,41 @@ type shared = {
   mutable stop : bool;
 }
 
-module Make (T : Bamboo_network.Transport.S) = struct
+module type RUNTIME = sig
+  type endpoint
+  type cluster
+
+  val start : config:Config.t -> endpoints:endpoint array -> cluster
+  val submit : cluster -> replica:int -> Bamboo_types.Tx.t list -> unit
+  val committed_txs : cluster -> int
+  val tx_committed : cluster -> Bamboo_types.Tx.id -> bool
+  val kv_get : cluster -> replica:int -> string -> string option
+  val kv_state_hash : cluster -> replica:int -> string
+  val wait_committed : cluster -> count:int -> timeout_s:float -> bool
+  val stop : cluster -> report
+
+  val run :
+    config:Config.t ->
+    endpoints:endpoint array ->
+    duration:float ->
+    rate:float ->
+    unit ->
+    report
+end
+
+(* How many queued messages a replica takes per transport pass. Bounds the
+   time the node mutex is held while a big backlog drains. *)
+let recv_batch_max = 256
+
+module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
+  type endpoint = T.t
+
   type replica_ctx = {
     node : Node.t;
     endpoint : T.t;
     node_mutex : Mutex.t;
     kv : Kvstore.t;
-    mutable timers : (float * Node.timer) list; (* sorted by deadline *)
+    timers : (float * Node.timer) Heap.t; (* min-heap on deadline *)
   }
 
   type cluster = {
@@ -44,24 +73,18 @@ module Make (T : Bamboo_network.Transport.S) = struct
     started_at : float;
   }
 
-  let insert_timer ctx at timer =
-    let rec ins = function
-      | [] -> [ (at, timer) ]
-      | (t, _) :: _ as rest when at < t -> (at, timer) :: rest
-      | entry :: rest -> entry :: ins rest
-    in
-    ctx.timers <- ins ctx.timers
+  let timer_cmp (a, _) (b, _) = Float.compare a b
 
   (* Apply node outputs: transmit messages, arm timers, record commits and
      execute committed transactions. Called with [ctx.node_mutex] held. *)
-  let rec apply shared ctx outs =
+  let apply_outputs shared ctx outs =
     List.iter
       (fun out ->
         match out with
         | Node.Send { dst; msg } -> T.send ctx.endpoint ~dst msg
         | Node.Broadcast msg -> T.broadcast ctx.endpoint msg
         | Node.Set_timer { timer; after } ->
-            insert_timer ctx (Unix.gettimeofday () +. after) timer
+            Heap.push ctx.timers (Unix.gettimeofday () +. after, timer)
         | Node.Committed { blocks; _ } ->
             let now = Unix.gettimeofday () in
             List.iter
@@ -89,17 +112,23 @@ module Make (T : Bamboo_network.Transport.S) = struct
             Mutex.unlock shared.mutex
         | Node.Forked _ | Node.Proposed _ | Node.Voted _ -> ()
         | Node.Qc_formed _ | Node.Entered_view _ -> ())
-      outs;
-    fire_due shared ctx
+      outs
 
-  and fire_due shared ctx =
-    let now = Unix.gettimeofday () in
-    match ctx.timers with
-    | (at, timer) :: rest when at <= now ->
-        ctx.timers <- rest;
-        let outs = Node.handle ctx.node (Timer timer) in
-        apply shared ctx outs
-    | _ :: _ | [] -> ()
+  (* Fire every due timer, including timers armed by the handlers of
+     timers fired in this same pass. *)
+  let rec fire_due shared ctx =
+    match Heap.peek ctx.timers with
+    | Some (at, _) when at <= Unix.gettimeofday () -> (
+        match Heap.pop ctx.timers with
+        | Some (_, timer) ->
+            apply_outputs shared ctx (Node.handle ctx.node (Timer timer));
+            fire_due shared ctx
+        | None -> ())
+    | Some _ | None -> ()
+
+  let apply shared ctx outs =
+    apply_outputs shared ctx outs;
+    fire_due shared ctx
 
   let replica_loop shared ctx =
     Mutex.lock ctx.node_mutex;
@@ -108,15 +137,19 @@ module Make (T : Bamboo_network.Transport.S) = struct
     while not shared.stop do
       let now = Unix.gettimeofday () in
       let timeout_s =
-        match ctx.timers with
-        | (at, _) :: _ -> Float.max 0.0 (Float.min 0.02 (at -. now))
-        | [] -> 0.02
+        match Heap.peek ctx.timers with
+        | Some (at, _) -> Float.max 0.0 (Float.min 0.02 (at -. now))
+        | None -> 0.02
       in
-      let msg = T.recv ctx.endpoint ~timeout_s in
+      let msgs = T.recv_batch ctx.endpoint ~timeout_s ~max:recv_batch_max in
       Mutex.lock ctx.node_mutex;
-      (match msg with
-      | Some m -> apply shared ctx (Node.handle ctx.node (Receive m))
-      | None -> fire_due shared ctx);
+      (match msgs with
+      | [] -> fire_due shared ctx
+      | msgs ->
+          List.iter
+            (fun m -> apply_outputs shared ctx (Node.handle ctx.node (Receive m)))
+            msgs;
+          fire_due shared ctx);
       Mutex.unlock ctx.node_mutex
     done
 
@@ -143,7 +176,7 @@ module Make (T : Bamboo_network.Transport.S) = struct
             endpoint = endpoints.(self);
             node_mutex = Mutex.create ();
             kv = Kvstore.create ();
-            timers = [];
+            timers = Heap.create ~cmp:timer_cmp ();
           })
     in
     let threads =
@@ -289,3 +322,10 @@ module Make (T : Bamboo_network.Transport.S) = struct
     done;
     stop cluster
 end
+
+module Make (T : Bamboo_network.Transport.S) = Make_batched (struct
+  include T
+
+  let recv_batch t ~timeout_s ~max:_ =
+    match T.recv t ~timeout_s with None -> [] | Some m -> [ m ]
+end)

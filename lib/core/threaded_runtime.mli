@@ -1,6 +1,6 @@
 (** Wall-clock runtime: drives a cluster of {!Node}s over a real
-    {!Bamboo_network.Transport} backend (in-process channels or TCP
-    sockets) with OS threads and real timers.
+    {!Bamboo_network.Transport} backend (in-process channels, lock-free
+    rings or TCP sockets) with OS threads and real timers.
 
     This is the deployment counterpart of the simulator — same engine, no
     modelling: real SHA-256 hashing, real HMAC signature verification, real
@@ -24,10 +24,14 @@ type report = {
   any_violation : bool;
 }
 
-module Make (T : Bamboo_network.Transport.S) : sig
+(** Interface of an instantiated runtime; [endpoint] is the transport's
+    endpoint type. *)
+module type RUNTIME = sig
+  type endpoint
+
   type cluster
 
-  val start : config:Config.t -> endpoints:T.t array -> cluster
+  val start : config:Config.t -> endpoints:endpoint array -> cluster
   (** Spawns one thread per replica; nodes begin proposing immediately.
       [endpoints] must have length [config.n] and be interconnected. *)
 
@@ -53,7 +57,7 @@ module Make (T : Bamboo_network.Transport.S) : sig
 
   val run :
     config:Config.t ->
-    endpoints:T.t array ->
+    endpoints:endpoint array ->
     duration:float ->
     rate:float ->
     unit ->
@@ -61,3 +65,14 @@ module Make (T : Bamboo_network.Transport.S) : sig
   (** Convenience: [start], drive a Poisson open-loop client at [rate]
       tx/s for [duration] wall-clock seconds, [stop]. *)
 end
+
+module Make_batched (T : Bamboo_network.Transport.S_batched) :
+  RUNTIME with type endpoint = T.t
+(** Preferred instantiation: each replica thread drains a whole batch of
+    messages per wakeup via [recv_batch] (one synchronization round per
+    batch, not per message) and fires all due timers from a min-heap
+    per pass. *)
+
+module Make (T : Bamboo_network.Transport.S) : RUNTIME with type endpoint = T.t
+(** Instantiation over a plain transport; [recv] is adapted to
+    one-message batches. *)

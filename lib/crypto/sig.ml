@@ -1,7 +1,7 @@
 type registry = {
   keys : string array;
-  mutable n_signs : int;
-  mutable n_verifies : int;
+  n_signs : int Atomic.t;
+  n_verifies : int Atomic.t;
 }
 
 type t = { signer : int; tag : string }
@@ -11,22 +11,22 @@ let wire_size = 64
 let setup ~n ~master =
   if n <= 0 then invalid_arg "Sig.setup: n must be positive";
   let derive i = Hmac.mac ~key:master (Printf.sprintf "bamboo-replica-key-%d" i) in
-  { keys = Array.init n derive; n_signs = 0; n_verifies = 0 }
+  { keys = Array.init n derive; n_signs = Atomic.make 0; n_verifies = Atomic.make 0 }
 
 let size reg = Array.length reg.keys
 
 let sign reg ~signer msg =
   if signer < 0 || signer >= Array.length reg.keys then
     invalid_arg "Sig.sign: signer out of range";
-  reg.n_signs <- reg.n_signs + 1;
+  Atomic.incr reg.n_signs;
   { signer; tag = Hmac.mac ~key:reg.keys.(signer) msg }
 
 let verify reg s msg =
   if s.signer < 0 || s.signer >= Array.length reg.keys then false
   else begin
-    reg.n_verifies <- reg.n_verifies + 1;
+    Atomic.incr reg.n_verifies;
     Hmac.verify ~key:reg.keys.(s.signer) ~tag:s.tag msg
   end
 
-let signs reg = reg.n_signs
-let verifies reg = reg.n_verifies
+let signs reg = Atomic.get reg.n_signs
+let verifies reg = Atomic.get reg.n_verifies

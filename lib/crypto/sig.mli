@@ -39,8 +39,9 @@ val verify : registry -> t -> string -> bool
 
 val signs : registry -> int
 (** HMAC computations performed by {!sign} on this registry. The registry
-    is a per-run value, so the tally is per run; under the threaded
-    runtime's shared registry the count is best-effort. *)
+    is a per-run value, so the tally is per run. The counters are atomic,
+    so the registry may be shared across threads and Pool worker domains
+    (threaded runtime, parallel verification) without losing counts. *)
 
 val verifies : registry -> int
 (** HMAC recomputations performed by {!verify} on this registry

@@ -2,6 +2,8 @@
    transport; determinism claims only cover the simulator path. *)
 [@@@lint.allow "no-ambient-nondeterminism"]
 
+let tick_period_s = 0.001
+
 type endpoint_state = {
   id : int;
   queue : Bamboo_types.Message.t Queue.t;
@@ -10,23 +12,41 @@ type endpoint_state = {
   mutable closed : bool;
 }
 
-type cluster = { endpoints : endpoint_state array }
+type cluster = { endpoints : endpoint_state array; live : int Atomic.t }
 
 type t = { state : endpoint_state; cluster : cluster }
 
 let create_cluster ~n =
   if n <= 0 then invalid_arg "Chan_transport.create_cluster: n must be positive";
-  {
-    endpoints =
-      Array.init n (fun id ->
-          {
-            id;
-            queue = Queue.create ();
-            mutex = Mutex.create ();
-            cond = Condition.create ();
-            closed = false;
-          });
-  }
+  let cluster =
+    {
+      endpoints =
+        Array.init n (fun id ->
+            {
+              id;
+              queue = Queue.create ();
+              mutex = Mutex.create ();
+              cond = Condition.create ();
+              closed = false;
+            });
+      live = Atomic.make n;
+    }
+  in
+  (* The stdlib's [Condition] has no timed wait, so receive timeouts are
+     bounded by a cluster ticker that broadcasts every endpoint's condvar
+     each period; it exits once every endpoint is closed. *)
+  ignore
+    (Wakeup.start_ticker ~period_s:tick_period_s
+       ~live:(fun () -> Atomic.get cluster.live > 0)
+       ~wake:(fun () ->
+         Array.iter
+           (fun ep ->
+             Mutex.lock ep.mutex;
+             Condition.broadcast ep.cond;
+             Mutex.unlock ep.mutex)
+           cluster.endpoints)
+      : Wakeup.ticker);
+  cluster
 
 let endpoint cluster id =
   if id < 0 || id >= Array.length cluster.endpoints then
@@ -58,17 +78,13 @@ let recv t ~timeout_s =
   let rec wait () =
     if ep.closed then None
     else if not (Queue.is_empty ep.queue) then Some (Queue.pop ep.queue)
+    else if Unix.gettimeofday () >= deadline then None
     else begin
-      let remaining = deadline -. Unix.gettimeofday () in
-      if remaining <= 0.0 then None
-      else begin
-        (* Condition variables lack timed wait in the stdlib; poll at a
-           granularity fine enough for protocol timers. *)
-        Mutex.unlock ep.mutex;
-        Thread.delay (Float.min remaining 0.001);
-        Mutex.lock ep.mutex;
-        wait ()
-      end
+      (* Pushes and close signal this condvar directly (sub-tick wakeup);
+         the cluster ticker broadcasts every [tick_period_s] so the
+         deadline is honored even with no traffic. *)
+      Condition.wait ep.cond ep.mutex;
+      wait ()
     end
   in
   let result = wait () in
@@ -78,6 +94,8 @@ let recv t ~timeout_s =
 let close t =
   let ep = t.state in
   Mutex.lock ep.mutex;
+  let was_closed = ep.closed in
   ep.closed <- true;
   Condition.broadcast ep.cond;
-  Mutex.unlock ep.mutex
+  Mutex.unlock ep.mutex;
+  if not was_closed then Atomic.decr t.cluster.live

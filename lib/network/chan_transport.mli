@@ -1,14 +1,22 @@
 (** In-process channel transport: every replica endpoint is a thread-safe
     queue, so a whole cluster runs inside one process with real OS threads.
     This is the analogue of Bamboo's Go-channel transport for
-    "single-machine simulation" (paper §III-E). *)
+    "single-machine simulation" (paper §III-E).
+
+    Latency floor: [recv] waits on the endpoint's condition variable, so a
+    message arrival or a [close] wakes it immediately (no polling sleep on
+    the hot path). Only the {e timeout} path is quantized: the stdlib's
+    [Condition] has no timed wait, so a per-cluster ticker thread
+    broadcasts every 1 ms and an idle [recv] observes its deadline within
+    one tick. The ticker exits once all endpoints are closed. *)
 
 type cluster
 
 type t
 
 val create_cluster : n:int -> cluster
-(** Endpoints for replicas [0 .. n-1]. *)
+(** Endpoints for replicas [0 .. n-1]. Also starts the cluster's ticker
+    thread (see the latency-floor note above). *)
 
 val endpoint : cluster -> int -> t
 

@@ -8,3 +8,9 @@ module type S = sig
   val recv : t -> timeout_s:float -> Bamboo_types.Message.t option
   val close : t -> unit
 end
+
+module type S_batched = sig
+  include S
+
+  val recv_batch : t -> timeout_s:float -> max:int -> Bamboo_types.Message.t list
+end

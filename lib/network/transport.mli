@@ -2,9 +2,10 @@
 
     Mirrors Bamboo's network module (adopted from Paxi): a simple
     message-passing model whose backends are an in-process channel transport
-    (single-machine deployment, {!Chan_transport}) and TCP sockets
-    ({!Tcp_transport}). The simulator does not go through this signature —
-    it models NIC/link queues explicitly. *)
+    (single-machine deployment, {!Chan_transport}), the lock-free ring
+    transport ({!Ring_transport}) and TCP sockets ({!Tcp_transport}). The
+    simulator does not go through this signature — it models NIC/link
+    queues explicitly. *)
 
 module type S = sig
   type t
@@ -27,4 +28,15 @@ module type S = sig
       endpoint is closed. *)
 
   val close : t -> unit
+end
+
+module type S_batched = sig
+  include S
+
+  val recv_batch : t -> timeout_s:float -> max:int -> Bamboo_types.Message.t list
+  (** [recv_batch t ~timeout_s ~max] blocks like {!recv} until at least
+      one message is available (or timeout/close: [[]]), then returns up
+      to [max] already-queued messages in receive order in one pass —
+      consumers drain a whole wakeup's worth of traffic per call instead
+      of paying one synchronization round per message. *)
 end

@@ -1,0 +1,139 @@
+(* Vyukov-style bounded queue, restricted to a single consumer so the
+   dequeue side needs no CAS. Invariants, with [cap] the power-of-two
+   capacity and [mask = cap - 1]:
+
+   - slot [i] stores generation counter [seq.(i)]:
+       seq = pos        -> slot free for the producer claiming ticket [pos]
+       seq = pos + 1    -> value for ticket [pos] published, consumer may take
+       seq = pos + cap  -> consumed; free for ticket [pos + cap]
+   - [head] is the next producer ticket; producers advance it with CAS
+     before touching the slot, so two producers never write one slot.
+   - [tail] is the next consumer ticket; only the consumer writes it
+     (atomic so producers/wakers can read a consistent snapshot).
+
+   Publication is the [Atomic.set] of the slot sequence after the value
+   write: under the OCaml memory model that release-publishes the value
+   to the consumer's acquire load of the same atomic. *)
+
+type 'a t = {
+  mask : int;
+  slots : 'a option array;
+  seq : int Atomic.t array;
+  head : int Atomic.t;
+  tail : int Atomic.t;
+  closed : bool Atomic.t;
+}
+
+type push_result = Pushed | Full | Closed
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  let cap =
+    let rec up c = if c >= capacity then c else up (c * 2) in
+    up 2
+  in
+  {
+    mask = cap - 1;
+    slots = Array.make cap None;
+    seq = Array.init cap Atomic.make;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    closed = Atomic.make false;
+  }
+
+let capacity t = Array.length t.slots
+
+let length t =
+  let n = Atomic.get t.head - Atomic.get t.tail in
+  if n < 0 then 0 else n
+
+let is_empty t =
+  let pos = Atomic.get t.tail in
+  Atomic.get t.seq.(pos land t.mask) <> pos + 1
+
+let is_closed t = Atomic.get t.closed
+let close t = Atomic.compare_and_set t.closed false true
+
+(* Claim ticket [pos] if its slot is free this generation. [seq - pos]
+   is 0 when free, negative when the ring is full (consumer hasn't freed
+   it), positive when another producer already claimed it (retry with a
+   fresh head read). *)
+let rec claim t =
+  let pos = Atomic.get t.head in
+  let d = Atomic.get t.seq.(pos land t.mask) - pos in
+  if d = 0 then
+    if Atomic.compare_and_set t.head pos (pos + 1) then Some pos else claim t
+  else if d < 0 then None
+  else claim t
+
+let push t x =
+  if Atomic.get t.closed then Closed
+  else
+    match claim t with
+    | None -> Full
+    | Some pos ->
+        let i = pos land t.mask in
+        t.slots.(i) <- Some x;
+        Atomic.set t.seq.(i) (pos + 1);
+        Pushed
+
+(* Claim up to [n] consecutive tickets with one CAS by first scanning how
+   many of the next slots are free, then advancing head past all of them. *)
+let rec claim_run t n =
+  let pos = Atomic.get t.head in
+  let rec free k =
+    if k = n then k
+    else if Atomic.get t.seq.((pos + k) land t.mask) = pos + k then free (k + 1)
+    else k
+  in
+  let m = free 0 in
+  if m = 0 then (pos, 0)
+  else if Atomic.compare_and_set t.head pos (pos + m) then (pos, m)
+  else claim_run t n
+
+let push_all t xs =
+  if Atomic.get t.closed then 0
+  else
+    match xs with
+    | [] -> 0
+    | _ ->
+        let n = List.length xs in
+        let pos, m = claim_run t n in
+        (* Publish in ticket order; the consumer may start draining the
+           prefix while later elements are still being written. *)
+        let rec fill k = function
+          | x :: rest when k < m ->
+              let i = (pos + k) land t.mask in
+              t.slots.(i) <- Some x;
+              Atomic.set t.seq.(i) (pos + k + 1);
+              fill (k + 1) rest
+          | _ -> ()
+        in
+        fill 0 xs;
+        m
+
+let pop t =
+  let pos = Atomic.get t.tail in
+  let i = pos land t.mask in
+  if Atomic.get t.seq.(i) = pos + 1 then begin
+    let v = t.slots.(i) in
+    t.slots.(i) <- None;
+    (* Free the slot for the producer one generation ahead, then advance
+       the consumer cursor. *)
+    Atomic.set t.seq.(i) (pos + Array.length t.slots);
+    Atomic.set t.tail (pos + 1);
+    v
+  end
+  else None
+
+let drain t ?(max = max_int) f =
+  let rec go k =
+    if k >= max then k
+    else
+      match pop t with
+      | None -> k
+      | Some x ->
+          f x;
+          go (k + 1)
+  in
+  go 0

@@ -1,0 +1,75 @@
+(** Bounded lock-free ring buffer (bchan-style message plane).
+
+    A power-of-two-capacity ring of slots, each guarded by its own
+    sequence/generation counter (Vyukov's bounded-queue layout): producers
+    claim slots with an atomic fetch-compare on the head cursor, publish by
+    bumping the slot's sequence, and the single consumer's fast path is one
+    sequence load + one value read per element — no locks, no allocation
+    beyond the element itself, and O(1) regardless of occupancy.
+
+    Supported topologies: SPSC and MPSC (many producers, one consumer).
+    All producer operations ({!push}, {!push_all}, {!close}) are safe from
+    any domain or thread; {!pop} and {!drain} must only ever be called by
+    one consumer at a time.
+
+    The ring is bounded by design: a full ring reports {!Full} (explicit
+    backpressure) instead of growing without limit, which is what the
+    mutex/condvar [Queue] transport did. Blocking/wakeup policy lives with
+    the caller (see [Bamboo_network.Wakeup]); the ring itself never
+    sleeps. *)
+
+type 'a t
+
+type push_result =
+  | Pushed  (** Accepted and visible to the consumer. *)
+  | Full  (** Backpressure: no free slot; retry, drop, or park. *)
+  | Closed  (** The ring was closed; the element was not enqueued. *)
+
+val create : capacity:int -> unit -> 'a t
+(** [create ~capacity ()] makes an empty ring holding at least [capacity]
+    elements; the actual capacity is [capacity] rounded up to a power of
+    two (minimum 2). Raises [Invalid_argument] for [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+(** Real (rounded) capacity. *)
+
+val length : 'a t -> int
+(** Snapshot of the occupancy, including producer-claimed slots whose
+    value is still being published. Exact when quiescent; a racy estimate
+    while producers are active. *)
+
+val is_empty : 'a t -> bool
+(** True when the consumer has no published element to pop. Consumer-side
+    view; safe to call from the consumer or a waker. *)
+
+val push : 'a t -> 'a -> push_result
+(** Lock-free multi-producer enqueue. *)
+
+val push_all : 'a t -> 'a list -> int
+(** [push_all t xs] claims a run of consecutive slots with a single
+    compare-and-set and publishes [xs] into them in order, returning how
+    many elements were accepted. A short return (fewer than
+    [List.length xs]) means the ring filled up (or was closed, in which
+    case 0): the caller keeps the unaccepted suffix — explicit
+    backpressure, never silent loss. Elements from one [push_all] are
+    consumed contiguously (per-producer FIFO). *)
+
+val pop : 'a t -> 'a option
+(** Single-consumer dequeue; [None] when no published element is
+    available. The fast path is O(1): one sequence load, one value read,
+    one generation bump. *)
+
+val drain : 'a t -> ?max:int -> ('a -> unit) -> int
+(** [drain t ~max f] pops up to [max] (default: unbounded) published
+    elements in FIFO order, calling [f] on each, and returns how many were
+    consumed — the batched counterpart of {!pop} used by
+    [recv_batch]-style transports to take a whole wakeup's worth of
+    messages in one pass. [f] must not re-enter the ring. *)
+
+val close : 'a t -> bool
+(** Marks the ring closed; subsequent {!push}/{!push_all} report
+    {!Closed}. Returns [true] for the call that performed the transition
+    (so callers can run close-once effects), [false] if already closed.
+    Elements already published remain poppable. *)
+
+val is_closed : 'a t -> bool

@@ -1,0 +1,172 @@
+module Ring = Bamboo_util.Ring
+
+(* --- single-threaded semantics --- *)
+
+let test_capacity_rounding () =
+  Alcotest.(check int) "rounds up to pow2" 8 (Ring.capacity (Ring.create ~capacity:5 ()));
+  Alcotest.(check int) "minimum 2" 2 (Ring.capacity (Ring.create ~capacity:1 ()));
+  Alcotest.(check int) "exact pow2 kept" 64 (Ring.capacity (Ring.create ~capacity:64 ()));
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Ring.create ~capacity:0 () : int Ring.t))
+
+let test_spsc_wraparound () =
+  (* Far more elements than slots: every slot's generation counter must
+     wrap correctly many times while FIFO order is preserved. *)
+  let r = Ring.create ~capacity:8 () in
+  let next = ref 0 in
+  for i = 0 to 999 do
+    (match Ring.push r i with
+    | Ring.Pushed -> ()
+    | Ring.Full | Ring.Closed -> Alcotest.fail "unexpected push failure");
+    (* keep ~6 elements in flight so head and tail wrap out of phase *)
+    if i >= 5 then
+      match Ring.pop r with
+      | Some v ->
+          Alcotest.(check int) "FIFO across wraps" !next v;
+          incr next
+      | None -> Alcotest.fail "expected element in flight"
+  done;
+  let rec drain () =
+    match Ring.pop r with
+    | Some v ->
+        Alcotest.(check int) "FIFO tail" !next v;
+        incr next;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "nothing lost" 1000 !next;
+  Alcotest.(check bool) "empty" true (Ring.is_empty r)
+
+let test_full_backpressure () =
+  let r = Ring.create ~capacity:4 () in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "fits" true (Ring.push r i = Ring.Pushed)
+  done;
+  Alcotest.(check bool) "full reported" true (Ring.push r 99 = Ring.Full);
+  Alcotest.(check int) "length at capacity" 4 (Ring.length r);
+  (* push_all accepts exactly the free prefix *)
+  ignore (Ring.pop r : int option);
+  ignore (Ring.pop r : int option);
+  Alcotest.(check int) "partial batch accepted" 2
+    (Ring.push_all r [ 10; 11; 12; 13 ]);
+  Alcotest.(check int) "full again" 4 (Ring.length r)
+
+let test_push_all_drain () =
+  let r = Ring.create ~capacity:16 () in
+  Alcotest.(check int) "batch accepted" 5 (Ring.push_all r [ 1; 2; 3; 4; 5 ]);
+  let got = ref [] in
+  Alcotest.(check int) "drain max" 3
+    (Ring.drain r ~max:3 (fun v -> got := v :: !got));
+  Alcotest.(check (list int)) "drain order" [ 1; 2; 3 ] (List.rev !got);
+  Alcotest.(check int) "drain rest" 2 (Ring.drain r (fun _ -> ()));
+  Alcotest.(check int) "empty batch" 0 (Ring.push_all r [])
+
+let test_close_semantics () =
+  let r = Ring.create ~capacity:4 () in
+  Alcotest.(check bool) "push before close" true (Ring.push r 1 = Ring.Pushed);
+  Alcotest.(check bool) "first close transitions" true (Ring.close r);
+  Alcotest.(check bool) "second close does not" false (Ring.close r);
+  Alcotest.(check bool) "push after close" true (Ring.push r 2 = Ring.Closed);
+  Alcotest.(check int) "push_all after close" 0 (Ring.push_all r [ 3; 4 ]);
+  (* published elements remain poppable after close *)
+  Alcotest.(check (option int)) "drainable after close" (Some 1) (Ring.pop r);
+  Alcotest.(check (option int)) "then empty" None (Ring.pop r)
+
+(* --- multi-producer stress across real domains ---
+
+   Values encode (producer, seq); the consumer checks per-producer FIFO
+   (the MPSC contract: global order is unspecified, each producer's
+   stream arrives in order) and that nothing is lost or duplicated.
+   Producers spin on Full — the consumer is concurrently draining, so
+   every element eventually fits; the test exercises claim contention,
+   wraparound under load and cross-domain publication. *)
+let test_mpsc_domains () =
+  let producers = 3 and per_producer = 5000 in
+  let r = Ring.create ~capacity:64 () in
+  let encode p seq = (p * 1_000_000) + seq in
+  let spawn p =
+    Domain.spawn (fun () ->
+        for seq = 0 to per_producer - 1 do
+          let rec go () =
+            match Ring.push r (encode p seq) with
+            | Ring.Pushed -> ()
+            | Ring.Full ->
+                Domain.cpu_relax ();
+                go ()
+            | Ring.Closed -> Alcotest.fail "ring closed during stress"
+          in
+          go ()
+        done)
+  in
+  let doms = List.init producers spawn in
+  let expected = producers * per_producer in
+  let last_seq = Array.make producers (-1) in
+  let received = ref 0 in
+  while !received < expected do
+    match Ring.pop r with
+    | None -> Domain.cpu_relax ()
+    | Some v ->
+        let p = v / 1_000_000 and seq = v mod 1_000_000 in
+        if seq <= last_seq.(p) then
+          Alcotest.failf "producer %d out of order: %d after %d" p seq
+            last_seq.(p);
+        last_seq.(p) <- seq;
+        incr received
+  done;
+  List.iter Domain.join doms;
+  Alcotest.(check (option int)) "nothing extra" None (Ring.pop r);
+  Array.iteri
+    (fun p last ->
+      Alcotest.(check int)
+        (Printf.sprintf "producer %d complete" p)
+        (per_producer - 1) last)
+    last_seq
+
+(* push_all under concurrent drain: batches from one producer must land
+   contiguously (claim_run takes consecutive slots), so the consumer sees
+   each batch's elements adjacent and in order. *)
+let test_batch_contiguity () =
+  let r = Ring.create ~capacity:32 () in
+  let batches = 2000 and batch_len = 4 in
+  let producer =
+    Domain.spawn (fun () ->
+        for b = 0 to batches - 1 do
+          let base = b * batch_len in
+          let batch = List.init batch_len (fun i -> base + i) in
+          let rec send xs =
+            match xs with
+            | [] -> ()
+            | _ ->
+                let accepted = Ring.push_all r xs in
+                let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+                let rest = drop accepted xs in
+                if rest <> [] then Domain.cpu_relax ();
+                send rest
+          in
+          send batch
+        done)
+  in
+  let expected = batches * batch_len in
+  let next = ref 0 in
+  while !next < expected do
+    match Ring.pop r with
+    | None -> Domain.cpu_relax ()
+    | Some v ->
+        Alcotest.(check int) "single-producer batches stay ordered" !next v;
+        incr next
+  done;
+  Domain.join producer
+
+let suite =
+  [
+    Alcotest.test_case "capacity rounding" `Quick test_capacity_rounding;
+    Alcotest.test_case "SPSC wraparound FIFO" `Quick test_spsc_wraparound;
+    Alcotest.test_case "full-ring backpressure" `Quick test_full_backpressure;
+    Alcotest.test_case "push_all/drain" `Quick test_push_all_drain;
+    Alcotest.test_case "close semantics" `Quick test_close_semantics;
+    Alcotest.test_case "MPSC stress across domains" `Quick test_mpsc_domains;
+    Alcotest.test_case "batch contiguity under drain" `Quick
+      test_batch_contiguity;
+  ]

@@ -1,5 +1,6 @@
 open Bamboo_types
 module Chan = Bamboo_network.Chan_transport
+module Ring_t = Bamboo_network.Ring_transport
 module Tcp = Bamboo_network.Tcp_transport
 
 let reg = Helpers.registry ()
@@ -7,64 +8,146 @@ let reg = Helpers.registry ()
 let sample_msg ?(voter = 0) () =
   Message.Vote (Helpers.vote_for reg ~voter (Helpers.child ~reg ~view:1 Bamboo_types.Block.genesis))
 
-(* --- channel transport --- *)
+(* --- in-process transport conformance ---
 
-let test_chan_send_recv () =
-  let cluster = Chan.create_cluster ~n:3 in
-  let a = Chan.endpoint cluster 0 and b = Chan.endpoint cluster 1 in
-  Alcotest.(check int) "self" 0 (Chan.self a);
-  Alcotest.(check int) "n" 3 (Chan.n a);
-  let msg = sample_msg () in
-  Chan.send a ~dst:1 msg;
-  (match Chan.recv b ~timeout_s:1.0 with
-  | Some got -> Alcotest.(check string) "delivered" (Message.key msg) (Message.key got)
-  | None -> Alcotest.fail "timeout");
-  Alcotest.(check bool) "empty now" true (Chan.recv b ~timeout_s:0.01 = None)
+   The same behavioural contract, run against every in-process backend:
+   the mutex/condvar channel transport and the lock-free ring transport
+   must be interchangeable under Threaded_runtime. *)
 
-let test_chan_fifo () =
-  let cluster = Chan.create_cluster ~n:2 in
-  let a = Chan.endpoint cluster 0 and b = Chan.endpoint cluster 1 in
-  let msgs = List.init 4 (fun voter -> sample_msg ~voter ()) in
-  List.iter (Chan.send a ~dst:1) msgs;
-  List.iter
-    (fun expected ->
-      match Chan.recv b ~timeout_s:1.0 with
-      | Some got ->
-          Alcotest.(check string) "order" (Message.key expected) (Message.key got)
-      | None -> Alcotest.fail "timeout")
-    msgs
+module type CLUSTERED = sig
+  type cluster
+  type t
 
-let test_chan_broadcast () =
-  let cluster = Chan.create_cluster ~n:4 in
-  let eps = Array.init 4 (Chan.endpoint cluster) in
-  Chan.broadcast eps.(2) (sample_msg ());
-  Array.iteri
-    (fun i ep ->
-      let got = Chan.recv ep ~timeout_s:0.05 in
-      if i = 2 then Alcotest.(check bool) "not to self" true (got = None)
-      else Alcotest.(check bool) "delivered" true (got <> None))
-    eps
+  val create_cluster : n:int -> cluster
+  val endpoint : cluster -> int -> t
 
-let test_chan_close () =
-  let cluster = Chan.create_cluster ~n:2 in
-  let a = Chan.endpoint cluster 0 and b = Chan.endpoint cluster 1 in
-  Chan.close b;
-  Chan.send a ~dst:1 (sample_msg ());
-  Alcotest.(check bool) "closed drops" true (Chan.recv b ~timeout_s:0.02 = None)
+  include Bamboo_network.Transport.S with type t := t
+end
 
-let test_chan_cross_thread () =
-  let cluster = Chan.create_cluster ~n:2 in
-  let a = Chan.endpoint cluster 0 and b = Chan.endpoint cluster 1 in
-  let sender =
+module Conformance (T : CLUSTERED) = struct
+  let test_send_recv () =
+    let cluster = T.create_cluster ~n:3 in
+    let a = T.endpoint cluster 0 and b = T.endpoint cluster 1 in
+    Alcotest.(check int) "self" 0 (T.self a);
+    Alcotest.(check int) "n" 3 (T.n a);
+    let msg = sample_msg () in
+    T.send a ~dst:1 msg;
+    (match T.recv b ~timeout_s:1.0 with
+    | Some got -> Alcotest.(check string) "delivered" (Message.key msg) (Message.key got)
+    | None -> Alcotest.fail "timeout");
+    Alcotest.(check bool) "empty now" true (T.recv b ~timeout_s:0.01 = None)
+
+  let test_fifo () =
+    let cluster = T.create_cluster ~n:2 in
+    let a = T.endpoint cluster 0 and b = T.endpoint cluster 1 in
+    let msgs = List.init 4 (fun voter -> sample_msg ~voter ()) in
+    List.iter (T.send a ~dst:1) msgs;
+    List.iter
+      (fun expected ->
+        match T.recv b ~timeout_s:1.0 with
+        | Some got ->
+            Alcotest.(check string) "order" (Message.key expected) (Message.key got)
+        | None -> Alcotest.fail "timeout")
+      msgs
+
+  let test_broadcast () =
+    let cluster = T.create_cluster ~n:4 in
+    let eps = Array.init 4 (T.endpoint cluster) in
+    T.broadcast eps.(2) (sample_msg ());
+    Array.iteri
+      (fun i ep ->
+        let got = T.recv ep ~timeout_s:0.05 in
+        if i = 2 then Alcotest.(check bool) "not to self" true (got = None)
+        else Alcotest.(check bool) "delivered" true (got <> None))
+      eps
+
+  let test_close () =
+    let cluster = T.create_cluster ~n:2 in
+    let a = T.endpoint cluster 0 and b = T.endpoint cluster 1 in
+    T.close b;
+    T.send a ~dst:1 (sample_msg ());
+    Alcotest.(check bool) "closed drops" true (T.recv b ~timeout_s:0.02 = None)
+
+  let test_cross_thread () =
+    let cluster = T.create_cluster ~n:2 in
+    let a = T.endpoint cluster 0 and b = T.endpoint cluster 1 in
+    let sender =
+      Thread.create
+        (fun () ->
+          Thread.delay 0.02;
+          T.send a ~dst:1 (sample_msg ()))
+        ()
+    in
+    let got = T.recv b ~timeout_s:1.0 in
+    Thread.join sender;
+    Alcotest.(check bool) "received across threads" true (got <> None)
+
+  let tests prefix =
+    [
+      Alcotest.test_case (prefix ^ " send/recv") `Quick test_send_recv;
+      Alcotest.test_case (prefix ^ " FIFO") `Quick test_fifo;
+      Alcotest.test_case (prefix ^ " broadcast") `Quick test_broadcast;
+      Alcotest.test_case (prefix ^ " close") `Quick test_close;
+      Alcotest.test_case (prefix ^ " cross-thread") `Quick test_cross_thread;
+    ]
+end
+
+module Chan_conformance = Conformance (struct
+  include Chan
+end)
+
+module Ring_conformance = Conformance (struct
+  include Ring_t
+
+  let create_cluster ~n = Ring_t.create_cluster ~n ()
+end)
+
+(* --- ring-transport extensions beyond the common contract --- *)
+
+let test_ring_recv_batch () =
+  let cluster = Ring_t.create_cluster ~n:2 () in
+  let a = Ring_t.endpoint cluster 0 and b = Ring_t.endpoint cluster 1 in
+  let msgs = List.init 5 (fun i -> sample_msg ~voter:(i mod 4) ()) in
+  List.iter (Ring_t.send a ~dst:1) msgs;
+  let first = Ring_t.recv_batch b ~timeout_s:1.0 ~max:3 in
+  Alcotest.(check int) "capped at max" 3 (List.length first);
+  let rest = Ring_t.recv_batch b ~timeout_s:1.0 ~max:10 in
+  Alcotest.(check int) "remainder" 2 (List.length rest);
+  Alcotest.(check (list string))
+    "batched order matches send order"
+    (List.map Message.key msgs)
+    (List.map Message.key (first @ rest))
+
+let test_ring_backpressure_drops () =
+  (* Tiny inbox, no consumer: the sender must hit the bounded-retry drop
+     path instead of blocking or growing a queue. *)
+  let cluster = Ring_t.create_cluster ~capacity:4 ~n:2 () in
+  let a = Ring_t.endpoint cluster 0 and b = Ring_t.endpoint cluster 1 in
+  for _ = 1 to 32 do
+    Ring_t.send a ~dst:1 (sample_msg ())
+  done;
+  let got = Ring_t.recv_batch b ~timeout_s:0.1 ~max:64 in
+  Alcotest.(check int) "only the ring capacity was delivered" 4
+    (List.length got)
+
+let test_ring_close_while_blocked () =
+  let cluster = Ring_t.create_cluster ~n:2 () in
+  let b = Ring_t.endpoint cluster 1 in
+  let t0 = Unix.gettimeofday () in
+  let closer =
     Thread.create
       (fun () ->
-        Thread.delay 0.02;
-        Chan.send a ~dst:1 (sample_msg ()))
+        Thread.delay 0.05;
+        Ring_t.close b)
       ()
   in
-  let got = Chan.recv b ~timeout_s:1.0 in
-  Thread.join sender;
-  Alcotest.(check bool) "received across threads" true (got <> None)
+  let got = Ring_t.recv b ~timeout_s:10.0 in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Thread.join closer;
+  Alcotest.(check bool) "close returns None" true (got = None);
+  Alcotest.(check bool)
+    (Printf.sprintf "woken promptly (%.3fs)" elapsed)
+    true (elapsed < 2.0)
 
 (* --- TCP transport --- *)
 
@@ -133,16 +216,18 @@ let test_tcp_large_message () =
   Tcp.close b
 
 let suite =
-  [
-    Alcotest.test_case "chan send/recv" `Quick test_chan_send_recv;
-    Alcotest.test_case "chan FIFO" `Quick test_chan_fifo;
-    Alcotest.test_case "chan broadcast" `Quick test_chan_broadcast;
-    Alcotest.test_case "chan close" `Quick test_chan_close;
-    Alcotest.test_case "chan cross-thread" `Quick test_chan_cross_thread;
-    Alcotest.test_case "tcp round trip" `Quick test_tcp_round_trip;
-    Alcotest.test_case "tcp broadcast" `Quick test_tcp_broadcast;
-    Alcotest.test_case "tcp self send" `Quick test_tcp_send_to_self;
-    Alcotest.test_case "tcp unreachable peer" `Quick
-      test_tcp_unreachable_peer_is_silent;
-    Alcotest.test_case "tcp large message" `Quick test_tcp_large_message;
-  ]
+  Chan_conformance.tests "chan"
+  @ Ring_conformance.tests "ring"
+  @ [
+      Alcotest.test_case "ring recv_batch" `Quick test_ring_recv_batch;
+      Alcotest.test_case "ring backpressure drops" `Quick
+        test_ring_backpressure_drops;
+      Alcotest.test_case "ring close while blocked" `Quick
+        test_ring_close_while_blocked;
+      Alcotest.test_case "tcp round trip" `Quick test_tcp_round_trip;
+      Alcotest.test_case "tcp broadcast" `Quick test_tcp_broadcast;
+      Alcotest.test_case "tcp self send" `Quick test_tcp_send_to_self;
+      Alcotest.test_case "tcp unreachable peer" `Quick
+        test_tcp_unreachable_peer_is_silent;
+      Alcotest.test_case "tcp large message" `Quick test_tcp_large_message;
+    ]
