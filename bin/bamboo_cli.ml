@@ -674,6 +674,49 @@ let replay_cmd =
           if it does).")
     Term.(const run $ file_t $ recover_views_t $ break_voting_t)
 
+let trace_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Merged JSONL trace (e.g. bamboo cluster run's merged.jsonl).")
+  in
+  let byz_no_t =
+    Arg.(
+      value & opt int 0
+      & info [ "byz-no" ] ~docv:"N"
+          ~doc:"Byzantine replica count; ids below N skip vote-safety checks.")
+  in
+  let commit_after_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "commit-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Require at least one commit after this (epoch-relative) \
+             timestamp.")
+  in
+  let run file byz_no commit_after =
+    let events, skipped = Bamboo_cluster.Harness.read_trace_file file in
+    if skipped > 0 then
+      Printf.printf "skipped %d unparseable line(s)\n" skipped;
+    Printf.printf "%d events\n" (List.length events);
+    let report =
+      Bamboo_check.Monitor.check_trace ~byz_no ?expect_commit_after:commit_after
+        events
+    in
+    print_report (Filename.basename file) report;
+    if not (Bamboo_check.Monitor.pass report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the hash-keyed deployment-trace monitors (agreement, \
+          certification uniqueness, vote safety, optional liveness) over a \
+          JSONL trace file; exit 1 on any violation.")
+    Term.(const run $ file_t $ byz_no_t $ commit_after_t)
+
 let check_cmd =
   let info =
     Cmd.info "check"
@@ -682,7 +725,7 @@ let check_cmd =
          checker (agreement, certification uniqueness, vote safety, \
          bounded liveness)."
   in
-  Cmd.group info [ fuzz_cmd; replay_cmd; Bamboo_explore.Explore_cli.cmd ]
+  Cmd.group info [ fuzz_cmd; replay_cmd; trace_cmd; Bamboo_explore.Explore_cli.cmd ]
 
 let () =
   let doc = "Bamboo: prototyping and evaluation of chained-BFT protocols" in
@@ -691,7 +734,7 @@ let () =
     Cmd.eval_value
       (Cmd.group info
          [ run_cmd; model_cmd; experiment_cmd; config_cmd; check_cmd;
-           metrics_cmd; Lint_cli.cmd ])
+           metrics_cmd; Bamboo_cluster.Cluster_cli.cmd; Lint_cli.cmd ])
   with
   | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
   | Error _ -> exit 2

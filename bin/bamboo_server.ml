@@ -5,6 +5,8 @@
    and wall-clock pacemakers) behind one HTTP endpoint:
 
      POST /tx?replica=I[&wait=true]   body = key-value command or raw bytes
+                                      (503 {"error":"overloaded"} when the
+                                      replica's mempool sheds the tx)
      GET  /kv/KEY?replica=I           read the executed store
      GET  /metrics                    committed transaction count etc.
      GET  /health
@@ -65,7 +67,7 @@ let () =
   in
   let cluster_transport = Chan.create_cluster ~n:!n in
   let endpoints = Array.init !n (Chan.endpoint cluster_transport) in
-  let cluster = Runtime.start ~config ~endpoints in
+  let cluster = Runtime.start ~config ~endpoints () in
   let seq = ref 0 in
   let seq_mutex = Mutex.create () in
   let rng = Bamboo_util.Rng.create ~seed:99 in
@@ -87,7 +89,16 @@ let () =
           s
         in
         let tx = Tx.make_with_data ~client:9 ~seq:id ~data:req.body in
-        Runtime.submit cluster ~replica [ tx ];
+        if Runtime.submit_admission cluster ~replica [ tx ] = 0 then
+          {
+            Http.status = 503;
+            body =
+              Printf.sprintf
+                {|{"error": "overloaded", "replica": %d, "rejected_txs": %d}|}
+                replica
+                (Runtime.rejected_txs cluster);
+          }
+        else
         let committed =
           if List.assoc_opt "wait" params = Some "true" then begin
             let deadline = Unix.gettimeofday () +. 5.0 in
@@ -122,8 +133,10 @@ let () =
           Http.status = 200;
           body =
             Printf.sprintf
-              {|{"committed_txs": %d, "elapsed_s": %.1f, "throughput": %.1f}|}
-              committed elapsed
+              {|{"committed_txs": %d, "rejected_txs": %d, "elapsed_s": %.1f, "throughput": %.1f}|}
+              committed
+              (Runtime.rejected_txs cluster)
+              elapsed
               (float_of_int committed /. elapsed);
         }
     | "GET", "/health" -> { Http.status = 200; body = {|{"status": "up"}|} }

@@ -8,7 +8,7 @@ module Config = Bamboo.Config
 module Chan = Bamboo_network.Chan_transport
 module Tcp = Bamboo_network.Tcp_transport
 module Chan_runtime = Bamboo.Threaded_runtime.Make (Bamboo_network.Chan_transport)
-module Tcp_runtime = Bamboo.Threaded_runtime.Make (Bamboo_network.Tcp_transport)
+module Tcp_runtime = Bamboo.Threaded_runtime.Make_batched (Bamboo_network.Tcp_transport)
 
 let config =
   { Config.default with n = 4; bsize = 100; timeout = 0.2; memsize = 50_000 }
@@ -31,7 +31,7 @@ let () =
   let addresses = Tcp.loopback_addresses ~n:4 ~base_port:29700 in
   let endpoints =
     Array.of_list
-      (List.map (fun (self, _) -> Tcp.create ~self ~addresses) addresses)
+      (List.map (fun (self, _) -> Tcp.create ~self ~addresses ()) addresses)
   in
   let report = Tcp_runtime.run ~config ~endpoints ~duration:3.0 ~rate:500.0 () in
   describe "  tcp" report

@@ -263,6 +263,167 @@ let check_liveness ?(opts = default_opts) ~(config : Config.t) events =
             };
           ]
 
+(* --- deployment traces (merged multi-process JSONL) --- *)
+
+(* Cluster traces have no shared span counter and no end-of-run ledger
+   extraction, so these checks key on the block hash carried in event
+   [args] instead. Events lacking the expected args (e.g. simulator
+   traces) are skipped rather than misread. *)
+
+module Json = Bamboo_util.Json
+
+let arg_string key (e : Trace.event) =
+  match List.assoc_opt key e.args with
+  | Some (Json.String s) -> Some s
+  | Some _ | None -> None
+
+let arg_int key (e : Trace.event) =
+  match List.assoc_opt key e.args with
+  | Some (Json.Int i) -> Some i
+  | Some _ | None -> None
+
+let by_time (a : Trace.event) (b : Trace.event) =
+  let c = Float.compare a.ts b.ts in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.node b.node in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let check_trace ?(byz_no = 0) ?expect_commit_after events =
+  let events = List.sort by_time events in
+  let out = ref [] in
+  let add invariant detail = out := { invariant; detail } :: !out in
+  (* agreement: per-node height -> hash from Commit events; conflicts
+     within a node or across nodes at the same height are violations.
+     [at_height] keeps per-height (node, hash) pairs in trace order so
+     cross-node comparison is deterministic. *)
+  let commits : (int * int, string) Hashtbl.t = Hashtbl.create 1024 in
+  let at_height : (int, (int * string) list) Hashtbl.t = Hashtbl.create 1024 in
+  (* cert uniqueness: view -> certified hash from Qc_formed events. *)
+  let certified : (int, string) Hashtbl.t = Hashtbl.create 256 in
+  (* vote safety: (node, view) -> voted hash; node -> highest abandoned
+     view. A [Fault_heal] event for a node marks its crash-recovery
+     restart and resets that node's vote state: a recovered replica
+     re-votes benignly while it catches up. *)
+  let voted : (int * int, string) Hashtbl.t = Hashtbl.create 1024 in
+  let abandoned : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let heal node =
+    Hashtbl.remove abandoned node;
+    (* Collecting dead keys into a list is order-insensitive: the same
+       set is removed whatever order the buckets are visited in. *)
+    let[@lint.allow "no-order-leak"] stale =
+      Hashtbl.fold
+        (fun (n, v) _ acc -> if n = node then (n, v) :: acc else acc)
+        voted []
+    in
+    List.iter (Hashtbl.remove voted) stale
+  in
+  let saw_commit_after = ref false in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Commit -> (
+          (match expect_commit_after with
+          | Some t when e.ts > t -> saw_commit_after := true
+          | Some _ | None -> ());
+          match (arg_string "hash" e, arg_int "height" e) with
+          | Some hash, Some height -> (
+              (match Hashtbl.find_opt commits (e.node, height) with
+              | Some prev when not (String.equal prev hash) ->
+                  add Agreement
+                    (Printf.sprintf
+                       "replica %d re-committed height %d with a different \
+                        block (%s then %s)"
+                       e.node height prev hash)
+              | Some _ | None -> ());
+              Hashtbl.replace commits (e.node, height) hash;
+              (* Cross-node: compare against every other node's commit at
+                 this height seen so far (trace order). *)
+              let seen =
+                match Hashtbl.find_opt at_height height with
+                | Some l -> l
+                | None -> []
+              in
+              List.iter
+                (fun (n, other) ->
+                  if n <> e.node && not (String.equal other hash) then
+                    add Agreement
+                      (Printf.sprintf
+                         "replicas %d and %d committed different blocks at \
+                          height %d (%s vs %s)"
+                         (min n e.node) (max n e.node) height
+                         (if n < e.node then other else hash)
+                         (if n < e.node then hash else other)))
+                seen;
+              if
+                not
+                  (List.exists
+                     (fun (n, h) -> n = e.node && String.equal h hash)
+                     seen)
+              then Hashtbl.replace at_height height ((e.node, hash) :: seen))
+          | _ -> ())
+      | Trace.Qc_formed -> (
+          match arg_string "hash" e with
+          | None -> ()
+          | Some hash -> (
+              match Hashtbl.find_opt certified e.view with
+              | None -> Hashtbl.add certified e.view hash
+              | Some prev when String.equal prev hash -> ()
+              | Some prev ->
+                  Hashtbl.replace certified e.view hash;
+                  add Cert_unique
+                    (Printf.sprintf
+                       "two different blocks certified in view %d (%s and %s)"
+                       e.view prev hash)))
+      | Trace.Timeout_fired ->
+          if e.node >= byz_no then begin
+            let prev =
+              match Hashtbl.find_opt abandoned e.node with
+              | None -> 0
+              | Some v -> v
+            in
+            Hashtbl.replace abandoned e.node (max prev e.view)
+          end
+      | Trace.Vote_sent ->
+          if e.node >= byz_no then begin
+            (match Hashtbl.find_opt abandoned e.node with
+            | Some av when e.view <= av ->
+                add Vote_safety
+                  (Printf.sprintf
+                     "replica %d voted in view %d after abandoning view %d"
+                     e.node e.view av)
+            | Some _ | None -> ());
+            match arg_string "hash" e with
+            | None -> ()
+            | Some hash -> (
+                match Hashtbl.find_opt voted (e.node, e.view) with
+                | None -> Hashtbl.add voted (e.node, e.view) hash
+                | Some prev when String.equal prev hash ->
+                    () (* benign re-send (retransmit or restart catch-up) *)
+                | Some prev ->
+                    add Vote_safety
+                      (Printf.sprintf
+                         "replica %d voted for two blocks in view %d (%s \
+                          and %s)"
+                         e.node e.view prev hash))
+          end
+      | Trace.Fault_heal -> heal e.node
+      (* Enumerated so that adding a Trace.kind forces a decision about
+         whether the deployment checks must observe it. *)
+      | Trace.Proposal_sent | Trace.Proposal_received | Trace.Vote_received
+      | Trace.Timeout_received | Trace.View_change | Trace.Fork_prune
+      | Trace.Tx_enqueue | Trace.Tx_dequeue | Trace.Service | Trace.Gauge
+      | Trace.Fault_inject ->
+          ())
+    events;
+  (match expect_commit_after with
+  | Some t when not !saw_commit_after ->
+      add Liveness
+        (Printf.sprintf "no commit after t=%.2fs (expected the cluster to \
+                         keep committing)" t)
+  | Some _ | None -> ());
+  { violations = List.rev !out; skipped = [] }
+
 (* --- full evaluation --- *)
 
 let evaluate ?(opts = default_opts) ~config ~(result : Runtime.result) ~events

@@ -89,3 +89,31 @@ val evaluate :
   unit ->
   report
 (** Runs all four monitors over one finished run. *)
+
+val check_trace :
+  ?byz_no:int ->
+  ?expect_commit_after:float ->
+  Bamboo_obs.Trace.event list ->
+  report
+(** Deployment-trace variant of the monitors, for merged multi-process
+    JSONL traces ([bamboo cluster]) where span ids are per-process
+    counters and no ledger extraction exists. Events are keyed by the
+    block hash carried in their [args]:
+
+    - {e agreement}: no replica re-commits a height with a different
+      block, and no two replicas commit different blocks at the same
+      height ([Commit] events);
+    - {e certification uniqueness}: one certified block per view
+      ([Qc_formed] events carrying a ["hash"] arg);
+    - {e vote safety}: no honest replica (id [>= byz_no]) votes for two
+      different blocks in one view or votes in a view it abandoned.
+      Re-sending the same vote is benign (retransmits, restart
+      catch-up), and a [Fault_heal] event for a node — injected by the
+      trace merge at process restart — resets that node's vote state,
+      since a recovered replica legitimately re-votes while catching up;
+    - {e liveness}: when [expect_commit_after] is given, at least one
+      commit must land after that timestamp (e.g. after the last
+      restart in a chaos schedule).
+
+    Events lacking the expected args (simulator traces) are skipped, not
+    misread; events are sorted by [(ts, node, seq)] before checking. *)

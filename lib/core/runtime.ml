@@ -844,6 +844,12 @@ let publish_metrics reg ~sim ~net ~machines ~nodes ~sig_registry ~pverify =
         Registry.Counter.add
           (Registry.counter reg ~labels "mempool_batched_txs")
           ms.Bamboo_mempool.Mempool.batched_txs;
+        Registry.Counter.add
+          (Registry.counter reg ~labels "mempool_rejected_full")
+          ms.Bamboo_mempool.Mempool.rejected_full;
+        Registry.Counter.add
+          (Registry.counter reg ~labels "mempool_rejected_dup")
+          ms.Bamboo_mempool.Mempool.rejected_dup;
         Registry.Gauge.set
           (Registry.gauge reg ~labels "mempool_peak_occupancy")
           (float_of_int ms.Bamboo_mempool.Mempool.peak_occupancy))

@@ -1,6 +1,8 @@
 open Bamboo_types
 module Forest = Bamboo_forest.Forest
 module Heap = Bamboo_util.Heap
+module Trace = Bamboo_obs.Trace
+module Json = Bamboo_util.Json
 
 (* This runtime drives real system threads over real sockets/channels, so
    wall-clock reads are its time base by design; reproducibility is the
@@ -32,9 +34,19 @@ module type RUNTIME = sig
   type endpoint
   type cluster
 
-  val start : config:Config.t -> endpoints:endpoint array -> cluster
+  val start :
+    ?owned:int array ->
+    ?traces:Bamboo_obs.Trace.t array ->
+    ?epoch:float ->
+    config:Config.t ->
+    endpoints:endpoint array ->
+    unit ->
+    cluster
+
   val submit : cluster -> replica:int -> Bamboo_types.Tx.t list -> unit
+  val submit_admission : cluster -> replica:int -> Bamboo_types.Tx.t list -> int
   val committed_txs : cluster -> int
+  val rejected_txs : cluster -> int
   val tx_committed : cluster -> Bamboo_types.Tx.id -> bool
   val kv_get : cluster -> replica:int -> string -> string option
   val kv_state_hash : cluster -> replica:int -> string
@@ -42,6 +54,9 @@ module type RUNTIME = sig
   val stop : cluster -> report
 
   val run :
+    ?owned:int array ->
+    ?traces:Bamboo_obs.Trace.t array ->
+    ?epoch:float ->
     config:Config.t ->
     endpoints:endpoint array ->
     duration:float ->
@@ -58,35 +73,77 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
   type endpoint = T.t
 
   type replica_ctx = {
+    id : int; (* global replica id; equals Node.self *)
     node : Node.t;
     endpoint : T.t;
     node_mutex : Mutex.t;
     kv : Kvstore.t;
     timers : (float * Node.timer) Heap.t; (* min-heap on deadline *)
+    trace : Trace.t;
+    epoch : float;
   }
 
   type cluster = {
     config : Config.t;
     shared : shared;
     replicas : replica_ctx array;
+    local : int array; (* global id -> index into [replicas], or -1 *)
     threads : Thread.t list;
     started_at : float;
   }
 
   let timer_cmp (a, _) (b, _) = Float.compare a b
 
+  (* Trace the consensus-level meaning of an outgoing message. Events
+     carry the block hash in [args] so that monitors over a merged
+     multi-process trace can correlate by block identity (span ids are
+     per-process counters and meaningless across traces). *)
+  let trace_sent ctx ~ts msg =
+    match msg with
+    | Message.Vote v when v.Vote.voter = ctx.id ->
+        Trace.emit ctx.trace ~ts ~node:ctx.id ~view:v.Vote.view
+          ~args:[ ("hash", Json.String (Ids.short v.Vote.block)) ]
+          Trace.Vote_sent
+    | Message.Timeout tm when tm.Timeout_msg.sender = ctx.id ->
+        Trace.emit ctx.trace ~ts ~node:ctx.id ~view:tm.Timeout_msg.view
+          Trace.Timeout_fired
+    | Message.Proposal _ | Message.Vote _ | Message.Timeout _
+    | Message.Request_block _ ->
+        () (* original proposals are traced via the Proposed output *)
+
   (* Apply node outputs: transmit messages, arm timers, record commits and
      execute committed transactions. Called with [ctx.node_mutex] held. *)
   let apply_outputs shared ctx outs =
+    let tracing = Trace.enabled ctx.trace in
     List.iter
       (fun out ->
         match out with
-        | Node.Send { dst; msg } -> T.send ctx.endpoint ~dst msg
-        | Node.Broadcast msg -> T.broadcast ctx.endpoint msg
+        | Node.Send { dst; msg } ->
+            if tracing then
+              trace_sent ctx ~ts:(Unix.gettimeofday () -. ctx.epoch) msg;
+            T.send ctx.endpoint ~dst msg
+        | Node.Broadcast msg ->
+            if tracing then
+              trace_sent ctx ~ts:(Unix.gettimeofday () -. ctx.epoch) msg;
+            T.broadcast ctx.endpoint msg
         | Node.Set_timer { timer; after } ->
             Heap.push ctx.timers (Unix.gettimeofday () +. after, timer)
-        | Node.Committed { blocks; _ } ->
+        | Node.Committed { blocks; trigger_view } ->
             let now = Unix.gettimeofday () in
+            if tracing then
+              List.iter
+                (fun (b : Block.t) ->
+                  Trace.emit ctx.trace ~ts:(now -. ctx.epoch) ~node:ctx.id
+                    ~view:b.Block.view
+                    ~args:
+                      [
+                        ("hash", Json.String (Ids.short b.Block.hash));
+                        ("height", Json.Int b.Block.height);
+                        ("txs", Json.Int (List.length b.Block.txs));
+                        ("triggerView", Json.Int trigger_view);
+                      ]
+                    Trace.Commit)
+                blocks;
             List.iter
               (fun (b : Block.t) ->
                 List.iter
@@ -110,8 +167,37 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
                   b.txs)
               blocks;
             Mutex.unlock shared.mutex
-        | Node.Forked _ | Node.Proposed _ | Node.Voted _ -> ()
-        | Node.Qc_formed _ | Node.Entered_view _ -> ())
+        | Node.Proposed b ->
+            if tracing then
+              Trace.emit ctx.trace
+                ~ts:(Unix.gettimeofday () -. ctx.epoch)
+                ~node:ctx.id ~view:b.Block.view
+                ~args:
+                  [
+                    ("hash", Json.String (Ids.short b.Block.hash));
+                    ("height", Json.Int b.Block.height);
+                    ("txs", Json.Int (List.length b.Block.txs));
+                  ]
+                Trace.Proposal_sent
+        | Node.Qc_formed qc ->
+            if tracing then
+              Trace.emit ctx.trace
+                ~ts:(Unix.gettimeofday () -. ctx.epoch)
+                ~node:ctx.id ~view:qc.Qc.view
+                ~args:
+                  [
+                    ("hash", Json.String (Ids.short qc.Qc.block));
+                    ("height", Json.Int qc.Qc.height);
+                  ]
+                Trace.Qc_formed
+        | Node.Entered_view { view; reason } ->
+            if tracing then
+              Trace.emit ctx.trace
+                ~ts:(Unix.gettimeofday () -. ctx.epoch)
+                ~node:ctx.id ~view
+                ~args:[ ("reason", Json.String reason) ]
+                Trace.View_change
+        | Node.Forked _ | Node.Voted _ -> ())
       outs
 
   (* Fire every due timer, including timers armed by the handlers of
@@ -153,9 +239,30 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
       Mutex.unlock ctx.node_mutex
     done
 
-  let start ~config ~endpoints =
-    if Array.length endpoints <> config.Config.n then
+  let start ?owned ?traces ?epoch ~config ~endpoints () =
+    let owned =
+      match owned with
+      | Some o -> o
+      | None -> Array.init config.Config.n (fun i -> i)
+    in
+    if Array.length endpoints <> Array.length owned then
       invalid_arg "Threaded_runtime.start: endpoint count mismatch";
+    Array.iter
+      (fun id ->
+        if id < 0 || id >= config.Config.n then
+          invalid_arg "Threaded_runtime.start: owned replica out of range")
+      owned;
+    let traces =
+      match traces with
+      | Some ts ->
+          if Array.length ts <> Array.length owned then
+            invalid_arg "Threaded_runtime.start: trace count mismatch";
+          ts
+      | None -> Array.map (fun _ -> Trace.null) owned
+    in
+    let epoch = match epoch with Some e -> e | None -> Unix.gettimeofday () in
+    (* The signature registry derives every replica's key from (n, master),
+       so independently-started processes agree on all keys. *)
     let registry =
       Bamboo_crypto.Sig.setup ~n:config.Config.n ~master:"bamboo-threaded"
     in
@@ -170,15 +277,22 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
       }
     in
     let replicas =
-      Array.init config.Config.n (fun self ->
+      Array.mapi
+        (fun i self ->
           {
+            id = self;
             node = Node.create ~config ~self ~registry ();
-            endpoint = endpoints.(self);
+            endpoint = endpoints.(i);
             node_mutex = Mutex.create ();
             kv = Kvstore.create ();
             timers = Heap.create ~cmp:timer_cmp ();
+            trace = traces.(i);
+            epoch;
           })
+        owned
     in
+    let local = Array.make config.Config.n (-1) in
+    Array.iteri (fun i self -> local.(self) <- i) owned;
     let threads =
       Array.to_list
         (Array.map
@@ -189,13 +303,20 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
       config;
       shared;
       replicas;
+      local;
       threads;
       started_at = Unix.gettimeofday ();
     }
 
-  let submit cluster ~replica txs =
-    if replica < 0 || replica >= Array.length cluster.replicas then
-      invalid_arg "Threaded_runtime.submit: replica out of range";
+  let ctx_of cluster ~replica =
+    if replica < 0 || replica >= Array.length cluster.local then
+      invalid_arg "Threaded_runtime: replica out of range";
+    match cluster.local.(replica) with
+    | -1 -> invalid_arg "Threaded_runtime: replica not owned by this cluster"
+    | i -> cluster.replicas.(i)
+
+  let submit_admission cluster ~replica txs =
+    let ctx = ctx_of cluster ~replica in
     let now = Unix.gettimeofday () in
     Mutex.lock cluster.shared.mutex;
     List.iter
@@ -203,10 +324,24 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
         Tx.Id_tbl.replace cluster.shared.issue_times tx.id now)
       txs;
     Mutex.unlock cluster.shared.mutex;
-    let ctx = cluster.replicas.(replica) in
     Mutex.lock ctx.node_mutex;
+    let rejected_before = Node.rejected_txs ctx.node in
     apply cluster.shared ctx (Node.handle ctx.node (Submit txs));
-    Mutex.unlock ctx.node_mutex
+    let rejected_after = Node.rejected_txs ctx.node in
+    Mutex.unlock ctx.node_mutex;
+    List.length txs - (rejected_after - rejected_before)
+
+  let submit cluster ~replica txs =
+    ignore (submit_admission cluster ~replica txs : int)
+
+  let rejected_txs cluster =
+    Array.fold_left
+      (fun acc ctx ->
+        Mutex.lock ctx.node_mutex;
+        let r = Node.rejected_txs ctx.node in
+        Mutex.unlock ctx.node_mutex;
+        acc + r)
+      0 cluster.replicas
 
   let tx_committed cluster id =
     Mutex.lock cluster.shared.mutex;
@@ -221,14 +356,14 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
     n
 
   let kv_get cluster ~replica key =
-    let ctx = cluster.replicas.(replica) in
+    let ctx = ctx_of cluster ~replica in
     Mutex.lock ctx.node_mutex;
     let v = Kvstore.get ctx.kv key in
     Mutex.unlock ctx.node_mutex;
     v
 
   let kv_state_hash cluster ~replica =
-    let ctx = cluster.replicas.(replica) in
+    let ctx = ctx_of cluster ~replica in
     Mutex.lock ctx.node_mutex;
     let h = Kvstore.state_hash ctx.kv in
     Mutex.unlock ctx.node_mutex;
@@ -250,13 +385,15 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
     cluster.shared.stop <- true;
     Array.iter (fun ctx -> T.close ctx.endpoint) cluster.replicas;
     List.iter Thread.join cluster.threads;
+    Array.iter (fun ctx -> Trace.close ctx.trace) cluster.replicas;
     let elapsed = Unix.gettimeofday () -. cluster.started_at in
     let shared = cluster.shared in
     let replicas = cluster.replicas in
     let committed_blocks =
       Array.map (fun ctx -> Node.committed_count ctx.node) replicas
     in
-    (* Consistency: committed chains agree on the common prefix. *)
+    (* Consistency: committed chains agree on the common prefix (across
+       the replicas this cluster owns). *)
     let heights =
       Array.map
         (fun ctx -> Forest.committed_height (Node.forest ctx.node))
@@ -301,8 +438,9 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
         Array.exists (fun ctx -> Node.safety_violation ctx.node) replicas;
     }
 
-  let run ~config ~endpoints ~duration ~rate () =
-    let cluster = start ~config ~endpoints in
+  let run ?owned ?traces ?epoch ~config ~endpoints ~duration ~rate () =
+    let cluster = start ?owned ?traces ?epoch ~config ~endpoints () in
+    let targets = Array.map (fun ctx -> ctx.id) cluster.replicas in
     let rng = Bamboo_util.Rng.create ~seed:(config.Config.seed + 1000) in
     let seq = ref 0 in
     let batch_interval = 0.002 in
@@ -310,7 +448,7 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
     while Unix.gettimeofday () < deadline do
       let k = Bamboo_util.Dist.poisson rng ~mean:(rate *. batch_interval) in
       if k > 0 then begin
-        let target = Bamboo_util.Rng.int rng config.Config.n in
+        let target = targets.(Bamboo_util.Rng.int rng (Array.length targets)) in
         let txs =
           List.init k (fun _ ->
               incr seq;

@@ -31,15 +31,42 @@ module type RUNTIME = sig
 
   type cluster
 
-  val start : config:Config.t -> endpoints:endpoint array -> cluster
-  (** Spawns one thread per replica; nodes begin proposing immediately.
-      [endpoints] must have length [config.n] and be interconnected. *)
+  val start :
+    ?owned:int array ->
+    ?traces:Bamboo_obs.Trace.t array ->
+    ?epoch:float ->
+    config:Config.t ->
+    endpoints:endpoint array ->
+    unit ->
+    cluster
+  (** Spawns one thread per owned replica; nodes begin proposing
+      immediately. [owned] (default: all of [0..config.n-1]) names the
+      replica ids this process hosts — a multi-process deployment runs
+      [start ~owned:[|self|]] in each OS process, with the transport
+      carrying messages between them. [endpoints] and [traces] are
+      indexed positionally against [owned]; [traces.(i)] (default
+      {!Bamboo_obs.Trace.null}) receives that replica's consensus events
+      with timestamps relative to [epoch] (default: now) — pass the same
+      epoch to every process so merged traces share a clock. *)
 
   val submit : cluster -> replica:int -> Bamboo_types.Tx.t list -> unit
-  (** Injects client transactions at a replica (thread-safe). Transactions
-      are tracked for latency from this call until their commit. *)
+  (** Injects client transactions at an owned replica (thread-safe).
+      Transactions are tracked for latency from this call until their
+      commit. Raises [Invalid_argument] for a replica this cluster does
+      not own. *)
+
+  val submit_admission :
+    cluster -> replica:int -> Bamboo_types.Tx.t list -> int
+  (** Like {!submit}, but returns how many of the transactions the
+      replica's mempool actually admitted — the ingest path's
+      backpressure signal: a short count means the pool is full (or the
+      txs are duplicates) and the client should be shed, not silently
+      dropped. *)
 
   val committed_txs : cluster -> int
+
+  val rejected_txs : cluster -> int
+  (** Total mempool rejections across this cluster's owned replicas. *)
 
   val tx_committed : cluster -> Bamboo_types.Tx.id -> bool
 
@@ -56,6 +83,9 @@ module type RUNTIME = sig
   (** Stops all threads, closes the endpoints, and reports. *)
 
   val run :
+    ?owned:int array ->
+    ?traces:Bamboo_obs.Trace.t array ->
+    ?epoch:float ->
     config:Config.t ->
     endpoints:endpoint array ->
     duration:float ->
@@ -63,7 +93,8 @@ module type RUNTIME = sig
     unit ->
     report
   (** Convenience: [start], drive a Poisson open-loop client at [rate]
-      tx/s for [duration] wall-clock seconds, [stop]. *)
+      tx/s for [duration] wall-clock seconds (submitting to owned
+      replicas only), [stop]. *)
 end
 
 module Make_batched (T : Bamboo_network.Transport.S_batched) :

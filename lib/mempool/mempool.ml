@@ -14,9 +14,17 @@ type t = {
   mutable peak : int;
   mutable n_batches : int;
   mutable n_batched : int;
+  mutable n_rejected_full : int;
+  mutable n_rejected_dup : int;
 }
 
-type stats = { peak_occupancy : int; batches : int; batched_txs : int }
+type stats = {
+  peak_occupancy : int;
+  batches : int;
+  batched_txs : int;
+  rejected_full : int;
+  rejected_dup : int;
+}
 
 let create ?(capacity = 1000) () =
   if capacity <= 0 then invalid_arg "Mempool.create: capacity must be positive";
@@ -27,18 +35,32 @@ let create ?(capacity = 1000) () =
     peak = 0;
     n_batches = 0;
     n_batched = 0;
+    n_rejected_full = 0;
+    n_rejected_dup = 0;
   }
 
 let stats t =
-  { peak_occupancy = t.peak; batches = t.n_batches; batched_txs = t.n_batched }
+  {
+    peak_occupancy = t.peak;
+    batches = t.n_batches;
+    batched_txs = t.n_batched;
+    rejected_full = t.n_rejected_full;
+    rejected_dup = t.n_rejected_dup;
+  }
 
 let length t = Deque.length t.queue
 let is_empty t = Deque.is_empty t.queue
 let capacity t = t.cap
 
 let add t (tx : Tx.t) =
-  if Deque.length t.queue >= t.cap then false
-  else if Tx.Id_tbl.mem t.status tx.id then false
+  if Deque.length t.queue >= t.cap then begin
+    t.n_rejected_full <- t.n_rejected_full + 1;
+    false
+  end
+  else if Tx.Id_tbl.mem t.status tx.id then begin
+    t.n_rejected_dup <- t.n_rejected_dup + 1;
+    false
+  end
   else begin
     Tx.Id_tbl.add t.status tx.id Queued;
     Deque.push_back t.queue tx;

@@ -51,8 +51,13 @@ type stats = {
   peak_occupancy : int;  (** high-water mark of {!length} *)
   batches : int;  (** {!batch} calls over the pool's lifetime *)
   batched_txs : int;  (** transactions those batches removed *)
+  rejected_full : int;  (** {!add} refusals because the pool was full *)
+  rejected_dup : int;  (** {!add} refusals because the tx was known *)
 }
 
 val stats : t -> stats
 (** Observe-only tallies for the metrics layer. Mean batch fill is
-    [batched_txs / batches] against the configured block size. *)
+    [batched_txs / batches] against the configured block size; the
+    rejection split makes load-shedding observable rather than silent
+    (capacity rejections are the backpressure signal the ingest path
+    surfaces to clients). *)

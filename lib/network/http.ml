@@ -85,7 +85,7 @@ let serve_connection handler fd =
          in
          write_response oc resp
      | None -> write_response oc { status = 400; body = "malformed request" }
-   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+   with End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let start ~port ~handler =
@@ -161,4 +161,9 @@ let request ?(body = "") ?(timeout_s = 5.0) ~host ~port ~meth ~path () =
           Error (Unix.error_message e)
       | End_of_file | Sys_error _ ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
-          Error "connection closed early")
+          Error "connection closed early"
+      | Sys_blocked_io ->
+          (* The buffered-channel layer surfaces an SO_RCVTIMEO/SO_SNDTIMEO
+             socket timeout as [Sys_blocked_io], not [Unix_error EAGAIN]. *)
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error "request timed out")

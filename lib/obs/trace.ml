@@ -36,6 +36,25 @@ let kind_name = function
   | Fault_inject -> "fault_inject"
   | Fault_heal -> "fault_heal"
 
+let kind_of_name = function
+  | "proposal_sent" -> Ok Proposal_sent
+  | "proposal_received" -> Ok Proposal_received
+  | "vote_sent" -> Ok Vote_sent
+  | "vote_received" -> Ok Vote_received
+  | "qc_formed" -> Ok Qc_formed
+  | "timeout_fired" -> Ok Timeout_fired
+  | "timeout_received" -> Ok Timeout_received
+  | "view_change" -> Ok View_change
+  | "commit" -> Ok Commit
+  | "fork_prune" -> Ok Fork_prune
+  | "tx_enqueue" -> Ok Tx_enqueue
+  | "tx_dequeue" -> Ok Tx_dequeue
+  | "service" -> Ok Service
+  | "gauge" -> Ok Gauge
+  | "fault_inject" -> Ok Fault_inject
+  | "fault_heal" -> Ok Fault_heal
+  | s -> Error (Printf.sprintf "unknown trace kind %S" s)
+
 type event = {
   seq : int;
   ts : float;
@@ -108,6 +127,34 @@ let event_to_json ev =
       ("span", Json.Int ev.span);
       ("args", Json.Obj ev.args);
     ]
+
+let event_of_json json =
+  match json with
+  | Json.Obj _ -> (
+      try
+        let kind_str = Json.get_string (Json.member "kind" json) in
+        match kind_of_name kind_str with
+        | Error _ as e -> e
+        | Ok kind ->
+            let args =
+              match Json.member "args" json with
+              | Json.Obj kvs -> kvs
+              | Json.Null -> []
+              | _ -> invalid_arg "args"
+            in
+            Ok
+              {
+                seq = Json.to_int (Json.member "seq" json);
+                ts = Json.to_float (Json.member "ts" json);
+                node = Json.to_int (Json.member "node" json);
+                view = Json.to_int (Json.member "view" json);
+                kind;
+                span = Json.to_int (Json.member "span" json);
+                args;
+              }
+      with Invalid_argument msg ->
+        Error (Printf.sprintf "malformed trace event: %s" msg))
+  | _ -> Error "trace event is not a JSON object"
 
 (* --- Chrome trace_event output ---
 

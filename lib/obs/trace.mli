@@ -102,5 +102,13 @@ val close : t -> unit
 
 val kind_name : kind -> string
 
+val kind_of_name : string -> (kind, string) result
+(** Inverse of {!kind_name}. *)
+
 val event_to_json : event -> Bamboo_util.Json.t
 (** The JSONL schema of one event. *)
+
+val event_of_json : Bamboo_util.Json.t -> (event, string) result
+(** Inverse of {!event_to_json}, for re-reading JSONL traces (e.g. when
+    merging per-node cluster traces). Tolerates a missing or null [args]
+    member; any other shape mismatch is an [Error]. *)

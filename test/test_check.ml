@@ -343,12 +343,96 @@ let fuzz_jobs_invariant =
       in
       run 1 = run 4)
 
+(* --- deployment-trace monitors (merged multi-process JSONL) --- *)
+
+let dev ?(node = 0) ?(view = 0) ?(ts = 0.0) ?(args = []) kind =
+  { Trace.seq = 0; ts; node; view; kind; span = 0; args }
+
+let harg h = [ ("hash", Bamboo_util.Json.String h) ]
+
+let test_check_trace_agreement () =
+  let height h hash =
+    ("height", Bamboo_util.Json.Int h) :: harg hash
+  in
+  (* two nodes agree at height 1 → clean *)
+  let ok =
+    [
+      dev ~node:0 ~ts:1.0 ~args:(height 1 "aa") Trace.Commit;
+      dev ~node:1 ~ts:1.1 ~args:(height 1 "aa") Trace.Commit;
+    ]
+  in
+  Alcotest.(check bool) "agreeing commits pass" true
+    (Monitor.pass (Monitor.check_trace ok));
+  (* conflicting hashes at one height → agreement violation *)
+  let bad =
+    [
+      dev ~node:0 ~ts:1.0 ~args:(height 1 "aa") Trace.Commit;
+      dev ~node:1 ~ts:1.1 ~args:(height 1 "bb") Trace.Commit;
+    ]
+  in
+  Alcotest.(check (list string))
+    "conflict caught" [ "agreement" ]
+    (names (Monitor.check_trace bad).Monitor.violations)
+
+let test_check_trace_vote_safety_and_heal () =
+  (* a vote for two different blocks in one view is a violation *)
+  let double =
+    [
+      dev ~node:1 ~view:3 ~ts:1.0 ~args:(harg "aa") Trace.Vote_sent;
+      dev ~node:1 ~view:3 ~ts:1.1 ~args:(harg "bb") Trace.Vote_sent;
+    ]
+  in
+  Alcotest.(check (list string))
+    "double vote caught" [ "vote_safety" ]
+    (names (Monitor.check_trace double).Monitor.violations);
+  (* re-sending the same vote is benign *)
+  let resend =
+    [
+      dev ~node:1 ~view:3 ~ts:1.0 ~args:(harg "aa") Trace.Vote_sent;
+      dev ~node:1 ~view:3 ~ts:1.1 ~args:(harg "aa") Trace.Vote_sent;
+    ]
+  in
+  Alcotest.(check bool) "resend benign" true
+    (Monitor.pass (Monitor.check_trace resend));
+  (* a Fault_heal (process restart) resets the node's vote state: the
+     recovered replica may re-vote across the restart boundary *)
+  let healed =
+    [
+      dev ~node:1 ~view:3 ~ts:1.0 ~args:(harg "aa") Trace.Vote_sent;
+      dev ~node:1 ~ts:2.0 Trace.Fault_heal;
+      dev ~node:1 ~view:3 ~ts:3.0 ~args:(harg "bb") Trace.Vote_sent;
+    ]
+  in
+  Alcotest.(check bool) "heal resets vote state" true
+    (Monitor.pass (Monitor.check_trace healed))
+
+let test_check_trace_liveness () =
+  let commit ts =
+    dev ~node:0 ~ts
+      ~args:(("height", Bamboo_util.Json.Int 1) :: harg "aa")
+      Trace.Commit
+  in
+  Alcotest.(check bool) "commit after deadline passes" true
+    (Monitor.pass
+       (Monitor.check_trace ~expect_commit_after:5.0 [ commit 6.0 ]));
+  Alcotest.(check (list string))
+    "no commit after deadline fails" [ "liveness" ]
+    (names
+       (Monitor.check_trace ~expect_commit_after:5.0 [ commit 4.0 ])
+         .Monitor.violations)
+
 let suite =
   [
     Alcotest.test_case "cert-unique monitor" `Quick test_cert_unique;
     Alcotest.test_case "vote-safety monitor" `Quick test_vote_safety;
     Alcotest.test_case "agreement monitor" `Quick test_agreement;
     Alcotest.test_case "liveness monitor" `Quick test_liveness;
+    Alcotest.test_case "deployment trace agreement" `Quick
+      test_check_trace_agreement;
+    Alcotest.test_case "deployment trace vote safety + heal" `Quick
+      test_check_trace_vote_safety_and_heal;
+    Alcotest.test_case "deployment trace liveness" `Quick
+      test_check_trace_liveness;
     Alcotest.test_case "combined adversaries" `Slow test_combined_adversaries;
     Alcotest.test_case "generated scenarios healthy" `Slow
       test_generated_scenarios_healthy;

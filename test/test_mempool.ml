@@ -42,6 +42,26 @@ let test_capacity () =
   ignore (Mempool.batch p ~max:1);
   Alcotest.(check bool) "space after batch" true (Mempool.add p (tx 3))
 
+let test_rejection_stats_split () =
+  let p = Mempool.create ~capacity:2 () in
+  ignore (Mempool.add p (tx 1));
+  ignore (Mempool.add p (tx 1));
+  (* duplicate *)
+  ignore (Mempool.add p (tx 2));
+  ignore (Mempool.add p (tx 3));
+  (* full *)
+  ignore (Mempool.add p (tx 4));
+  (* full *)
+  let s = Mempool.stats p in
+  Alcotest.(check int) "rejected_full" 2 s.Mempool.rejected_full;
+  Alcotest.(check int) "rejected_dup" 1 s.Mempool.rejected_dup;
+  (* capacity is checked before dedup: a duplicate hitting a full pool
+     is tallied as backpressure, not as a duplicate *)
+  ignore (Mempool.add p (tx 2));
+  let s = Mempool.stats p in
+  Alcotest.(check int) "full takes precedence" 3 s.Mempool.rejected_full;
+  Alcotest.(check int) "dup unchanged" 1 s.Mempool.rejected_dup
+
 let test_requeue_front_order () =
   let p = Mempool.create () in
   List.iter (fun t -> ignore (Mempool.add p t)) [ tx 1; tx 2; tx 3; tx 4 ];
@@ -123,6 +143,8 @@ let suite =
     Alcotest.test_case "dedup" `Quick test_dedup;
     Alcotest.test_case "in-flight dedup" `Quick test_inflight_dedup;
     Alcotest.test_case "capacity" `Quick test_capacity;
+    Alcotest.test_case "rejection stats split" `Quick
+      test_rejection_stats_split;
     Alcotest.test_case "requeue front order" `Quick test_requeue_front_order;
     Alcotest.test_case "requeue skips committed" `Quick test_requeue_skips_committed;
     Alcotest.test_case "requeue skips foreign" `Quick test_requeue_skips_foreign;

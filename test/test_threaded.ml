@@ -6,7 +6,7 @@ module Chan = Bamboo_network.Chan_transport
 module Tcp = Bamboo_network.Tcp_transport
 module Ring = Bamboo_network.Ring_transport
 module Chan_runtime = Bamboo.Threaded_runtime.Make (Bamboo_network.Chan_transport)
-module Tcp_runtime = Bamboo.Threaded_runtime.Make (Bamboo_network.Tcp_transport)
+module Tcp_runtime = Bamboo.Threaded_runtime.Make_batched (Bamboo_network.Tcp_transport)
 
 (* The ring transport is batched natively: Make_batched drains a whole
    wakeup's worth of messages per lock-free pass instead of one recv per
@@ -59,7 +59,7 @@ let test_kv_execution () =
      that every replica executed the same state. *)
   let cluster = Chan.create_cluster ~n:4 in
   let endpoints = Array.init 4 (Chan.endpoint cluster) in
-  let c = Chan_runtime.start ~config ~endpoints in
+  let c = Chan_runtime.start ~config ~endpoints () in
   let kv_tx seq key value =
     Bamboo_types.Tx.make_with_data ~client:2 ~seq
       ~data:(Bamboo.Kvstore.encode_command (Bamboo.Kvstore.Put { key; value }))
@@ -93,7 +93,7 @@ let test_ring_cluster_progress () =
 let test_tcp_cluster_progress () =
   let addresses = Tcp.loopback_addresses ~n:4 ~base_port:29600 in
   let endpoints =
-    Array.of_list (List.map (fun (self, _) -> Tcp.create ~self ~addresses) addresses)
+    Array.of_list (List.map (fun (self, _) -> Tcp.create ~self ~addresses ()) addresses)
   in
   let report =
     Tcp_runtime.run ~config ~endpoints ~duration:2.0 ~rate:200.0 ()

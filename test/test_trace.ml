@@ -68,6 +68,33 @@ let test_event_json_schema () =
         (Json.get_string (Json.member "hash" (Json.member "args" j)))
   | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
 
+let test_event_json_round_trip () =
+  let t = Trace.ring ~capacity:8 in
+  Trace.emit t ~ts:1.25 ~node:3 ~view:9 ~span:4
+    ~args:[ ("hash", Json.String "cafe"); ("height", Json.Int 12) ]
+    Trace.Commit;
+  Trace.emit t ~ts:1.5 ~node:0 Trace.Timeout_fired;
+  List.iter
+    (fun e ->
+      match Trace.event_of_json (Trace.event_to_json e) with
+      | Ok got ->
+          Alcotest.(check int) "seq" e.Trace.seq got.Trace.seq;
+          Alcotest.(check int) "node" e.Trace.node got.Trace.node;
+          Alcotest.(check int) "view" e.Trace.view got.Trace.view;
+          Alcotest.(check int) "span" e.Trace.span got.Trace.span;
+          Alcotest.(check string) "kind" (Trace.kind_name e.Trace.kind)
+            (Trace.kind_name got.Trace.kind);
+          Alcotest.(check int) "args" (List.length e.Trace.args)
+            (List.length got.Trace.args)
+      | Error err -> Alcotest.failf "round trip failed: %s" err)
+    (Trace.events t);
+  (match Trace.event_of_json (Json.Obj [ ("seq", Json.Int 0) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing members must be an error");
+  match Trace.kind_of_name "no_such_kind" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown kind must be an error"
+
 let test_jsonl_sink () =
   with_temp_file (fun path ->
       let oc = open_out path in
@@ -231,6 +258,8 @@ let suite =
     Alcotest.test_case "ring order + wraparound" `Quick
       test_ring_order_and_wraparound;
     Alcotest.test_case "event JSON schema" `Quick test_event_json_schema;
+    Alcotest.test_case "event JSON round trip" `Quick
+      test_event_json_round_trip;
     Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
     Alcotest.test_case "chrome sink valid JSON" `Quick
       test_chrome_sink_valid_json;

@@ -56,7 +56,10 @@ module Conformance (T : CLUSTERED) = struct
     T.broadcast eps.(2) (sample_msg ());
     Array.iteri
       (fun i ep ->
-        let got = T.recv ep ~timeout_s:0.05 in
+        (* Generous timeout on the delivery side so the TCP backend's
+           connect-on-first-send path fits; the sender's own (empty)
+           queue needs only a short poll. *)
+        let got = T.recv ep ~timeout_s:(if i = 2 then 0.05 else 1.0) in
         if i = 2 then Alcotest.(check bool) "not to self" true (got = None)
         else Alcotest.(check bool) "delivered" true (got <> None))
       eps
@@ -160,8 +163,8 @@ let fresh_ports n =
 
 let test_tcp_round_trip () =
   let addresses = fresh_ports 2 in
-  let a = Tcp.create ~self:0 ~addresses in
-  let b = Tcp.create ~self:1 ~addresses in
+  let a = Tcp.create ~self:0 ~addresses () in
+  let b = Tcp.create ~self:1 ~addresses () in
   let msg = sample_msg () in
   Tcp.send a ~dst:1 msg;
   (match Tcp.recv b ~timeout_s:2.0 with
@@ -173,7 +176,7 @@ let test_tcp_round_trip () =
 
 let test_tcp_broadcast () =
   let addresses = fresh_ports 3 in
-  let eps = List.map (fun (self, _) -> Tcp.create ~self ~addresses) addresses in
+  let eps = List.map (fun (self, _) -> Tcp.create ~self ~addresses ()) addresses in
   (match eps with
   | [ a; b; c ] ->
       Tcp.broadcast a (sample_msg ());
@@ -185,23 +188,82 @@ let test_tcp_broadcast () =
 
 let test_tcp_send_to_self () =
   let addresses = fresh_ports 1 in
-  let a = Tcp.create ~self:0 ~addresses in
+  let a = Tcp.create ~self:0 ~addresses () in
   Tcp.send a ~dst:0 (sample_msg ());
   Alcotest.(check bool) "loop delivery" true (Tcp.recv a ~timeout_s:0.5 <> None);
   Tcp.close a
 
 let test_tcp_unreachable_peer_is_silent () =
   let addresses = fresh_ports 2 in
-  let a = Tcp.create ~self:0 ~addresses in
+  let a = Tcp.create ~self:0 ~addresses () in
   (* Peer 1 never started: sends must be dropped without raising. *)
   Tcp.send a ~dst:1 (sample_msg ());
   Alcotest.(check bool) "no crash" true true;
   Tcp.close a
 
+module Tcp_conformance = Conformance (struct
+  type cluster = Tcp.t array
+  type t = Tcp.t
+
+  let create_cluster ~n =
+    let addresses = fresh_ports n in
+    Array.init n (fun self -> Tcp.create ~self ~addresses ())
+
+  let endpoint cluster i = cluster.(i)
+
+  include (Tcp : Bamboo_network.Transport.S with type t := Tcp.t)
+end)
+
+let test_tcp_kill_reconnect () =
+  let addresses = fresh_ports 2 in
+  let a = Tcp.create ~self:0 ~addresses () in
+  let b = Tcp.create ~self:1 ~addresses () in
+  Tcp.send a ~dst:1 (sample_msg ());
+  Alcotest.(check bool)
+    "delivered before kill" true
+    (Tcp.recv b ~timeout_s:2.0 <> None);
+  (* Kill peer 1 and bring a fresh endpoint up on the same port: the
+     writer in [a] must notice the broken connection, back off, redial
+     and deliver again — the cluster harness's survivor path. *)
+  Tcp.close b;
+  Tcp.send a ~dst:1 (sample_msg ());
+  Thread.delay 0.1;
+  let b2 = Tcp.create ~self:1 ~addresses () in
+  let rec pump tries =
+    if tries > 100 then None
+    else begin
+      Tcp.send a ~dst:1 (sample_msg ());
+      match Tcp.recv b2 ~timeout_s:0.1 with
+      | Some m -> Some m
+      | None -> pump (tries + 1)
+    end
+  in
+  Alcotest.(check bool) "delivered after restart" true (pump 0 <> None);
+  Alcotest.(check bool)
+    "reconnects counted" true
+    ((Tcp.stats a).Tcp.reconnects >= 1);
+  Tcp.close a;
+  Tcp.close b2
+
+let test_tcp_queue_full_drops () =
+  let addresses = fresh_ports 2 in
+  let a = Tcp.create ~outbox_capacity:4 ~self:0 ~addresses () in
+  (* Peer 1 never starts, so the writer cannot drain: pushes past the
+     tiny ring capacity must be counted drops, never blocking sends. *)
+  for _ = 1 to 64 do
+    Tcp.send a ~dst:1 (sample_msg ())
+  done;
+  let st = Tcp.stats a in
+  Alcotest.(check bool) "drops counted" true (st.Tcp.dropped_full > 0);
+  Alcotest.(check bool)
+    "accepted + dropped = attempted" true
+    (st.Tcp.sends + st.Tcp.dropped_full = 64);
+  Tcp.close a
+
 let test_tcp_large_message () =
   let addresses = fresh_ports 2 in
-  let a = Tcp.create ~self:0 ~addresses in
-  let b = Tcp.create ~self:1 ~addresses in
+  let a = Tcp.create ~self:0 ~addresses () in
+  let b = Tcp.create ~self:1 ~addresses () in
   let block =
     Helpers.child ~reg ~view:1 ~txs:(Helpers.txs 2000) Bamboo_types.Block.genesis
   in
@@ -218,6 +280,7 @@ let test_tcp_large_message () =
 let suite =
   Chan_conformance.tests "chan"
   @ Ring_conformance.tests "ring"
+  @ Tcp_conformance.tests "tcp"
   @ [
       Alcotest.test_case "ring recv_batch" `Quick test_ring_recv_batch;
       Alcotest.test_case "ring backpressure drops" `Quick
@@ -230,4 +293,8 @@ let suite =
       Alcotest.test_case "tcp unreachable peer" `Quick
         test_tcp_unreachable_peer_is_silent;
       Alcotest.test_case "tcp large message" `Quick test_tcp_large_message;
+      Alcotest.test_case "tcp kill and reconnect" `Quick
+        test_tcp_kill_reconnect;
+      Alcotest.test_case "tcp queue-full drops" `Quick
+        test_tcp_queue_full_drops;
     ]
