@@ -22,23 +22,27 @@ let () =
     ]
     (fun _ -> ())
     "bamboo_bench_client";
-  let stop = ref false in
+  (* Snapshot the option cells: the workers see plain values, not the
+     refs Arg.parse wrote. *)
+  let port = !port in
+  let psize = !psize in
+  let stop = Atomic.make false in
   let mutex = Mutex.create () in
   let completed = ref 0 in
   let failed = ref 0 in
   let latency_total = ref 0.0 in
   let worker wid =
     let i = ref 0 in
-    while not !stop do
+    while not (Atomic.get stop) do
       incr i;
       let key = Printf.sprintf "w%d-k%d" wid (!i mod 100) in
-      let value = String.make !psize 'v' in
+      let value = String.make psize 'v' in
       let body =
         Bamboo.Kvstore.encode_command (Bamboo.Kvstore.Put { key; value })
       in
       let t0 = Unix.gettimeofday () in
       match
-        Http.request ~body ~host:"127.0.0.1" ~port:!port ~meth:"POST"
+        Http.request ~body ~host:"127.0.0.1" ~port ~meth:"POST"
           ~path:"/tx?wait=true" ()
       with
       | Ok { status = 200; body = resp } ->
@@ -68,16 +72,16 @@ let () =
     done
   in
   (match
-     Http.request ~host:"127.0.0.1" ~port:!port ~meth:"GET" ~path:"/health" ()
+     Http.request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/health" ()
    with
   | Ok { status = 200; _ } -> ()
   | Ok _ | Error _ ->
-      Printf.eprintf "no bamboo_server on port %d\n" !port;
+      Printf.eprintf "no bamboo_server on port %d\n" port;
       exit 1);
   let t0 = Unix.gettimeofday () in
   let threads = List.init !concurrency (fun wid -> Thread.create worker wid) in
   Thread.delay !duration;
-  stop := true;
+  Atomic.set stop true;
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t0 in
   Printf.printf

@@ -62,22 +62,32 @@ let () =
         prerr_endline e;
         exit 2
   in
+  (* Snapshot the option cells: handler threads see plain values. *)
+  let n = !n in
+  let port = !port in
+  let duration = !duration in
   let config =
-    { Config.default with protocol; n = !n; bsize = 100; memsize = 100_000 }
+    { Config.default with protocol; n; bsize = 100; memsize = 100_000 }
   in
-  let cluster_transport = Chan.create_cluster ~n:!n in
-  let endpoints = Array.init !n (Chan.endpoint cluster_transport) in
+  let cluster_transport = Chan.create_cluster ~n in
+  let endpoints = Array.init n (Chan.endpoint cluster_transport) in
   let cluster = Runtime.start ~config ~endpoints () in
-  let seq = ref 0 in
   let seq_mutex = Mutex.create () in
-  let rng = Bamboo_util.Rng.create ~seed:99 in
+  let[@guarded_by "seq_mutex"] seq = ref 0 in
+  (* The PRNG state is mutated by every handler thread that picks a
+     random replica, so it shares the sequence lock. *)
+  let[@guarded_by "seq_mutex"] rng = Bamboo_util.Rng.create ~seed:99 in
   let started = Unix.gettimeofday () in
   let handler (req : Http.request) =
     let path, params = query_params req.path in
     let replica =
       match List.assoc_opt "replica" params with
-      | Some v -> ( match int_of_string_opt v with Some i -> i mod !n | None -> 0)
-      | None -> Bamboo_util.Rng.int rng !n
+      | Some v -> ( match int_of_string_opt v with Some i -> i mod n | None -> 0)
+      | None ->
+          Mutex.lock seq_mutex;
+          let r = Bamboo_util.Rng.int rng n in
+          Mutex.unlock seq_mutex;
+          r
     in
     match (req.meth, path) with
     | "POST", "/tx" ->
@@ -142,13 +152,13 @@ let () =
     | "GET", "/health" -> { Http.status = 200; body = {|{"status": "up"}|} }
     | _ -> { Http.status = 404; body = "unknown route" }
   in
-  let server = Http.start ~port:!port ~handler in
+  let server = Http.start ~port ~handler in
   Printf.printf
     "bamboo_server: %d-replica %s cluster behind http://127.0.0.1:%d (%.0fs)\n%!"
-    !n
+    n
     (Config.protocol_name protocol)
-    (Http.port server) !duration;
-  Thread.delay !duration;
+    (Http.port server) duration;
+  Thread.delay duration;
   Http.stop server;
   let report = Runtime.stop cluster in
   Printf.printf

@@ -528,7 +528,10 @@ let run_cluster ~config ~faults ~duration ~rate ~base_port ~client_port_base
         in
         let swarm = List.init n (fun i -> Thread.create swarm_worker i) in
         let timeline = ref [] in
-        let fault_thread =
+        (* The fault thread is the only writer of [c.segment]/[c.pid] and
+           [timeline] while it runs; the main thread reads them only after
+           [Thread.join fault_thread] below. *)
+        let[@lint.allow "domain-escape"] fault_thread =
           Thread.create
             (fun () ->
               List.iter

@@ -23,11 +23,11 @@ type report = {
 
 type shared = {
   mutex : Mutex.t;
-  issue_times : float Tx.Id_tbl.t;
-  mutable latency_total : float;
-  mutable latency_count : int;
-  mutable committed : Tx.Id_set.t;
-  mutable stop : bool;
+  issue_times : float Tx.Id_tbl.t; [@guarded_by "mutex"]
+  mutable latency_total : float; [@guarded_by "mutex"]
+  mutable latency_count : int; [@guarded_by "mutex"]
+  mutable committed : Tx.Id_set.t; [@guarded_by "mutex"]
+  stop : bool Atomic.t;
 }
 
 module type RUNTIME = sig
@@ -78,7 +78,8 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
     endpoint : T.t;
     node_mutex : Mutex.t;
     kv : Kvstore.t;
-    timers : (float * Node.timer) Heap.t; (* min-heap on deadline *)
+    timers : (float * Node.timer) Heap.t; [@guarded_by "node_mutex"]
+        (* min-heap on deadline *)
     trace : Trace.t;
     epoch : float;
   }
@@ -220,12 +221,19 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
     Mutex.lock ctx.node_mutex;
     apply shared ctx (Node.start ctx.node);
     Mutex.unlock ctx.node_mutex;
-    while not shared.stop do
+    while not (Atomic.get shared.stop) do
       let now = Unix.gettimeofday () in
       let timeout_s =
-        match Heap.peek ctx.timers with
-        | Some (at, _) -> Float.max 0.0 (Float.min 0.02 (at -. now))
-        | None -> 0.02
+        (* Peek under the node mutex: [submit] pushes timers from client
+           threads, and a concurrent [Heap.push] can tear the peek. *)
+        Mutex.lock ctx.node_mutex;
+        let t =
+          match Heap.peek ctx.timers with
+          | Some (at, _) -> Float.max 0.0 (Float.min 0.02 (at -. now))
+          | None -> 0.02
+        in
+        Mutex.unlock ctx.node_mutex;
+        t
       in
       let msgs = T.recv_batch ctx.endpoint ~timeout_s ~max:recv_batch_max in
       Mutex.lock ctx.node_mutex;
@@ -273,7 +281,7 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
         latency_total = 0.0;
         latency_count = 0;
         committed = Tx.Id_set.empty;
-        stop = false;
+        stop = Atomic.make false;
       }
     in
     let replicas =
@@ -382,7 +390,7 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
     loop ()
 
   let stop cluster =
-    cluster.shared.stop <- true;
+    Atomic.set cluster.shared.stop true;
     Array.iter (fun ctx -> T.close ctx.endpoint) cluster.replicas;
     List.iter Thread.join cluster.threads;
     Array.iter (fun ctx -> Trace.close ctx.trace) cluster.replicas;
@@ -423,15 +431,26 @@ module Make_batched (T : Bamboo_network.Transport.S_batched) = struct
           if not (String.equal (Kvstore.state_hash ctx.kv) reference_hash) then
             kv_consistent := false)
       replicas;
+    (* The replica threads are joined, but take the mutex anyway so the
+       locking story stays uniform (and checkable) for these fields. *)
+    let committed_txs, latency_mean, latency_count =
+      Mutex.lock shared.mutex;
+      let committed_txs = Tx.Id_set.cardinal shared.committed in
+      let latency_mean =
+        if shared.latency_count = 0 then 0.0
+        else shared.latency_total /. float_of_int shared.latency_count
+      in
+      let latency_count = shared.latency_count in
+      Mutex.unlock shared.mutex;
+      (committed_txs, latency_mean, latency_count)
+    in
     {
       duration = elapsed;
-      committed_txs = Tx.Id_set.cardinal shared.committed;
+      committed_txs;
       committed_blocks;
-      throughput = float_of_int (Tx.Id_set.cardinal shared.committed) /. elapsed;
-      latency_mean =
-        (if shared.latency_count = 0 then 0.0
-         else shared.latency_total /. float_of_int shared.latency_count);
-      latency_count = shared.latency_count;
+      throughput = float_of_int committed_txs /. elapsed;
+      latency_mean;
+      latency_count;
       consistent = !consistent;
       kv_consistent = !kv_consistent;
       any_violation =

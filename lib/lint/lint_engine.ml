@@ -57,8 +57,27 @@ let under_any dirss segs = List.exists (fun dirs -> under dirs segs) dirss
 
 (* --- rules --- *)
 
+(* Record-field metadata collected by a pre-pass over every linted .ml
+   source, so the concurrency rules can classify a [t.field] access in
+   one file against a type declared in another. Lookups go by field
+   name with same-file declarations taking precedence (see
+   {!Lint_conc}). *)
+type field_info = {
+  fi_file : string;  (* file declaring the record type *)
+  fi_type : string;  (* record type name *)
+  fi_name : string;  (* field name *)
+  fi_loc : Location.t;  (* label declaration site *)
+  fi_mutable : bool;
+  fi_atomic : bool;  (* declared type is Atomic.t *)
+  fi_container : bool;  (* Hashtbl/Buffer/Queue/Stack/Heap/array/... *)
+  fi_mutex : bool;  (* declared type is Mutex.t *)
+  fi_guard : string option;  (* [@guarded_by "m"] annotation *)
+  fi_allowed : string list;  (* rule ids from label-level [@lint.allow] *)
+}
+
 type rule_ctx = {
   add : Location.t -> string -> unit;
+  file : string;  (** Path of the file being linted. *)
   trace_kinds : string list;
       (** Constructor names of [Bamboo_obs.Trace.kind], parsed from
           [lib/obs/trace.mli] when it is among the linted sources. *)
@@ -66,6 +85,8 @@ type rule_ctx = {
       (** Literal metric names at [Registry.counter/gauge/histogram]
           registration sites across the linted lib/ sources, with how
           many times each name occurs. *)
+  fields : field_info list;
+      (** Record-field metadata across every linted .ml source. *)
 }
 
 type rule = {
@@ -77,6 +98,9 @@ type rule = {
   on_expr : (rule_ctx -> Parsetree.expression -> unit) option;
   on_structure_item : (rule_ctx -> Parsetree.structure_item -> unit) option;
   on_typ : (rule_ctx -> Parsetree.core_type -> unit) option;
+  on_file : (rule_ctx -> Parsetree.structure -> unit) option;
+      (** Whole-file hook for dataflow passes that need every function
+          of an implementation at once; never called for .mli files. *)
 }
 
 (* Fallback when lib/obs/trace.mli is not among the linted sources (for
@@ -153,7 +177,7 @@ let parse ~path source =
 
 (* --- raw findings --- *)
 
-let raw_findings ~rules ~trace_kinds ~metric_names ~path ~segs ast =
+let raw_findings ~rules ~trace_kinds ~metric_names ~fields ~path ~segs ast =
   let out = ref [] in
   let active = List.filter (fun r -> r.scope segs) rules in
   let hooks select =
@@ -177,8 +201,10 @@ let raw_findings ~rules ~trace_kinds ~metric_names ~path ~segs ast =
                         message;
                       }
                       :: !out);
+                file = path;
                 trace_kinds;
                 metric_names;
+                fields;
               }
             in
             Some (check ctx))
@@ -187,6 +213,7 @@ let raw_findings ~rules ~trace_kinds ~metric_names ~path ~segs ast =
   let expr_hooks = hooks (fun r -> r.on_expr) in
   let str_hooks = hooks (fun r -> r.on_structure_item) in
   let typ_hooks = hooks (fun r -> r.on_typ) in
+  let file_hooks = hooks (fun r -> r.on_file) in
   let default = Ast_iterator.default_iterator in
   let it =
     {
@@ -206,7 +233,9 @@ let raw_findings ~rules ~trace_kinds ~metric_names ~path ~segs ast =
     }
   in
   (match ast with
-  | Impl str -> it.Ast_iterator.structure it str
+  | Impl str ->
+      List.iter (fun f -> f str) file_hooks;
+      it.Ast_iterator.structure it str
   | Intf sg -> it.Ast_iterator.signature it sg);
   List.rev !out
 
@@ -320,9 +349,11 @@ let within (l, c) (fl, fc) (tl, tc) =
 
 (* --- per-file pipeline --- *)
 
-let lint_file ~rules ~trace_kinds ~metric_names path ast =
+let lint_file ~rules ~trace_kinds ~metric_names ~fields path ast =
   let segs = segments path in
-  let raw = raw_findings ~rules ~trace_kinds ~metric_names ~path ~segs ast in
+  let raw =
+    raw_findings ~rules ~trace_kinds ~metric_names ~fields ~path ~segs ast
+  in
   let sups, malformed = collect_suppressions ~path ast in
   let known = List.map (fun r -> r.id) rules in
   let sups, unknown =
@@ -449,9 +480,106 @@ let metric_names_of parsed =
     tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* --- record-field discovery --- *)
+
+(* [[@guarded_by "m"]] on a mutable record field names the mutex (by its
+   last path segment: [Mutex.lock t.m] locks ["m"]) that must be held
+   around every access. Parsed here so the concurrency rules in
+   {!Lint_conc} can consult annotations across file boundaries. *)
+let guard_payload (attr : Parsetree.attribute) =
+  if not (String.equal attr.Parsetree.attr_name.txt "guarded_by") then None
+  else
+    match attr.Parsetree.attr_payload with
+    | Parsetree.PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ( { pexp_desc = Pexp_constant (Pconst_string (m, _, _)); _ },
+                  _ );
+            _;
+          };
+        ] ->
+        Some m
+    | _ -> None
+
+(* Rule ids from [[@lint.allow "id"]] attributes on a record label.
+   Unlike expression/binding suppressions these are declarative
+   exemptions consumed by the field table (no orphan tracking): they
+   state an invariant ("single-consumer field", "set once before
+   spawn") rather than silence one specific finding. *)
+let label_allows attrs =
+  List.filter_map
+    (fun attr ->
+      match allow_payload attr with Some (Ok id) -> Some id | _ -> None)
+    attrs
+
+let container_module m =
+  List.mem m [ "Hashtbl"; "Buffer"; "Queue"; "Stack"; "Heap"; "Deque"; "Tbl" ]
+  || String.ends_with ~suffix:"_tbl" m
+  || String.ends_with ~suffix:"_Tbl" m
+
+let rec type_path (t : Parsetree.core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) -> Longident.flatten txt
+  | Ptyp_poly (_, t) | Ptyp_alias (t, _) -> type_path t
+  | _ -> []
+
+let classify_field_type t =
+  match List.rev (type_path t) with
+  | "t" :: "Atomic" :: _ -> (true, false, false)
+  | "t" :: "Mutex" :: _ -> (false, false, true)
+  | "t" :: m :: _ when container_module m -> (false, true, false)
+  | ("array" | "bytes") :: _ -> (false, true, false)
+  | _ -> (false, false, false)
+
+let fields_of parsed =
+  let out = ref [] in
+  List.iter
+    (fun (path, ast) ->
+      match ast with
+      | Intf _ -> ()
+      | Impl str ->
+          let default = Ast_iterator.default_iterator in
+          let it =
+            {
+              default with
+              Ast_iterator.type_declaration =
+                (fun it (d : Parsetree.type_declaration) ->
+                  (match d.ptype_kind with
+                  | Ptype_record labels ->
+                      List.iter
+                        (fun (l : Parsetree.label_declaration) ->
+                          let atomic, container, mutex =
+                            classify_field_type l.pld_type
+                          in
+                          out :=
+                            {
+                              fi_file = path;
+                              fi_type = d.ptype_name.txt;
+                              fi_name = l.pld_name.txt;
+                              fi_loc = l.pld_loc;
+                              fi_mutable = l.pld_mutable = Asttypes.Mutable;
+                              fi_atomic = atomic;
+                              fi_container = container;
+                              fi_mutex = mutex;
+                              fi_guard =
+                                List.find_map guard_payload l.pld_attributes;
+                              fi_allowed = label_allows l.pld_attributes;
+                            }
+                            :: !out)
+                        labels
+                  | _ -> ());
+                  default.Ast_iterator.type_declaration it d);
+            }
+          in
+          it.Ast_iterator.structure it str)
+    parsed;
+  List.rev !out
+
 (* --- entry points --- *)
 
-let compare_findings a b =
+let compare_findings (a : finding) (b : finding) =
   let c = String.compare a.file b.file in
   if c <> 0 then c
   else
@@ -461,7 +589,8 @@ let compare_findings a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
-let lint_sources ?trace_kinds ?metric_names ~rules sources =
+let lint_sources ?trace_kinds ?metric_names ?(only = fun _ -> true) ~rules
+    sources =
   let parsed, parse_errors =
     List.fold_left
       (fun (parsed, errs) (path, contents) ->
@@ -480,9 +609,19 @@ let lint_sources ?trace_kinds ?metric_names ~rules sources =
   let metric_names =
     match metric_names with Some m -> m | None -> metric_names_of parsed
   in
+  (* Pre-passes above see every source so cross-file tables stay whole;
+     [only] restricts which files are actually linted and reported
+     (the [--since REF] incremental mode). *)
+  let fields = fields_of parsed in
+  let parse_errors =
+    List.filter (fun (f : finding) -> only f.file) parse_errors
+  in
   let findings =
     List.concat_map
-      (fun (path, ast) -> lint_file ~rules ~trace_kinds ~metric_names path ast)
+      (fun (path, ast) ->
+        if only path then
+          lint_file ~rules ~trace_kinds ~metric_names ~fields path ast
+        else [])
       parsed
   in
   List.sort compare_findings (parse_errors @ findings)
@@ -525,8 +664,8 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_paths ?trace_kinds ?metric_names ~rules paths :
-    (int * finding list, string) result =
+let lint_paths ?trace_kinds ?metric_names ?(only = fun _ -> true) ~rules paths
+    : (int * finding list, string) result =
   match collect_files paths with
   | Error e -> Error e
   | Ok files -> (
@@ -542,8 +681,8 @@ let lint_paths ?trace_kinds ?metric_names ~rules paths :
       | Error e -> Error e
       | Ok sources ->
           Ok
-            ( List.length files,
-              lint_sources ?trace_kinds ?metric_names ~rules sources ))
+            ( List.length (List.filter only files),
+              lint_sources ?trace_kinds ?metric_names ~only ~rules sources ))
 
 (* --- reporting --- *)
 
@@ -555,7 +694,7 @@ let warnings (findings : finding list) =
 
 let exit_code findings = if errors findings > 0 then 1 else 0
 
-let render f =
+let render (f : finding) =
   Printf.sprintf "%s:%d:%d [%s] %s: %s" f.file f.line f.col f.rule
     (severity_name f.severity) f.message
 

@@ -42,8 +42,28 @@ val under_any : string list list -> string list -> bool
 
 (** {2 Rules} *)
 
+(** Record-field metadata collected by a pre-pass over every linted .ml
+    source, for the concurrency rules in {!Lint_conc}. *)
+type field_info = {
+  fi_file : string;  (** File declaring the record type. *)
+  fi_type : string;  (** Record type name. *)
+  fi_name : string;  (** Field name. *)
+  fi_loc : Location.t;  (** Label declaration site. *)
+  fi_mutable : bool;
+  fi_atomic : bool;  (** Declared type is [Atomic.t]. *)
+  fi_container : bool;
+      (** Hashtbl/Buffer/Queue/Stack/Heap/array-like declared type. *)
+  fi_mutex : bool;  (** Declared type is [Mutex.t]. *)
+  fi_guard : string option;  (** [[@guarded_by "m"]] annotation. *)
+  fi_allowed : string list;
+      (** Rule ids from label-level [[@lint.allow "id"]] exemptions
+          (declarative: no orphan tracking, unlike expression/binding
+          suppressions). *)
+}
+
 type rule_ctx = {
   add : Location.t -> string -> unit;
+  file : string;  (** Path of the file being linted. *)
   trace_kinds : string list;
       (** Constructor names of [Bamboo_obs.Trace.kind], parsed from
           [lib/obs/trace.mli] when it is among the linted sources, else
@@ -53,6 +73,9 @@ type rule_ctx = {
           registration sites across the linted lib/ sources, with how
           many times each name occurs; collected by a pre-pass (or
           supplied via [?metric_names]). *)
+  fields : field_info list;
+      (** Record-field metadata across every linted .ml source,
+          collected by a pre-pass. *)
 }
 
 type rule = {
@@ -64,9 +87,16 @@ type rule = {
   on_expr : (rule_ctx -> Parsetree.expression -> unit) option;
   on_structure_item : (rule_ctx -> Parsetree.structure_item -> unit) option;
   on_typ : (rule_ctx -> Parsetree.core_type -> unit) option;
+  on_file : (rule_ctx -> Parsetree.structure -> unit) option;
+      (** Whole-file hook for dataflow passes that need every function
+          of an implementation at once; never called for .mli files. *)
 }
 
 val default_trace_kinds : string list
+
+val guard_payload : Parsetree.attribute -> string option
+(** [Some "m"] for a well-formed [[@guarded_by "m"]] attribute, [None]
+    otherwise; shared with {!Lint_conc} for value-binding annotations. *)
 
 val metric_registration :
   Parsetree.expression -> (string * Location.t) option
@@ -80,13 +110,16 @@ val metric_registration :
 val lint_sources :
   ?trace_kinds:string list ->
   ?metric_names:(string * int) list ->
+  ?only:(string -> bool) ->
   rules:rule list ->
   (string * string) list ->
   finding list
 (** [lint_sources ~rules [(path, contents); ...]] lints in-memory
     sources (used by the test fixtures). Findings are sorted by
     [(file, line, col, rule)]. Unparseable sources produce a
-    [parse-error] finding instead of aborting. *)
+    [parse-error] finding instead of aborting. [?only] restricts which
+    files are linted and reported; cross-file pre-passes (trace kinds,
+    metric names, record fields) always see every source. *)
 
 val collect_files : string list -> (string list, string) result
 (** Expand files and directories (recursively, skipping [_build],
@@ -95,11 +128,14 @@ val collect_files : string list -> (string list, string) result
 val lint_paths :
   ?trace_kinds:string list ->
   ?metric_names:(string * int) list ->
+  ?only:(string -> bool) ->
   rules:rule list ->
   string list ->
   (int * finding list, string) result
 (** [lint_paths ~rules paths] is [Ok (files_scanned, findings)], or
-    [Error msg] when a path cannot be read (a usage error: exit 2). *)
+    [Error msg] when a path cannot be read (a usage error: exit 2).
+    With [?only], [files_scanned] counts only the files that passed the
+    filter (pre-passes still parse the whole tree). *)
 
 (** {2 Reporting} *)
 

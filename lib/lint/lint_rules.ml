@@ -87,6 +87,7 @@ let no_ambient_nondeterminism =
     on_expr = Some check_ambient;
     on_structure_item = None;
     on_typ = None;
+    on_file = None;
   }
 
 (* --- rule 2: no-polymorphic-compare --- *)
@@ -181,6 +182,7 @@ let no_polymorphic_compare =
     on_expr = Some check_poly;
     on_structure_item = None;
     on_typ = Some check_poly_typ;
+    on_file = None;
   }
 
 (* --- rule 2b (warn): no-poly-minmax --- *)
@@ -214,6 +216,7 @@ let no_poly_minmax =
     on_expr = Some check_minmax;
     on_structure_item = None;
     on_typ = None;
+    on_file = None;
   }
 
 (* --- rule 3: no-order-leak --- *)
@@ -254,6 +257,7 @@ let no_order_leak =
     on_expr = Some check_order;
     on_structure_item = None;
     on_typ = None;
+    on_file = None;
   }
 
 (* --- rule 4: domain-safety --- *)
@@ -310,6 +314,7 @@ let domain_safety =
     on_expr = None;
     on_structure_item = Some check_domain;
     on_typ = None;
+    on_file = None;
   }
 
 (* --- rule 5: exhaustive-trace-match --- *)
@@ -372,6 +377,7 @@ let exhaustive_trace_match =
     on_expr = Some check_trace_match;
     on_structure_item = None;
     on_typ = None;
+    on_file = None;
   }
 
 (* --- rule 6: exhaustive-metric-names --- *)
@@ -417,7 +423,70 @@ let exhaustive_metric_names =
     on_expr = Some check_metric_names;
     on_structure_item = None;
     on_typ = None;
+    on_file = None;
   }
+
+(* --- rules 7-10: the concurrency pass (Lint_conc) --- *)
+
+(* Four rule ids over one shared per-file dataflow analysis; the
+   [on_file] hooks pull from a memoized walk (see {!Lint_conc}). The
+   pass applies everywhere the linter looks — lib/, bin/ and examples/
+   all contain threads or domain pools. *)
+
+let conc_rule ~id ~summary ~protects =
+  {
+    E.id;
+    severity = E.Error;
+    summary;
+    protects;
+    scope = (fun _ -> true);
+    on_expr = None;
+    on_structure_item = None;
+    on_typ = None;
+    on_file = Some (fun ctx str -> Lint_conc.findings_for ~rule:id ctx str);
+  }
+
+let guarded_by =
+  conc_rule ~id:"guarded-by"
+    ~summary:
+      "lock-set dataflow: fields/refs annotated [@guarded_by \"m\"] may \
+       only be touched with mutex m held (per-function summaries discharge \
+       helpers called under the lock); records carrying a Mutex.t must \
+       annotate every mutable field"
+    ~protects:
+      "the threaded plane's locking discipline: every shared mutable field \
+       names the mutex that serializes it, and the checker proves the name \
+       is honored"
+
+let domain_escape =
+  conc_rule ~id:"domain-escape"
+    ~summary:
+      "closures/functions passed to Domain.spawn, Thread.create, \
+       Pool.map/run, Wakeup.start_ticker or Http.start must not touch \
+       unguarded mutable state (captured refs, unannotated mutable fields, \
+       Hashtbl/Buffer/Queue/array/Rng mutation) without a lock"
+    ~protects:
+      "data-race freedom at thread boundaries: state crossing a spawn is \
+       Atomic, lock-guarded, thread-private, or carries a written-down \
+       justification"
+
+let atomic_rmw =
+  conc_rule ~id:"atomic-rmw"
+    ~summary:
+      "flag Atomic.get followed by Atomic.set of the same path in one \
+       function with no lock held (use fetch_and_add/compare_and_set)"
+    ~protects:
+      "lost-update freedom on lock-free counters and cursors (the Ring \
+       single-consumer protocol is the one audited exception)"
+
+let condvar_recheck =
+  conc_rule ~id:"condvar-recheck"
+    ~summary:
+      "require Condition.wait to sit inside a predicate-rechecking loop \
+       (while body or let-rec function)"
+    ~protects:
+      "lost-wakeup freedom: the parked-flag doorbell protocol Wakeup \
+       documents only works when waiters re-test their predicate"
 
 (* --- registry --- *)
 
@@ -430,4 +499,8 @@ let all =
     domain_safety;
     exhaustive_trace_match;
     exhaustive_metric_names;
+    guarded_by;
+    domain_escape;
+    atomic_rmw;
+    condvar_recheck;
   ]

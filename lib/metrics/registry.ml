@@ -46,9 +46,10 @@ type shard = {
 type t = {
   enabled : bool;
   lock : Mutex.t; (* guards registration and shard creation *)
-  mutable defs : def array; (* slots [0, n_defs) are live *)
-  mutable n_defs : int;
-  by_key : (string, int) Hashtbl.t; (* "name{k=v,...}" -> def id *)
+  mutable defs : def array; [@guarded_by "lock"] (* slots [0, n_defs) live *)
+  mutable n_defs : int; [@guarded_by "lock"]
+  by_key : (string, int) Hashtbl.t; [@guarded_by "lock"]
+      (* "name{k=v,...}" -> def id *)
   shards : shard array Atomic.t; (* append-only *)
 }
 

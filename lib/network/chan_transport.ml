@@ -6,13 +6,17 @@ let tick_period_s = 0.001
 
 type endpoint_state = {
   id : int;
-  queue : Bamboo_types.Message.t Queue.t;
+  queue : Bamboo_types.Message.t Queue.t; [@guarded_by "mutex"]
   mutex : Mutex.t;
   cond : Condition.t;
-  mutable closed : bool;
+  mutable closed : bool; [@guarded_by "mutex"]
 }
 
-type cluster = { endpoints : endpoint_state array; live : int Atomic.t }
+type cluster = {
+  endpoints : endpoint_state array; [@lint.allow "domain-escape"]
+      (* layout fixed at construction; element state has its own mutex *)
+  live : int Atomic.t;
+}
 
 type t = { state : endpoint_state; cluster : cluster }
 

@@ -10,7 +10,7 @@ type response = { status : int; body : string }
 type server = {
   listener : Unix.file_descr;
   port_ : int;
-  mutable closed : bool;
+  closed : bool Atomic.t; (* written by [stop], read by the accept thread *)
 }
 
 let reason_phrase = function
@@ -98,10 +98,10 @@ let start ~port ~handler =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
-  let server = { listener; port_ = actual_port; closed = false } in
+  let server = { listener; port_ = actual_port; closed = Atomic.make false } in
   let accept_loop () =
     try
-      while not server.closed do
+      while not (Atomic.get server.closed) do
         let fd, _ = Unix.accept listener in
         ignore (Thread.create (serve_connection handler) fd)
       done
@@ -113,7 +113,7 @@ let start ~port ~handler =
 let port s = s.port_
 
 let stop s =
-  s.closed <- true;
+  Atomic.set s.closed true;
   try Unix.close s.listener with Unix.Unix_error _ -> ()
 
 let request ?(body = "") ?(timeout_s = 5.0) ~host ~port ~meth ~path () =

@@ -24,7 +24,12 @@ type endpoint_state = {
   batch_hist : int array; (* drained batch size, log2-bucketed *)
 }
 
-type cluster = { endpoints : endpoint_state array; live : int Atomic.t }
+type cluster = {
+  endpoints : endpoint_state array; [@lint.allow "domain-escape"]
+      (* layout fixed at construction; per-endpoint state is consumer-owned
+         or atomic (see the field comments above) *)
+  live : int Atomic.t;
+}
 
 type t = { state : endpoint_state; cluster : cluster }
 

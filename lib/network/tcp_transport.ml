@@ -36,12 +36,15 @@ type t = {
   listener : Unix.file_descr;
   inbox : Message.t Ring.t;
   inbox_bell : Wakeup.doorbell;
-  peers : peer option array; (* indexed by replica id; [None] at [self] *)
+  peers : peer option array; [@lint.allow "guarded-by"]
+      (* indexed by replica id; [None] at [self]; layout fixed before the
+         accept/writer/ticker threads start, never written afterwards *)
   closed : bool Atomic.t;
   reader_mutex : Mutex.t;
-  mutable reader_fds : Unix.file_descr list;
-  mutable readers : Thread.t list;
-  mutable accepter : Thread.t option;
+  mutable reader_fds : Unix.file_descr list; [@guarded_by "reader_mutex"]
+  mutable readers : Thread.t list; [@guarded_by "reader_mutex"]
+  mutable accepter : Thread.t option; [@lint.allow "guarded-by"]
+      (* written once by [create] on the spawning thread, read by [close] *)
   (* Producer-side tallies: bumped from any thread. *)
   sends : int Atomic.t;
   dropped_full : int Atomic.t;
@@ -49,8 +52,8 @@ type t = {
   conn_failures : int Atomic.t;
   recv_dropped : int Atomic.t;
   (* Consumer-side tallies: owned by the single receiver thread. *)
-  mutable recv_msgs : int;
-  mutable peak_depth : int;
+  mutable recv_msgs : int; [@lint.allow "guarded-by"]
+  mutable peak_depth : int; [@lint.allow "guarded-by"]
 }
 
 type stats = {

@@ -23,7 +23,10 @@ let map_parallel ~jobs ~probe f inputs =
   let results = Array.make n None in
   let next = Atomic.make 0 in
   let failed = Atomic.make None in
-  let rec worker () =
+  (* [results] is written by every worker, but the atomic ticket in
+     [next] hands each index to exactly one of them, and the spawner
+     only reads after joining — disjoint writes, no lock needed. *)
+  let[@lint.allow "domain-escape"] rec worker () =
     let i = Atomic.fetch_and_add next 1 in
     if i < n && Atomic.get failed = None then begin
       (match timed probe f i inputs.(i) with

@@ -112,7 +112,11 @@ let push_all t xs =
         fill 0 xs;
         m
 
-let pop t =
+(* The get-then-set of [t.seq.(i)] and [t.tail] below is a deliberate
+   plain read-modify-write: the ring is single-consumer, so [pop] is the
+   only writer of either cell and there is no competing update to lose.
+   (Producers write [seq] only for slots they own via [claim_run].) *)
+let[@lint.allow "atomic-rmw"] pop t =
   let pos = Atomic.get t.tail in
   let i = pos land t.mask in
   if Atomic.get t.seq.(i) = pos + 1 then begin

@@ -277,6 +277,353 @@ let test_metric_names_suppressed () =
   check_silent "binding allow" "exhaustive-metric-names" fs;
   check_silent "no orphan" "orphan-suppression" fs
 
+(* --- rules 8-11: the concurrency pass ---
+
+   Fixtures use lib/network paths: the concurrency rules apply
+   everywhere, and that scope keeps the older domain-safety rule (which
+   excludes lib/network) from firing on the same top-level state. *)
+
+let conc ?(path = "lib/network/fx.ml") src = lint ~path src
+
+let guarded_decl =
+  "type t = { m : Mutex.t; mutable count : int; [@guarded_by \"m\"] }\n"
+
+let test_guarded_pos () =
+  (* Unlocked access in a function with no in-file caller: the
+     requirement cannot be discharged, so it is reported. *)
+  let fs = conc (guarded_decl ^ "let bump t = t.count <- t.count + 1") in
+  check_fires "unlocked write" "guarded-by" fs;
+  (* A lock held on only one side of a branch does not survive the join. *)
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let bump t b =\n\
+       \  (if b then Mutex.lock t.m);\n\
+       \  t.count <- t.count + 1")
+  in
+  check_fires "one-sided lock at join" "guarded-by" fs;
+  (* Module-initialization code runs unlocked on the loading thread. *)
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let t0 = { m = Mutex.create (); count = 0 }\n\
+        let () = t0.count <- 1")
+  in
+  check_fires "module-init access" "guarded-by" fs;
+  (* A spawned thread cannot rely on locks its spawner holds. *)
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let start t =\n\
+       \  Mutex.lock t.m;\n\
+       \  let th = Thread.create (fun () -> t.count <- 0) () in\n\
+       \  Mutex.unlock t.m;\n\
+       \  th")
+  in
+  check_fires "spawner's lock does not transfer" "guarded-by" fs
+
+let test_guarded_neg () =
+  (* Lock/unlock region covers the access. *)
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let bump t =\n\
+       \  Mutex.lock t.m;\n\
+       \  t.count <- t.count + 1;\n\
+       \  Mutex.unlock t.m")
+  in
+  check_silent "lock region" "guarded-by" fs;
+  (* Mutex.protect thunks run with the lock held. *)
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let bump t = Mutex.protect t.m (fun () -> t.count <- t.count + 1)")
+  in
+  check_silent "Mutex.protect" "guarded-by" fs;
+  (* Both branches take the lock, so it survives the join. *)
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let bump t b =\n\
+       \  (if b then Mutex.lock t.m else Mutex.lock t.m);\n\
+       \  t.count <- t.count + 1;\n\
+       \  Mutex.unlock t.m")
+  in
+  check_silent "lock on both sides of join" "guarded-by" fs
+
+let test_guarded_summary_propagation () =
+  (* A helper's lock requirement is discharged by a caller that holds
+     the lock around the call. *)
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let incr_unlocked t = t.count <- t.count + 1\n\
+        let bump t =\n\
+       \  Mutex.lock t.m;\n\
+       \  incr_unlocked t;\n\
+       \  Mutex.unlock t.m")
+  in
+  check_silent "helper under caller's lock" "guarded-by" fs;
+  (* The same helper called without the lock keeps the requirement. *)
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let incr_unlocked t = t.count <- t.count + 1\n\
+        let bump t = incr_unlocked t")
+  in
+  check_fires "helper without the lock" "guarded-by" fs
+
+let test_guarded_binding_level () =
+  (* [let[@guarded_by "m"] r = ref ...] guards a value binding. *)
+  let src_ok =
+    "let m = Mutex.create ()\n\
+     let[@guarded_by \"m\"] total = ref 0\n\
+     let bump () =\n\
+    \  Mutex.lock m;\n\
+    \  total := !total + 1;\n\
+    \  Mutex.unlock m"
+  in
+  check_silent "guarded ref under lock" "guarded-by" (conc src_ok);
+  let src_bad =
+    "let m = Mutex.create ()\n\
+     let[@guarded_by \"m\"] total = ref 0\n\
+     let sneak () = incr total"
+  in
+  check_fires "guarded ref without lock" "guarded-by" (conc src_bad)
+
+let test_guarded_completeness () =
+  (* A record carrying a Mutex.t must give every mutable sibling a
+     locking story. *)
+  let fs = conc "type t = { m : Mutex.t; mutable n : int; }" in
+  check_fires "unannotated mutable sibling" "guarded-by" fs;
+  let fs = conc "type t = { m : Mutex.t; n : int Atomic.t; }" in
+  check_silent "atomic sibling" "guarded-by" fs;
+  let fs =
+    conc "type t = { m : Mutex.t; mutable n : int; [@lint.allow \"guarded-by\"] }"
+  in
+  check_silent "label-level exemption" "guarded-by" fs;
+  (* Without a mutex the record declares no locking story to complete. *)
+  let fs = conc "type t = { mutable n : int; }" in
+  check_silent "no mutex, no completeness claim" "guarded-by" fs
+
+let test_guarded_suppressed () =
+  let fs =
+    conc
+      (guarded_decl
+     ^ "let[@lint.allow \"guarded-by\"] peek t = t.count")
+  in
+  check_silent "binding allow" "guarded-by" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
+let test_escape_pos () =
+  (* A spawned closure reading a ref of the enclosing scope. *)
+  let fs =
+    conc
+      "let spawn () =\n\
+      \  let hits = ref 0 in\n\
+      \  let th = Thread.create (fun () -> incr hits) () in\n\
+      \  Thread.join th;\n\
+      \  !hits"
+  in
+  check_fires "captured ref" "domain-escape" fs;
+  (* Escape via partial application: the closure built by [bump counter]
+     carries the ref into the thread. *)
+  let fs =
+    conc
+      "let spawn () =\n\
+      \  let counter = ref 0 in\n\
+      \  let bump r () = incr r in\n\
+      \  let th = Thread.create (bump counter) () in\n\
+      \  Thread.join th;\n\
+      \  !counter"
+  in
+  check_fires "partial application" "domain-escape" fs;
+  (* Parallel combinators are spawn sites too. *)
+  let fs =
+    conc
+      "let tally xs =\n\
+      \  let seen = Hashtbl.create 8 in\n\
+      \  Pool.map ~jobs:4 (fun x -> Hashtbl.replace seen x (); x) xs"
+  in
+  check_fires "Pool.map worker" "domain-escape" fs
+
+let test_escape_neg () =
+  (* Atomic state crosses threads by design. *)
+  let fs =
+    conc
+      "let spawn () =\n\
+      \  let hits = Atomic.make 0 in\n\
+      \  let th = Thread.create (fun () -> Atomic.incr hits) () in\n\
+      \  Thread.join th;\n\
+      \  Atomic.get hits"
+  in
+  check_silent "atomic capture" "domain-escape" fs;
+  (* State created inside the spawned closure is thread-local. *)
+  let fs =
+    conc
+      "let spawn () =\n\
+       \  Thread.create (fun () -> let n = ref 0 in incr n; ignore !n) ()"
+  in
+  check_silent "thread-local ref" "domain-escape" fs;
+  (* A spawned function's own frame stays thread-local even when inner
+     helper closures capture it. *)
+  let fs =
+    conc
+      "let worker () =\n\
+      \  let pending = ref [] in\n\
+      \  let push x = pending := x :: !pending in\n\
+      \  push 1;\n\
+      \  List.length !pending\n\
+       let spawn () = Thread.create worker ()"
+  in
+  check_silent "spawned function's own frame" "domain-escape" fs;
+  (* [!r] as a spawn argument passes a snapshot, not the ref. *)
+  let fs =
+    conc
+      "let go port = ignore port\n\
+       let spawn () =\n\
+      \  let port = ref 8080 in\n\
+      \  Thread.create go !port"
+  in
+  check_silent "deref argument" "domain-escape" fs
+
+let test_escape_suppressed () =
+  let fs =
+    conc
+      "let spawn () =\n\
+      \  let hits = ref 0 in\n\
+      \  let[@lint.allow \"domain-escape\"] th =\n\
+      \    Thread.create (fun () -> incr hits) ()\n\
+      \  in\n\
+      \  Thread.join th;\n\
+      \  !hits"
+  in
+  check_silent "binding allow" "domain-escape" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
+let test_atomic_rmw () =
+  let fs =
+    conc "let bump c = let v = Atomic.get c in Atomic.set c (v + 1)"
+  in
+  check_fires "get-then-set" "atomic-rmw" fs;
+  let fs = conc "let bump c = ignore (Atomic.fetch_and_add c 1)" in
+  check_silent "fetch_and_add" "atomic-rmw" fs;
+  (* A get/set pair serialized under a mutex has no lost-update window. *)
+  let fs =
+    conc
+      "let bump m c =\n\
+      \  Mutex.lock m;\n\
+      \  let v = Atomic.get c in\n\
+      \  Atomic.set c (v + 1);\n\
+      \  Mutex.unlock m"
+  in
+  check_silent "serialized under lock" "atomic-rmw" fs;
+  (* Sets of a cell this function never read are stores, not RMWs. *)
+  let fs = conc "let reset c = Atomic.set c 0" in
+  check_silent "plain store" "atomic-rmw" fs;
+  let fs =
+    conc
+      "(* single-consumer cursor *)\n\
+       let[@lint.allow \"atomic-rmw\"] bump c =\n\
+      \  let v = Atomic.get c in\n\
+      \  Atomic.set c (v + 1)"
+  in
+  check_silent "suppressed" "atomic-rmw" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
+let test_condvar_recheck () =
+  let fs =
+    conc
+      "let await c m =\n\
+      \  Mutex.lock m;\n\
+      \  Condition.wait c m;\n\
+      \  Mutex.unlock m"
+  in
+  check_fires "bare wait" "condvar-recheck" fs;
+  let fs =
+    conc
+      "let await c m ready =\n\
+      \  Mutex.lock m;\n\
+      \  while not !ready do\n\
+      \    Condition.wait c m\n\
+      \  done;\n\
+      \  Mutex.unlock m"
+  in
+  check_silent "wait in while loop" "condvar-recheck" fs;
+  let fs =
+    conc
+      "let await c m ready =\n\
+      \  let rec loop () = if not !ready then begin Condition.wait c m; loop () end in\n\
+      \  Mutex.lock m;\n\
+      \  loop ();\n\
+      \  Mutex.unlock m"
+  in
+  check_silent "wait in recursive loop" "condvar-recheck" fs;
+  let fs =
+    conc
+      "let await c m =\n\
+      \  Mutex.lock m;\n\
+      \  (Condition.wait c m [@lint.allow \"condvar-recheck\"]);\n\
+      \  Mutex.unlock m"
+  in
+  check_silent "suppressed" "condvar-recheck" fs;
+  check_silent "no orphan" "orphan-suppression" fs
+
+(* A realistic planted race the pass must catch: a flusher thread
+   mutating aggregator state that nothing protects. *)
+let test_planted_race () =
+  let fs =
+    conc
+      "type agg = { name : string; mutable total : int }\n\
+       let start a =\n\
+      \  Thread.create\n\
+      \    (fun () ->\n\
+      \       for i = 1 to 100 do\n\
+      \         a.total <- a.total + i\n\
+      \       done)\n\
+      \    ()"
+  in
+  check_fires "planted race caught" "domain-escape" fs
+
+(* --- incremental mode: the ?only filter behind `bamboo lint --since` --- *)
+
+let test_only_filter () =
+  let sources =
+    [
+      ("lib/network/one.ml", "type t = { m : Mutex.t; mutable n : int; }");
+      ("lib/sim/two.ml", "let f a b = compare a b");
+    ]
+  in
+  (* Unfiltered: both files report. *)
+  let fs = E.lint_sources ~rules:R.all sources in
+  check_fires "full run sees one.ml" "guarded-by" fs;
+  check_fires "full run sees two.ml" "no-polymorphic-compare" fs;
+  (* Filtered to two.ml: one.ml's finding is gone, two.ml's stays. *)
+  let fs =
+    E.lint_sources ~rules:R.all
+      ~only:(fun p -> String.equal p "lib/sim/two.ml")
+      sources
+  in
+  check_silent "filtered file not reported" "guarded-by" fs;
+  check_fires "kept file still reported" "no-polymorphic-compare" fs;
+  (* Cross-file pre-passes still read everything: a [@guarded_by]
+     annotation declared in a file outside the filter is enforced inside
+     it. *)
+  let sources =
+    [
+      ( "lib/network/decl.ml",
+        "type t = { m : Mutex.t; mutable count : int; [@guarded_by \"m\"] }"
+      );
+      ("lib/network/use.ml", "let bump (t : t) = t.count <- t.count + 1");
+    ]
+  in
+  let fs =
+    E.lint_sources ~rules:R.all
+      ~only:(fun p -> String.equal p "lib/network/use.ml")
+      sources
+  in
+  check_fires "field table crosses the filter" "guarded-by" fs
+
 (* --- suppression bookkeeping --- *)
 
 let test_orphan_suppression () =
@@ -323,7 +670,7 @@ let test_render () =
       Alcotest.(check bool) "has location" true (contains s "lib/sim/fx.ml:1:")
   | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
 
-(* --- self-check: the repository's lib/ lints clean --- *)
+(* --- self-check: the repository's own sources lint clean --- *)
 
 let test_self_check () =
   let rec locate dir n =
@@ -331,16 +678,25 @@ let test_self_check () =
     else if Sys.file_exists dir && Sys.is_directory dir then Some dir
     else locate (Filename.concat ".." dir) (n - 1)
   in
+  (* bin/ and examples/ ride along when present (the test binary only
+     declares lib/ as a dune dependency, so the wider tree is linted
+     when running from a source checkout). *)
   match locate "lib" 4 with
   | None -> Alcotest.fail "could not locate lib/ from the test's cwd"
   | Some dir -> (
-      match E.lint_paths ~rules:R.all [ dir ] with
+      let sibling name =
+        let d = Filename.concat (Filename.dirname dir) name in
+        if Sys.file_exists d && Sys.is_directory d then [ d ] else []
+      in
+      let paths = (dir :: sibling "bin") @ sibling "examples" in
+      match E.lint_paths ~rules:R.all paths with
       | Error msg -> Alcotest.fail msg
       | Ok (files, findings) ->
           Alcotest.(check bool) "scanned a real tree" true (files > 50);
           List.iter (fun f -> print_endline (E.render f)) findings;
-          Alcotest.(check int) "zero errors over lib/" 0 (E.errors findings);
-          Alcotest.(check int) "zero warnings over lib/" 0
+          Alcotest.(check int) "zero errors over the tree" 0
+            (E.errors findings);
+          Alcotest.(check int) "zero warnings over the tree" 0
             (E.warnings findings))
 
 let suite =
@@ -368,11 +724,29 @@ let suite =
     Alcotest.test_case "metric-names: silent" `Quick test_metric_names_neg;
     Alcotest.test_case "metric-names: suppressed" `Quick
       test_metric_names_suppressed;
+    Alcotest.test_case "guarded-by: fires" `Quick test_guarded_pos;
+    Alcotest.test_case "guarded-by: silent" `Quick test_guarded_neg;
+    Alcotest.test_case "guarded-by: summary propagation" `Quick
+      test_guarded_summary_propagation;
+    Alcotest.test_case "guarded-by: binding-level guard" `Quick
+      test_guarded_binding_level;
+    Alcotest.test_case "guarded-by: completeness" `Quick
+      test_guarded_completeness;
+    Alcotest.test_case "guarded-by: suppressed" `Quick test_guarded_suppressed;
+    Alcotest.test_case "domain-escape: fires" `Quick test_escape_pos;
+    Alcotest.test_case "domain-escape: silent" `Quick test_escape_neg;
+    Alcotest.test_case "domain-escape: suppressed" `Quick
+      test_escape_suppressed;
+    Alcotest.test_case "atomic-rmw: cases" `Quick test_atomic_rmw;
+    Alcotest.test_case "condvar-recheck: cases" `Quick test_condvar_recheck;
+    Alcotest.test_case "planted race: caught" `Quick test_planted_race;
+    Alcotest.test_case "incremental: only filter" `Quick test_only_filter;
     Alcotest.test_case "suppression: orphan" `Quick test_orphan_suppression;
     Alcotest.test_case "suppression: unknown id" `Quick test_unknown_rule_id;
     Alcotest.test_case "suppression: malformed" `Quick test_malformed_payload;
     Alcotest.test_case "engine: parse error" `Quick test_parse_error;
     Alcotest.test_case "engine: exit codes" `Quick test_exit_codes;
     Alcotest.test_case "engine: render" `Quick test_render;
-    Alcotest.test_case "self-check: lib/ lints clean" `Quick test_self_check;
+    Alcotest.test_case "self-check: repo tree lints clean" `Quick
+      test_self_check;
   ]
